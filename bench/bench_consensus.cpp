@@ -1,0 +1,77 @@
+// E11 — consensus service: decision latency versus the tolerated number of
+// failures f (f+1 rounds of length > delta_max), and robustness of the
+// agreement under crashes.
+#include <benchmark/benchmark.h>
+
+#include "bench/table.hpp"
+#include "core/system.hpp"
+#include "services/consensus.hpp"
+
+using namespace hades;
+using namespace hades::literals;
+
+namespace {
+
+core::system::config lan() {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.tracing = false;
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 60_us;
+  return cfg;
+}
+
+void sweep() {
+  bench::table t({"nodes", "f", "rounds", "crashes injected", "agreement",
+                  "decision latency"});
+  for (int f : {0, 1, 2, 3}) {
+    for (int crashes : {0, f}) {
+      const std::size_t nodes = 5;
+      core::system sys(nodes, lan());
+      svc::consensus_service svc(sys, {f, 1_ms});
+      std::map<node_id, std::int64_t> proposals;
+      for (node_id n = 0; n < nodes; ++n)
+        proposals[n] = 10 + static_cast<std::int64_t>(n);
+      svc.run(proposals);
+      for (int c = 0; c < crashes; ++c) {
+        sys.engine().at(time_point::at(duration::microseconds(300 + 900 * c)),
+                        [&sys, c] { sys.crash_node(static_cast<node_id>(c)); });
+      }
+      sys.run_for(50_ms);
+      bool agreement = true;
+      std::int64_t first = -1;
+      for (node_id n = 0; n < nodes; ++n) {
+        if (sys.crashed(n) || !svc.decided(n)) continue;
+        if (first == -1) first = svc.decision(n);
+        if (svc.decision(n) != first) agreement = false;
+      }
+      t.row({std::to_string(nodes), std::to_string(f),
+             std::to_string(svc.rounds()), std::to_string(crashes),
+             agreement ? "yes" : "NO",
+             svc.decision_latency().to_string()});
+    }
+  }
+  t.print("E11/table-10: flooding consensus — latency grows linearly in f; "
+          "agreement holds with up to f crashes");
+}
+
+void bm_consensus_instance(benchmark::State& state) {
+  for (auto _ : state) {
+    core::system sys(5, lan());
+    svc::consensus_service svc(sys, {static_cast<int>(state.range(0)), 1_ms});
+    svc.run({{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+    sys.run_for(20_ms);
+    benchmark::DoNotOptimize(svc.decision(0));
+  }
+}
+BENCHMARK(bm_consensus_instance)->Arg(1)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

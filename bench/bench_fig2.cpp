@@ -1,0 +1,71 @@
+// E1 — Figure 2 timing: the dispatcher/scheduler cooperation overhead of
+// the EDF scenario, as a function of the scheduler's per-event cost sigma.
+#include <benchmark/benchmark.h>
+
+#include "bench/table.hpp"
+#include "core/system.hpp"
+#include "sched/edf.hpp"
+
+using namespace hades;
+using namespace hades::literals;
+
+namespace {
+
+struct timings {
+  duration t2_response;
+  duration t1_response;
+  std::uint64_t scheduler_runs;
+};
+
+timings run(duration sigma) {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.costs.scheduler_per_event = sigma;
+  cfg.kernel_background = false;
+  cfg.tracing = false;
+  core::system sys(1, cfg);
+  core::task_builder b1("t1");
+  b1.deadline(100_ms);
+  b1.add_code_eu("t1", 0, 10_ms);
+  const auto t1 = sys.register_task(b1.build());
+  core::task_builder b2("t2");
+  b2.deadline(10_ms);
+  b2.add_code_eu("t2", 0, 2_ms);
+  const auto t2 = sys.register_task(b2.build());
+  sys.attach_policy(0, std::make_shared<sched::edf_policy>());
+  sys.activate(t1);
+  sys.activate_at(t2, time_point::at(3_ms));
+  sys.run_for(40_ms);
+  return {duration::nanoseconds(static_cast<std::int64_t>(
+              sys.stats_for(t2).response_times.max())),
+          duration::nanoseconds(static_cast<std::int64_t>(
+              sys.stats_for(t1).response_times.max())),
+          sys.disp(0).stats().scheduler_runs};
+}
+
+void sweep() {
+  bench::table t({"sigma (per notification)", "t2 response", "t1 response",
+                  "scheduler runs"});
+  for (auto sigma : {0_us, 50_us, 200_us, 1000_us}) {
+    const auto r = run(sigma);
+    t.row({sigma.to_string(), r.t2_response.to_string(),
+           r.t1_response.to_string(), std::to_string(r.scheduler_runs)});
+  }
+  t.print("E1/table-11: Figure 2 scenario — cooperation cost scaling "
+          "(t2 pays one Atv slice; t1 pays three slices: Atv t1, Atv t2, "
+          "Trm t2)");
+}
+
+void bm_fig2_scenario(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run(50_us));
+}
+BENCHMARK(bm_fig2_scenario)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

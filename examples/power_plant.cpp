@@ -1,0 +1,103 @@
+// Safety-critical plant supervision scenario (the paper's motivating
+// domains include nuclear power plants, section 1).
+//
+// Sporadic alarm bursts arrive at a supervision node and are admitted by a
+// planning-based Spring scheduler — overload is shed by rejecting the
+// alarms that cannot be guaranteed, never by missing a guaranteed one.
+// Accepted alarms are disseminated to all operator consoles through the
+// totally-ordered reliable broadcast, and the alarm log is replicated
+// passively with automatic failover when the logger's primary node crashes.
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "sched/spring.hpp"
+#include "services/fault_detector.hpp"
+#include "services/reliable_comm.hpp"
+#include "services/replication.hpp"
+
+using namespace hades;
+using namespace hades::literals;
+
+int main() {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::chorus_like();
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 80_us;
+  core::system sys(4, cfg);
+
+  // Alarm-handling tasks on node 0 (three severities; tight deadlines).
+  auto pol = std::make_shared<sched::spring_policy>();
+  sys.attach_policy(0, pol);
+  struct alarm_class {
+    const char* name;
+    duration work;
+    duration deadline;
+    task_id id = invalid_task;
+  };
+  alarm_class classes[] = {{"alarm_critical", 2_ms, 6_ms},
+                           {"alarm_major", 3_ms, 15_ms},
+                           {"alarm_minor", 4_ms, 40_ms}};
+  for (auto& c : classes) {
+    core::task_builder b(c.name);
+    b.deadline(c.deadline).law(core::arrival_law::aperiodic());
+    b.add_code_eu(c.name, 0, c.work);
+    c.id = sys.register_task(b.build());
+  }
+
+  // Operator consoles: totally ordered alarm dissemination.
+  svc::reliable_broadcast::params bp;
+  bp.total_order = true;
+  bp.stability_delay = 2_ms;
+  svc::reliable_broadcast consoles(sys, bp);
+
+  // Passively replicated alarm log on nodes 1..3.
+  svc::fault_detector fd(sys, {10_ms, 25_ms});
+  fd.start();
+  svc::replicated_service log(sys, fd,
+                              {svc::replication_style::passive, {1, 2, 3}});
+
+  // Alarm burst generator: random bursts over 2 seconds. Each accepted
+  // alarm is broadcast to the consoles and appended to the replicated log.
+  rng r(2026);
+  int submitted = 0;
+  for (time_point t = time_point::at(1_ms); t < time_point::at(2_s);
+       t += duration::microseconds(r.uniform_int(1'000, 7'000))) {
+    const std::size_t cls = static_cast<std::size_t>(r.uniform_int(0, 2));
+    ++submitted;
+    sys.engine().at(t, [&sys, &consoles, &log, id = classes[cls].id, t] {
+      if (sys.activate(id)) {
+        consoles.broadcast(0, t.nanoseconds());
+        log.submit(0, 1);
+      }
+    });
+  }
+
+  // Crash the log primary mid-run; failover must keep the log growing.
+  sys.engine().at(time_point::at(900_ms), [&] { sys.crash_node(1); });
+
+  sys.run_for(2500_ms);
+
+  std::printf("Plant supervision demo — 2.5s simulated, 4 nodes\n\n");
+  std::printf("alarm load: %d bursts submitted\n", submitted);
+  std::printf("Spring admission: accepted=%llu rejected=%llu\n",
+              static_cast<unsigned long long>(pol->accepted()),
+              static_cast<unsigned long long>(pol->rejected()));
+  std::printf("guaranteed alarms missing deadlines: %zu (must be 0)\n",
+              sys.mon().count(core::monitor_event_kind::deadline_miss));
+  for (const auto& c : classes)
+    std::printf("  %-16s completions=%llu rejections=%llu\n", c.name,
+                static_cast<unsigned long long>(
+                    sys.stats_for(c.id).completions),
+                static_cast<unsigned long long>(
+                    sys.stats_for(c.id).rejections));
+  std::printf("\nconsole deliveries (node 2): %zu, identical order on every "
+              "console: %s\n",
+              consoles.delivery_log(2).size(),
+              consoles.delivery_log(2) == consoles.delivery_log(3) ? "yes"
+                                                                   : "NO");
+  std::printf("alarm log primary after failover: node %u, entries=%lld\n",
+              log.current_primary(),
+              static_cast<long long>(
+                  log.replica_state(log.current_primary()).accumulator));
+  return 0;
+}

@@ -1,0 +1,749 @@
+#include "core/dispatcher.hpp"
+
+#include <algorithm>
+
+#include "core/system.hpp"
+
+namespace hades::core {
+
+// ---------------------------------------------------------------- context --
+
+time_point execution_context::now() const { return sys_->now(); }
+
+duration execution_context::local_clock() const {
+  return sys_->clock(node_).read();
+}
+
+void execution_context::set_condition(condition_id c) {
+  sys_->set_condition(c);
+}
+
+void execution_context::clear_condition(condition_id c) {
+  sys_->clear_condition(c);
+}
+
+void execution_context::send(node_id dst, int channel, std::any payload,
+                             std::size_t size_bytes) {
+  sys_->net(node_).send(dst, channel, std::move(payload), size_bytes);
+}
+
+std::any& execution_context::task_state() { return sys_->task_state(task_); }
+
+// -------------------------------------------------------------- dispatcher --
+
+dispatcher::dispatcher(system& sys, sim::engine& eng, node_id node,
+                       processor& cpu, net_task& net, monitor& mon,
+                       const cost_model& costs, sim::trace_recorder* trace)
+    : sys_(&sys),
+      eng_(&eng),
+      node_(node),
+      cpu_(&cpu),
+      net_(&net),
+      mon_(&mon),
+      costs_(costs),
+      trace_(trace) {
+  net_->on_channel(control_channel, [this](const sim::message& m) {
+    const auto* tok = std::any_cast<control_token>(&m.payload);
+    require(tok != nullptr, "dispatcher: malformed control token");
+    if (tok->k == control_token::kind::shard_complete) {
+      sys_->on_shard_complete(tok->task, tok->instance, m.src);
+    } else {
+      on_token(*tok);
+    }
+  });
+}
+
+dispatcher::~dispatcher() {
+  if (sched_thread_ != invalid_kthread && cpu_->exists(sched_thread_))
+    cpu_->destroy(sched_thread_);
+}
+
+void dispatcher::record_trace(sim::trace_kind k, const std::string& subject,
+                              std::string detail) {
+  if (trace_ != nullptr)
+    trace_->record(eng_->now(), node_, k, subject, std::move(detail));
+}
+
+node_id dispatcher::eu_node(const task_graph& g, eu_index i) const {
+  if (const auto* c = g.as_code(i)) return c->processor;
+  return g.home_node();  // Inv_EUs are anchored at the home node
+}
+
+void dispatcher::attach_policy(std::shared_ptr<policy> p) {
+  require(policy_ == nullptr, "dispatcher: a policy is already attached");
+  policy_ = std::move(p);
+  sched_thread_ =
+      cpu_->create("sched:" + policy_->name() + "@" + std::to_string(node_),
+                   prio::scheduler, prio::scheduler, duration::zero(),
+                   [this] { scheduler_step(); });
+  policy_->attach(*this);
+}
+
+// ----------------------------------------------------------- shard lifecycle
+
+void dispatcher::create_shard(const task_graph& g, instance_number k,
+                              time_point at) {
+  if (halted_) return;
+  const shard_key key{g.id(), k};
+  require(!shards_.contains(key), "dispatcher: duplicate shard");
+
+  shard s;
+  s.graph = &g;
+  s.instance = k;
+  s.activation = at;
+
+  for (eu_index i = 0; i < g.eu_count(); ++i) {
+    const bool local = eu_node(g, i) == node_;
+    if (!local) continue;
+    eu_rt eu;
+    eu.idx = i;
+    eu.code = g.as_code(i);
+    eu.inv = g.as_inv(i);
+    eu.preds_total = g.preds(i).size();
+    eu.earliest_abs =
+        eu.code ? at + eu.code->attrs.earliest_offset : at;
+    s.eus.emplace(i, std::move(eu));
+    ++s.pending;
+  }
+  if (s.eus.empty()) {
+    // Involved with no local EU should not happen (system computes the
+    // involved set from the graph), but a complete-on-creation shard must
+    // still report completion.
+    sys_->on_shard_complete(g.id(), k, node_);
+    return;
+  }
+
+  auto [it, inserted] = shards_.emplace(key, std::move(s));
+  shard& sh = it->second;
+  ++stats_.shards_created;
+
+  // Create one kernel thread per local Code_EU (paper 3.2.1) and notify the
+  // scheduler of every activation.
+  for (auto& [idx, eu] : sh.eus) {
+    if (eu.code == nullptr) continue;
+    const code_eu& c = *eu.code;
+
+    eu.actual = c.actual
+                    ? std::clamp(c.actual(k), duration::zero(), c.wcet)
+                    : c.wcet;
+    eu.pt_boost = c.attrs.preemption_threshold - c.attrs.prio;
+
+    // Fold the dispatcher activities this unit will cause into its demand
+    // (section 4.1): action start/end plus one c_local / c_rel per outgoing
+    // precedence constraint.
+    duration work = costs_.c_act_start + eu.actual + costs_.c_act_end;
+    for (eu_index succ : g.succs(idx))
+      work += (eu_node(g, succ) == node_) ? costs_.c_local : costs_.c_rel;
+
+    eu.thread = cpu_->create(c.name + "#" + std::to_string(k), c.attrs.prio,
+                             c.attrs.preemption_threshold, work,
+                             [this, key, idx] { eu_complete(key, idx); });
+    by_thread_[eu.thread] = eu_ref{key, idx};
+
+    eu.info.task = g.id();
+    eu.info.task_name = g.name();
+    eu.info.instance = k;
+    eu.info.eu = idx;
+    eu.info.eu_name = c.name;
+    eu.info.node = node_;
+    eu.info.activation = at;
+    eu.info.absolute_deadline = at + g.deadline();
+    eu.info.relative_deadline = g.deadline();
+    eu.info.period = g.law().period;
+    eu.info.wcet = c.wcet;
+    eu.info.resources = c.resources;
+    eu.info.static_priority = c.attrs.prio;
+
+    // Start-gating policies decide on every activation (the scheduler will
+    // release or hold the unit through the primitive while handling Atv).
+    if (policy_ != nullptr && policy_->gates_activation())
+      eu.protocol_held = true;
+
+    emit(notification_kind::atv, eu);
+
+    // Latest-start monitoring (and, through it, suspected network
+    // omissions: a remote precedence that still has not arrived when the
+    // consumer must start).
+    if (!c.attrs.latest_offset.is_infinite()) {
+      const time_point latest = at + c.attrs.latest_offset;
+      eu.latest_timer = eng_->at(latest, [this, key, idx] {
+        shard* sp = find_shard(key);
+        if (sp == nullptr) return;
+        auto& e = sp->eus.at(idx);
+        e.latest_timer = sim::invalid_event;
+        if (e.st == eu_state::done) return;
+        if (cpu_->exists(e.thread) && cpu_->has_started(e.thread)) return;
+        monitor_event ev;
+        ev.kind = monitor_event_kind::latest_start_violation;
+        ev.at = eng_->now();
+        ev.node = node_;
+        ev.task = key.first;
+        ev.instance = key.second;
+        ev.subject = e.info.eu_name;
+        mon_->record(ev);
+        // Missing *remote* predecessors at this point are the signature of
+        // a network omission (paper 3.2.1 event v).
+        for (eu_index p : sp->graph->preds(idx)) {
+          if (e.preds_done.contains(p)) continue;
+          if (eu_node(*sp->graph, p) == node_) continue;
+          monitor_event om;
+          om.kind = monitor_event_kind::network_omission_suspected;
+          om.at = eng_->now();
+          om.node = node_;
+          om.task = key.first;
+          om.instance = key.second;
+          om.subject = e.info.eu_name;
+          om.detail = "remote precedence from '" +
+                      sp->graph->eu_name(p) + "' missing";
+          mon_->record(om);
+        }
+      });
+    }
+  }
+
+  // Sources may be immediately eligible. Evaluation can cascade through
+  // async invocations up to erasing this very shard, so walk a snapshot of
+  // indices and re-find the shard at every step.
+  std::vector<eu_index> indices;
+  indices.reserve(sh.eus.size());
+  for (const auto& [idx, eu] : sh.eus) indices.push_back(idx);
+  for (eu_index idx : indices) {
+    shard* sp = find_shard(key);
+    if (sp == nullptr) break;
+    auto eit = sp->eus.find(idx);
+    if (eit != sp->eus.end()) evaluate(*sp, eit->second);
+  }
+}
+
+void dispatcher::cancel_timers(eu_rt& eu) {
+  if (eu.earliest_timer != sim::invalid_event) {
+    eng_->cancel(eu.earliest_timer);
+    eu.earliest_timer = sim::invalid_event;
+  }
+  if (eu.latest_timer != sim::invalid_event) {
+    eng_->cancel(eu.latest_timer);
+    eu.latest_timer = sim::invalid_event;
+  }
+}
+
+void dispatcher::drop_waiter_refs(const shard_key& key) {
+  std::erase_if(resource_waiters_,
+                [&](const eu_ref& r) { return r.key == key; });
+  for (auto& [c, refs] : cond_waiters_)
+    std::erase_if(refs, [&](const eu_ref& r) { return r.key == key; });
+}
+
+void dispatcher::abort_shard(task_id t, instance_number k,
+                             const std::string& reason) {
+  const shard_key key{t, k};
+  shard* s = find_shard(key);
+  if (s == nullptr) return;
+  s->aborted = true;
+
+  for (auto& [idx, eu] : s->eus) {
+    cancel_timers(eu);
+    if (eu.code == nullptr || eu.st == eu_state::done) continue;
+    if (!cpu_->exists(eu.thread)) continue;
+    const bool started = cpu_->has_started(eu.thread);
+    if (started) {
+      // Orphan execution (paper 3.2.1 event iii): the thread had consumed
+      // CPU on behalf of an instance that no longer exists.
+      monitor_event ev;
+      ev.kind = monitor_event_kind::orphan_killed;
+      ev.at = eng_->now();
+      ev.node = node_;
+      ev.task = t;
+      ev.instance = k;
+      ev.subject = eu.info.eu_name;
+      ev.detail = reason;
+      mon_->record(ev);
+      record_trace(sim::trace_kind::thread_killed, cpu_->name(eu.thread),
+                   reason);
+    }
+    if (eu.resources_granted) {
+      release_resources(*s, eu);
+      emit(notification_kind::rre, eu);
+    }
+    emit(notification_kind::trm, eu);  // let the policy clean up its state
+    by_thread_.erase(eu.thread);
+    cpu_->destroy(eu.thread);
+  }
+  drop_waiter_refs(key);
+  shards_.erase(key);
+  record_trace(sim::trace_kind::instance_aborted,
+               "task" + std::to_string(t) + "#" + std::to_string(k), reason);
+  reevaluate_resource_waiters();
+}
+
+void dispatcher::halt() {
+  if (halted_) return;
+  halted_ = true;
+  for (auto& [key, s] : shards_) {
+    for (auto& [idx, eu] : s.eus) {
+      cancel_timers(eu);
+      if (eu.code != nullptr && cpu_->exists(eu.thread))
+        cpu_->destroy(eu.thread);
+    }
+  }
+  shards_.clear();
+  by_thread_.clear();
+  resource_waiters_.clear();
+  cond_waiters_.clear();
+  resources_.clear();
+  fifo_.clear();
+  if (sched_thread_ != invalid_kthread && cpu_->exists(sched_thread_)) {
+    cpu_->destroy(sched_thread_);
+    sched_thread_ = invalid_kthread;
+  }
+  net_->halt();
+}
+
+// ------------------------------------------------------- readiness machinery
+
+dispatcher::shard* dispatcher::find_shard(shard_key k) {
+  auto it = shards_.find(k);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+dispatcher::eu_rt* dispatcher::find_eu(const eu_ref& r) {
+  shard* s = find_shard(r.key);
+  if (s == nullptr) return nullptr;
+  auto it = s->eus.find(r.idx);
+  return it == s->eus.end() ? nullptr : &it->second;
+}
+
+dispatcher::eu_rt* dispatcher::find_by_thread(kthread_id t) {
+  auto it = by_thread_.find(t);
+  if (it == by_thread_.end()) return nullptr;
+  return find_eu(it->second);
+}
+
+bool dispatcher::conds_satisfied(shard& s, eu_rt& eu) {
+  if (eu.code == nullptr) return true;
+  bool ok = true;
+  for (condition_id c : eu.code->waits_all) {
+    if (sys_->condition(c)) continue;
+    ok = false;
+    auto& refs = cond_waiters_[c];
+    const eu_ref ref{{s.graph->id(), s.instance}, eu.idx};
+    if (std::find(refs.begin(), refs.end(), ref) == refs.end())
+      refs.push_back(ref);
+  }
+  return ok;
+}
+
+bool dispatcher::grantable(const code_eu& c) const {
+  for (const auto& claim : c.resources) {
+    auto it = resources_.find(claim.res);
+    if (it == resources_.end()) continue;
+    const resource_state& rs = it->second;
+    if (claim.mode == access_mode::exclusive) {
+      if (rs.exclusive_held || rs.shared_holders > 0) return false;
+    } else {
+      if (rs.exclusive_held) return false;
+    }
+  }
+  return true;
+}
+
+void dispatcher::grant(shard& s, eu_rt& eu) {
+  for (const auto& claim : eu.code->resources) {
+    resource_state& rs = resources_[claim.res];
+    if (claim.mode == access_mode::exclusive)
+      rs.exclusive_held = true;
+    else
+      ++rs.shared_holders;
+  }
+  eu.resources_granted = true;
+  ++stats_.resource_grants;
+  (void)s;
+}
+
+void dispatcher::release_resources(shard& s, eu_rt& eu) {
+  for (const auto& claim : eu.code->resources) {
+    resource_state& rs = resources_[claim.res];
+    if (claim.mode == access_mode::exclusive)
+      rs.exclusive_held = false;
+    else
+      --rs.shared_holders;
+  }
+  eu.resources_granted = false;
+  (void)s;
+}
+
+void dispatcher::reevaluate_resource_waiters() {
+  if (resource_waiters_.empty()) return;
+  // Serve waiters in priority order (highest current priority first),
+  // falling back to FIFO.
+  std::vector<eu_ref> waiters = resource_waiters_;
+  std::stable_sort(waiters.begin(), waiters.end(),
+                   [this](const eu_ref& a, const eu_ref& b) {
+                     eu_rt* ea = find_eu(a);
+                     eu_rt* eb = find_eu(b);
+                     const priority pa =
+                         ea != nullptr && cpu_->exists(ea->thread)
+                             ? cpu_->get_priority(ea->thread)
+                             : prio::idle;
+                     const priority pb =
+                         eb != nullptr && cpu_->exists(eb->thread)
+                             ? cpu_->get_priority(eb->thread)
+                             : prio::idle;
+                     return pa > pb;
+                   });
+  for (const eu_ref& r : waiters) {
+    eu_rt* eu = find_eu(r);
+    shard* s = find_shard(r.key);
+    if (eu == nullptr || s == nullptr) continue;
+    if (eu->st != eu_state::waiting) continue;
+    evaluate(*s, *eu);
+  }
+}
+
+void dispatcher::evaluate(shard& s, eu_rt& eu) {
+  if (halted_ || s.aborted || eu.st != eu_state::waiting) return;
+  if (eu.protocol_held) return;  // awaiting the policy's verdict
+  if (eu.preds_done.size() < eu.preds_total) return;
+  if (!conds_satisfied(s, eu)) return;
+
+  if (eu.earliest_abs > eng_->now()) {
+    if (!eu.earliest_abs.is_infinite() &&
+        eu.earliest_timer == sim::invalid_event) {
+      const shard_key key{s.graph->id(), s.instance};
+      eu.earliest_timer = eng_->at(eu.earliest_abs, [this, key, i = eu.idx] {
+        shard* sp = find_shard(key);
+        if (sp == nullptr) return;
+        auto it = sp->eus.find(i);
+        if (it == sp->eus.end()) return;
+        it->second.earliest_timer = sim::invalid_event;
+        evaluate(*sp, it->second);
+      });
+    }
+    return;
+  }
+
+  if (eu.inv != nullptr) {
+    fire_invocation(s, eu);
+    return;
+  }
+
+  const code_eu& c = *eu.code;
+  if (!c.resources.empty() && !eu.resources_granted) {
+    const bool gated = policy_ != nullptr && policy_->gates_resources();
+    if (gated && !eu.rac_emitted) {
+      // Request-time Rac: the policy will release (or keep holding) this
+      // unit through the dispatcher primitive (PCP, footnote 2).
+      eu.rac_emitted = true;
+      emit(notification_kind::rac, eu);
+      eu.protocol_held = true;
+      return;
+    }
+    if (!grantable(c)) {
+      const eu_ref ref{{s.graph->id(), s.instance}, eu.idx};
+      if (!eu.in_resource_wait) {
+        eu.in_resource_wait = true;
+        ++stats_.resource_blocks;
+        resource_waiters_.push_back(ref);
+      }
+      return;
+    }
+    grant(s, eu);
+    if (!gated && !eu.rac_emitted) {
+      // Grant-time Rac: ceiling protocols that merely *observe* accesses
+      // (SRP) see exactly the granted sections.
+      eu.rac_emitted = true;
+      emit(notification_kind::rac, eu);
+    }
+  }
+
+  if (eu.in_resource_wait) {
+    eu.in_resource_wait = false;
+    const eu_ref ref{{s.graph->id(), s.instance}, eu.idx};
+    std::erase(resource_waiters_, ref);
+  }
+  eu.st = eu_state::queued;
+  cpu_->make_runnable(eu.thread);
+}
+
+void dispatcher::on_condition_set(condition_id c) {
+  auto it = cond_waiters_.find(c);
+  if (it == cond_waiters_.end()) return;
+  std::vector<eu_ref> refs = std::move(it->second);
+  cond_waiters_.erase(it);
+  for (const eu_ref& r : refs) {
+    shard* s = find_shard(r.key);
+    eu_rt* eu = find_eu(r);
+    if (s != nullptr && eu != nullptr) evaluate(*s, *eu);
+  }
+}
+
+// ------------------------------------------------------------------ execution
+
+void dispatcher::eu_complete(shard_key key, eu_index idx) {
+  shard* sp = find_shard(key);
+  if (sp == nullptr) return;  // aborted while the completion event was queued
+  shard& s = *sp;
+  eu_rt& eu = s.eus.at(idx);
+  eu.st = eu_state::done;
+  --s.pending;
+  ++stats_.eus_completed;
+  cancel_timers(eu);
+
+  // Early-termination detection (paper 3.2.1 event iii).
+  if (eu.actual < eu.code->wcet) {
+    monitor_event ev;
+    ev.kind = monitor_event_kind::early_termination;
+    ev.at = eng_->now();
+    ev.node = node_;
+    ev.task = key.first;
+    ev.instance = key.second;
+    ev.subject = eu.info.eu_name;
+    ev.detail = "actual " + eu.actual.to_string() + " < wcet " +
+                eu.code->wcet.to_string();
+    mon_->record(ev);
+  }
+
+  if (eu.code->body) {
+    execution_context ctx(*sys_, node_, key.first, key.second);
+    eu.code->body(ctx);
+  }
+  for (condition_id c : eu.code->sets) sys_->set_condition(c);
+  for (condition_id c : eu.code->clears) sys_->clear_condition(c);
+
+  if (eu.resources_granted) {
+    release_resources(s, eu);
+    emit(notification_kind::rre, eu);
+    reevaluate_resource_waiters();
+  }
+
+  emit(notification_kind::trm, eu);
+  by_thread_.erase(eu.thread);
+  cpu_->destroy(eu.thread);
+
+  const task_graph& g = *s.graph;  // graphs outlive every shard
+  propagate(key, idx, g);
+
+  if (shard* sp = find_shard(key); sp != nullptr && sp->pending == 0)
+    shard_done(key);
+}
+
+void dispatcher::propagate(shard_key key, eu_index from, const task_graph& g) {
+  for (const precedence& p : g.precedences()) {
+    if (p.from != from) continue;
+    const node_id target = eu_node(g, p.to);
+    if (target == node_) {
+      shard* sp = find_shard(key);
+      if (sp == nullptr) return;  // erased by an earlier cascade
+      auto it = sp->eus.find(p.to);
+      if (it != sp->eus.end() && it->second.preds_done.insert(p.from).second)
+        evaluate(*sp, it->second);
+    } else {
+      control_token tok;
+      tok.k = control_token::kind::precedence;
+      tok.task = key.first;
+      tok.instance = key.second;
+      tok.from = p.from;
+      tok.to = p.to;
+      net_->send(target, control_channel, tok,
+                 std::max<std::size_t>(p.payload_bytes, 32));
+    }
+  }
+}
+
+void dispatcher::on_token(const control_token& tok) {
+  if (halted_) return;
+  switch (tok.k) {
+    case control_token::kind::precedence: {
+      shard* s = find_shard({tok.task, tok.instance});
+      if (s == nullptr) return;
+      auto it = s->eus.find(tok.to);
+      if (it == s->eus.end()) return;
+      eu_rt& eu = it->second;
+      if (eu.preds_done.insert(tok.from).second) evaluate(*s, eu);
+      return;
+    }
+    case control_token::kind::sync_return:
+      on_sync_return(tok.task, tok.instance, tok.to);
+      return;
+    case control_token::kind::shard_complete:
+      return;  // handled at the channel layer (needs the source node)
+  }
+}
+
+void dispatcher::fire_invocation(shard& s, eu_rt& eu) {
+  const inv_eu& inv = *eu.inv;
+  system::activation_origin origin;
+  origin.k = system::activation_origin::kind::invocation;
+  const shard_key key{s.graph->id(), s.instance};
+  if (inv.kind == invocation_kind::synchronous) {
+    origin.waiter_node = node_;
+    origin.waiter_task = key.first;
+    origin.waiter_instance = key.second;
+    origin.waiter_inv = eu.idx;
+  }
+  const auto child = sys_->activate_internal(inv.target, origin);
+  if (inv.kind == invocation_kind::synchronous && child.has_value()) {
+    eu.st = eu_state::inv_waiting;
+    eu.sync_child_instance = *child;
+    return;
+  }
+  // Asynchronous, or the activation was rejected: the unit is finished
+  // (a rejected invocation is observable through monitor events).
+  finish_inv({s.graph->id(), s.instance}, eu.idx);
+}
+
+void dispatcher::finish_inv(shard_key key, eu_index idx) {
+  shard* sp = find_shard(key);
+  if (sp == nullptr) return;
+  auto it = sp->eus.find(idx);
+  if (it == sp->eus.end()) return;
+  it->second.st = eu_state::done;
+  --sp->pending;
+  const task_graph& g = *sp->graph;
+  propagate(key, idx, g);
+  if (shard* again = find_shard(key); again != nullptr && again->pending == 0)
+    shard_done(key);
+}
+
+void dispatcher::on_sync_return(task_id t, instance_number k, eu_index inv) {
+  shard* s = find_shard({t, k});
+  if (s == nullptr) return;
+  auto it = s->eus.find(inv);
+  if (it == s->eus.end()) return;
+  if (it->second.st != eu_state::inv_waiting) return;
+  finish_inv({t, k}, inv);
+}
+
+void dispatcher::shard_done(shard_key key) {
+  shard* s = find_shard(key);
+  require(s != nullptr, "shard_done: missing shard");
+  const node_id home = s->graph->home_node();
+  drop_waiter_refs(key);
+  shards_.erase(key);
+  if (home == node_) {
+    sys_->on_shard_complete(key.first, key.second, node_);
+  } else {
+    control_token tok;
+    tok.k = control_token::kind::shard_complete;
+    tok.task = key.first;
+    tok.instance = key.second;
+    net_->send(home, control_channel, tok, 32);
+  }
+}
+
+// --------------------------------------------------------------- scheduler --
+
+void dispatcher::emit(notification_kind kind, const eu_rt& eu) {
+  ++stats_.notifications;
+  record_trace(sim::trace_kind::notification,
+               eu.info.eu_name + "#" + std::to_string(eu.info.instance),
+               to_string(kind));
+  if (policy_ == nullptr) return;
+  notification n;
+  n.kind = kind;
+  n.thread = eu.thread;
+  n.info = eu.info;
+  n.at = eng_->now();
+  fifo_.push_back(std::move(n));
+  pump_scheduler();
+}
+
+void dispatcher::pump_scheduler() {
+  if (policy_ == nullptr || sched_busy_ || fifo_.empty() || halted_) return;
+  sched_busy_ = true;
+  cpu_->add_work(sched_thread_, costs_.scheduler_per_event);
+  cpu_->make_runnable(sched_thread_);
+}
+
+void dispatcher::scheduler_step() {
+  require(!fifo_.empty(), "scheduler ran with an empty FIFO");
+  const notification n = std::move(fifo_.front());
+  fifo_.pop_front();
+  ++stats_.scheduler_runs;
+  policy_->handle(n, *this);
+  sched_busy_ = false;
+  pump_scheduler();
+}
+
+// ------------------------------------------------- scheduler_context (API) --
+
+time_point dispatcher::now() const { return eng_->now(); }
+
+void dispatcher::set_priority(kthread_id t, priority p) {
+  eu_rt* eu = find_by_thread(t);
+  if (eu == nullptr || !cpu_->exists(t)) return;  // terminated meanwhile
+  record_trace(sim::trace_kind::priority_change, cpu_->name(t),
+               std::to_string(p));
+  cpu_->set_priority(t, p);
+  cpu_->set_threshold(t, p + eu->pt_boost);
+}
+
+void dispatcher::set_earliest(kthread_id t, time_point earliest) {
+  eu_rt* eu = find_by_thread(t);
+  if (eu == nullptr) return;
+  if (eu->st != eu_state::waiting) return;  // only pre-start, per the paper
+  record_trace(sim::trace_kind::earliest_change, cpu_->name(t),
+               earliest.to_string());
+  eu->earliest_abs = earliest;
+  eu->protocol_held = false;
+  if (eu->earliest_timer != sim::invalid_event) {
+    eng_->cancel(eu->earliest_timer);
+    eu->earliest_timer = sim::invalid_event;
+  }
+  auto it = by_thread_.find(t);
+  shard* s = find_shard(it->second.key);
+  if (s != nullptr) evaluate(*s, *eu);
+}
+
+const eu_info& dispatcher::info(kthread_id t) const {
+  auto it = by_thread_.find(t);
+  require(it != by_thread_.end(), "dispatcher::info: unknown thread");
+  auto* self = const_cast<dispatcher*>(this);
+  eu_rt* eu = self->find_eu(it->second);
+  require(eu != nullptr, "dispatcher::info: stale thread");
+  return eu->info;
+}
+
+bool dispatcher::alive(kthread_id t) const {
+  auto it = by_thread_.find(t);
+  if (it == by_thread_.end()) return false;
+  auto* self = const_cast<dispatcher*>(this);
+  eu_rt* eu = self->find_eu(it->second);
+  return eu != nullptr && eu->st != eu_state::done;
+}
+
+void dispatcher::reject_instance(kthread_id t, const std::string& reason) {
+  auto it = by_thread_.find(t);
+  if (it == by_thread_.end()) return;
+  const shard_key key = it->second.key;
+  sys_->abort_instance(key.first, key.second, reason, /*as_rejection=*/true);
+}
+
+// ------------------------------------------------------------- observability
+
+std::vector<dispatcher::waiting_eu> dispatcher::waiting_eus() const {
+  std::vector<waiting_eu> out;
+  for (const auto& [key, s] : shards_) {
+    for (const auto& [idx, eu] : s.eus) {
+      if (eu.st != eu_state::waiting && eu.st != eu_state::inv_waiting)
+        continue;
+      waiting_eu w;
+      w.task = key.first;
+      w.instance = key.second;
+      w.eu = idx;
+      for (eu_index p : s.graph->preds(idx))
+        if (!eu.preds_done.contains(p)) w.waiting_preds.push_back(p);
+      if (eu.code != nullptr)
+        for (condition_id c : eu.code->waits_all)
+          if (!sys_->condition(c)) w.waiting_conds.push_back(c);
+      if (eu.st == eu_state::inv_waiting) {
+        w.sync_target = eu.inv->target;
+        w.sync_target_instance = eu.sync_child_instance;
+      }
+      w.resource_wait = eu.in_resource_wait || eu.protocol_held;
+      out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+}  // namespace hades::core

@@ -1,0 +1,288 @@
+// The HADES dispatcher (paper sections 3.2.1, 3.2.2 and 4.1).
+//
+// One dispatcher runs per node. It allocates resources (CPU included) to
+// threads — one kernel thread per Code_EU instance — and inserts a thread
+// into the run queue exactly when the paper's four conditions hold:
+//
+//   1. every predecessor (precedence constraint) has finished,
+//   2. all resources the unit claims can be granted,
+//   3. all awaited condition variables are set,
+//   4. the current time has passed the unit's earliest start time.
+//
+// It cooperates with the attached scheduler through the notification FIFO
+// (Atv, Trm, Rac, Rre) and exposes the dispatcher primitive — modify a
+// thread's priority and/or earliest start time — through the
+// `scheduler_context` interface it implements. The scheduler itself
+// executes as a thread at a priority above every application thread, so a
+// queued notification is always processed before any application thread
+// regains the CPU (this is what makes ceiling protocols race-free, see
+// DESIGN.md).
+//
+// The dispatcher also implements the monitoring activities of section
+// 3.2.1: deadline violations are armed by the owning `system`; this module
+// detects latest-start violations, early terminations, orphan executions
+// and suspected network omissions (a remote precedence still missing at
+// its consumer's latest start time).
+//
+// Cost charging (section 4.1): every Code_EU thread's demand is
+//   c_act_start + actual_execution + c_act_end
+//   + (#outgoing local precedences) * c_local
+//   + (#outgoing remote precedences) * c_rel
+// and instance activation / completion cost c_inv_start / c_inv_end in
+// kernel (interrupt) context on the home node — mirroring exactly the
+// terms the cost-integrated feasibility test accounts for.
+#pragma once
+
+#include <any>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/monitor.hpp"
+#include "core/net_task.hpp"
+#include "core/processor.hpp"
+#include "core/scheduling.hpp"
+#include "core/task_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace hades::core {
+
+class system;
+class dispatcher;
+
+/// Control tokens exchanged between dispatchers on channel 0.
+struct control_token {
+  enum class kind { precedence, shard_complete, sync_return };
+  kind k = kind::precedence;
+  task_id task = invalid_task;
+  instance_number instance = 0;
+  eu_index from = 0;
+  eu_index to = 0;
+};
+
+inline constexpr int control_channel = 0;
+
+/// Handed to Code_EU bodies when they complete: the window through which
+/// application code interacts with HADES.
+class execution_context {
+ public:
+  execution_context(system& sys, node_id node, task_id task,
+                    instance_number instance)
+      : sys_(&sys), node_(node), task_(task), instance_(instance) {}
+
+  [[nodiscard]] time_point now() const;
+  [[nodiscard]] node_id node() const { return node_; }
+  [[nodiscard]] task_id task() const { return task_; }
+  [[nodiscard]] instance_number instance() const { return instance_; }
+
+  /// Local synchronized-clock reading (hardware clock + adjustments).
+  [[nodiscard]] duration local_clock() const;
+
+  void set_condition(condition_id c);
+  void clear_condition(condition_id c);
+
+  /// Send an application message through this node's net_mngt task.
+  void send(node_id dst, int channel, std::any payload,
+            std::size_t size_bytes = 64);
+
+  /// Mutable per-task state blob (shared by all instances of the task).
+  [[nodiscard]] std::any& task_state();
+
+  [[nodiscard]] system& sys() { return *sys_; }
+
+ private:
+  system* sys_;
+  node_id node_;
+  task_id task_;
+  instance_number instance_;
+};
+
+class dispatcher final : public scheduler_context {
+ public:
+  dispatcher(system& sys, sim::engine& eng, node_id node, processor& cpu,
+             net_task& net, monitor& mon, const cost_model& costs,
+             sim::trace_recorder* trace);
+  ~dispatcher() override;
+  dispatcher(const dispatcher&) = delete;
+  dispatcher& operator=(const dispatcher&) = delete;
+
+  [[nodiscard]] node_id node() const { return node_; }
+
+  // --- scheduler attachment (paper 3.2.2) --------------------------------
+  void attach_policy(std::shared_ptr<policy> p);
+  [[nodiscard]] policy* attached_policy() { return policy_.get(); }
+
+  // --- shard lifecycle (driven by the owning system) ----------------------
+  /// Create the local portion of instance (task, k) activated at `at`:
+  /// threads for the local Code_EUs (emitting Atv), bookkeeping for
+  /// locally-anchored Inv_EUs, and latest-start monitors.
+  void create_shard(const task_graph& g, instance_number k, time_point at);
+
+  /// Abort the local shard: kill threads (recording orphan events for
+  /// threads that had started), drop waiters, release resources.
+  void abort_shard(task_id t, instance_number k, const std::string& reason);
+
+  [[nodiscard]] bool has_shard(task_id t, instance_number k) const {
+    return shards_.contains({t, k});
+  }
+
+  /// Condition variable `c` became set system-wide: re-evaluate waiters.
+  void on_condition_set(condition_id c);
+
+  /// A synchronous invocation made by (t, k, inv) returned.
+  void on_sync_return(task_id t, instance_number k, eu_index inv);
+
+  /// Node crash: stop everything silently (the rest of the system only
+  /// observes it through missing messages and missed deadlines).
+  void halt();
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  // --- scheduler_context (the dispatcher primitive) ------------------------
+  [[nodiscard]] time_point now() const override;
+  void set_priority(kthread_id t, priority p) override;
+  void set_earliest(kthread_id t, time_point earliest) override;
+  [[nodiscard]] const eu_info& info(kthread_id t) const override;
+  [[nodiscard]] bool alive(kthread_id t) const override;
+  void reject_instance(kthread_id t, const std::string& reason) override;
+
+  // --- observability --------------------------------------------------------
+  struct counters {
+    std::uint64_t shards_created = 0;
+    std::uint64_t eus_completed = 0;
+    std::uint64_t notifications = 0;
+    std::uint64_t scheduler_runs = 0;
+    std::uint64_t resource_grants = 0;
+    std::uint64_t resource_blocks = 0;  // grant attempts that had to wait
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
+  /// Threads of EUs that are currently waiting (any unmet condition), with
+  /// a human-readable blocking reason. Used by the deadlock detector.
+  struct waiting_eu {
+    task_id task;
+    instance_number instance;
+    eu_index eu;
+    std::vector<eu_index> waiting_preds;       // unsatisfied predecessors
+    std::vector<condition_id> waiting_conds;   // unset condition variables
+    std::optional<task_id> sync_target;        // invoked task, if inv-waiting
+    instance_number sync_target_instance = 0;
+    bool resource_wait = false;
+  };
+  [[nodiscard]] std::vector<waiting_eu> waiting_eus() const;
+
+ private:
+  friend class system;
+
+  using shard_key = std::pair<task_id, instance_number>;
+
+  enum class eu_state { waiting, queued, done, inv_waiting };
+
+  struct eu_rt {
+    eu_index idx = 0;
+    const code_eu* code = nullptr;  // null for Inv_EUs
+    const inv_eu* inv = nullptr;
+    kthread_id thread;
+    std::set<eu_index> preds_done;  // tolerates duplicate tokens
+    std::size_t preds_total = 0;
+    instance_number sync_child_instance = 0;
+    eu_state st = eu_state::waiting;
+    bool rac_emitted = false;
+    bool protocol_held = false;      // waiting for the policy's verdict
+    bool resources_granted = false;
+    bool in_resource_wait = false;
+    duration actual = duration::zero();   // resolved actual execution time
+    time_point earliest_abs;
+    sim::event_id earliest_timer = sim::invalid_event;
+    sim::event_id latest_timer = sim::invalid_event;
+    priority pt_boost = 0;           // declared threshold - declared priority
+    eu_info info;
+  };
+
+  struct shard {
+    const task_graph* graph = nullptr;
+    instance_number instance = 0;
+    time_point activation;
+    std::map<eu_index, eu_rt> eus;
+    std::size_t pending = 0;  // local EUs not yet done
+    bool aborted = false;
+  };
+
+  struct resource_state {
+    int shared_holders = 0;
+    bool exclusive_held = false;
+  };
+
+  struct eu_ref {
+    shard_key key;
+    eu_index idx;
+    friend bool operator==(const eu_ref&, const eu_ref&) = default;
+  };
+
+  // lookup helpers
+  shard* find_shard(shard_key k);
+  eu_rt* find_eu(const eu_ref& r);
+  eu_rt* find_by_thread(kthread_id t);
+
+  // readiness machinery
+  void evaluate(shard& s, eu_rt& eu);
+  [[nodiscard]] bool conds_satisfied(shard& s, eu_rt& eu);
+  [[nodiscard]] bool grantable(const code_eu& c) const;
+  void grant(shard& s, eu_rt& eu);
+  void release_resources(shard& s, eu_rt& eu);
+  void reevaluate_resource_waiters();
+
+  // execution
+  // Completion cascades can erase shards (an async Inv_EU sink may finish a
+  // shard from inside a propagation); these stages therefore address shards
+  // by key and re-find them after every step that may cascade.
+  void eu_complete(shard_key key, eu_index idx);
+  void propagate(shard_key key, eu_index from, const task_graph& g);
+  void fire_invocation(shard& s, eu_rt& eu);
+  void finish_inv(shard_key key, eu_index idx);
+  void shard_done(shard_key key);
+
+  // scheduler FIFO
+  void emit(notification_kind kind, const eu_rt& eu);
+  void pump_scheduler();
+  void scheduler_step();
+
+  // tokens
+  void on_token(const control_token& tok);
+
+  void record_trace(sim::trace_kind k, const std::string& subject,
+                    std::string detail = {});
+  void cancel_timers(eu_rt& eu);
+  void drop_waiter_refs(const shard_key& key);
+  [[nodiscard]] node_id eu_node(const task_graph& g, eu_index i) const;
+
+  system* sys_;
+  sim::engine* eng_;
+  node_id node_;
+  processor* cpu_;
+  net_task* net_;
+  monitor* mon_;
+  cost_model costs_;
+  sim::trace_recorder* trace_;
+
+  std::shared_ptr<policy> policy_;
+  kthread_id sched_thread_;
+  bool sched_busy_ = false;
+  std::deque<notification> fifo_;
+
+  std::map<shard_key, shard> shards_;
+  std::map<kthread_id, eu_ref> by_thread_;
+  std::map<resource_id, resource_state> resources_;
+  std::vector<eu_ref> resource_waiters_;
+  std::map<condition_id, std::vector<eu_ref>> cond_waiters_;
+
+  bool halted_ = false;
+  counters stats_;
+};
+
+}  // namespace hades::core

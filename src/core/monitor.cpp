@@ -1,0 +1,22 @@
+#include "core/monitor.hpp"
+
+#include <sstream>
+
+namespace hades::core {
+
+std::string monitor::render() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << e.at.to_string() << "  n";
+    if (e.node == invalid_node)
+      os << '?';
+    else
+      os << e.node;
+    os << "  [" << to_string(e.kind) << "] " << e.subject;
+    if (!e.detail.empty()) os << " : " << e.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hades::core

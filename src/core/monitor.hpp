@@ -1,0 +1,105 @@
+// Monitoring service (paper section 3.2.1).
+//
+// The dispatcher monitors thread execution to detect: (i) deadline
+// violations; (ii) violations of the arrival law of task activation
+// requests; (iii) early thread termination and orphan thread execution;
+// (iv) deadlocks; and (v) network omission failures, observed through
+// remote precedence constraints that fail to arrive by the latest start
+// time of their consumer. The paper notes no existing real-time
+// environment implemented all of these — this module does.
+//
+// The monitor itself is an event sink with query helpers; the detectors
+// live in the dispatcher/system, which know the execution state.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace hades::core {
+
+enum class monitor_event_kind {
+  deadline_miss,
+  arrival_law_violation,
+  early_termination,
+  orphan_killed,
+  latest_start_violation,
+  network_omission_suspected,
+  deadlock_suspected,
+  instance_rejected,
+  node_crash,
+};
+
+[[nodiscard]] constexpr const char* to_string(monitor_event_kind k) {
+  switch (k) {
+    case monitor_event_kind::deadline_miss: return "deadline-miss";
+    case monitor_event_kind::arrival_law_violation: return "arrival-law-violation";
+    case monitor_event_kind::early_termination: return "early-termination";
+    case monitor_event_kind::orphan_killed: return "orphan-killed";
+    case monitor_event_kind::latest_start_violation: return "latest-start-violation";
+    case monitor_event_kind::network_omission_suspected: return "network-omission-suspected";
+    case monitor_event_kind::deadlock_suspected: return "deadlock-suspected";
+    case monitor_event_kind::instance_rejected: return "instance-rejected";
+    case monitor_event_kind::node_crash: return "node-crash";
+  }
+  return "?";
+}
+
+struct monitor_event {
+  monitor_event_kind kind = monitor_event_kind::deadline_miss;
+  time_point at;
+  node_id node = invalid_node;
+  task_id task = invalid_task;
+  instance_number instance = 0;
+  std::string subject;
+  std::string detail;
+};
+
+class monitor {
+ public:
+  using listener = std::function<void(const monitor_event&)>;
+
+  void record(monitor_event e) {
+    events_.push_back(std::move(e));
+    for (const auto& l : listeners_) l(events_.back());
+  }
+
+  /// Subscribe to every future event (used by mode managers / tests).
+  void subscribe(listener l) { listeners_.push_back(std::move(l)); }
+
+  [[nodiscard]] const std::vector<monitor_event>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::vector<monitor_event> of_kind(monitor_event_kind k) const {
+    std::vector<monitor_event> out;
+    for (const auto& e : events_)
+      if (e.kind == k) out.push_back(e);
+    return out;
+  }
+  [[nodiscard]] std::size_t count(monitor_event_kind k) const {
+    std::size_t n = 0;
+    for (const auto& e : events_)
+      if (e.kind == k) ++n;
+    return n;
+  }
+  [[nodiscard]] std::size_t count_for_task(monitor_event_kind k,
+                                           task_id t) const {
+    std::size_t n = 0;
+    for (const auto& e : events_)
+      if (e.kind == k && e.task == t) ++n;
+    return n;
+  }
+  void clear() { events_.clear(); }
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<monitor_event> events_;
+  std::vector<listener> listeners_;
+};
+
+}  // namespace hades::core

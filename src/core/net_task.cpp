@@ -1,0 +1,75 @@
+#include "core/net_task.hpp"
+
+namespace hades::core {
+
+net_task::net_task(sim::engine& eng, processor& cpu, sim::network& net,
+                   node_id node, const cost_model& costs, priority prio)
+    : eng_(&eng), cpu_(&cpu), net_(&net), node_(node), costs_(costs) {
+  thread_ = cpu_->create("net_mngt@" + std::to_string(node), prio, prio,
+                         duration::zero(), [this] { transmit_head(); });
+  net_->attach(node_, [this](const sim::message& m) { on_frame(m); });
+}
+
+net_task::~net_task() {
+  if (net_->attached(node_)) net_->detach(node_);
+  if (cpu_->exists(thread_)) cpu_->destroy(thread_);
+}
+
+void net_task::send(node_id dst, int channel, std::any payload,
+                    std::size_t size_bytes) {
+  if (halted_) return;
+  queue_.push_back({dst, channel, std::move(payload), size_bytes});
+  pump();
+}
+
+void net_task::send_all(int channel, const std::any& payload,
+                        std::size_t size_bytes) {
+  for (node_id n : net_->attached_nodes()) {
+    if (n == node_) continue;
+    send(n, channel, payload, size_bytes);
+  }
+}
+
+void net_task::on_channel(int channel, channel_handler h) {
+  channels_[channel] = std::move(h);
+}
+
+void net_task::pump() {
+  if (halted_ || thread_busy_ || queue_.empty()) return;
+  thread_busy_ = true;
+  cpu_->add_work(thread_, costs_.net_task_per_msg);
+  cpu_->make_runnable(thread_);
+}
+
+void net_task::transmit_head() {
+  thread_busy_ = false;
+  if (halted_ || queue_.empty()) return;
+  outbound out = std::move(queue_.front());
+  queue_.pop_front();
+  ++sent_;
+  net_->unicast(node_, out.dst, out.channel, std::move(out.payload),
+                out.size_bytes);
+  pump();
+}
+
+void net_task::on_frame(const sim::message& m) {
+  if (halted_) return;
+  // The ATM-card interrupt handler (w_net at interrupt priority) runs
+  // first; the frame is demultiplexed when the handler completes.
+  cpu_->post_interrupt("nic@" + std::to_string(node_), costs_.w_net,
+                       [this, m] {
+                         if (halted_) return;
+                         ++received_;
+                         auto it = channels_.find(m.channel);
+                         if (it != channels_.end() && it->second) it->second(m);
+                       });
+}
+
+void net_task::halt() {
+  halted_ = true;
+  queue_.clear();
+  net_->detach(node_);
+  if (cpu_->exists(thread_)) cpu_->suspend(thread_);
+}
+
+}  // namespace hades::core

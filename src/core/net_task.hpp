@@ -1,0 +1,85 @@
+// The network-management task (paper section 3.1).
+//
+// Remote precedence constraints "model the invocation of a task net_mngt
+// implementing the communication protocol of a particular hardware and
+// software configuration". Modelling the network as an independent task
+// lets applications be designed independently of the protocol, and lets the
+// protocol be assigned its own scheduling parameters — here, a kernel
+// thread at a configurable priority that consumes `net_task_per_msg` CPU
+// per outbound message before handing the frame to the wire.
+//
+// Inbound frames cost `w_net` in interrupt context (the ATM-card handler of
+// paper section 4.2) before being demultiplexed to the registered channel
+// handler. Dispatchers use channel 0 for control tokens; services register
+// their own channels.
+#pragma once
+
+#include <any>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "core/cost_model.hpp"
+#include "core/processor.hpp"
+#include "sim/network.hpp"
+#include "util/types.hpp"
+
+namespace hades::core {
+
+class net_task {
+ public:
+  using channel_handler = std::function<void(const sim::message&)>;
+
+  net_task(sim::engine& eng, processor& cpu, sim::network& net, node_id node,
+           const cost_model& costs, priority prio = prio::net_task);
+  ~net_task();
+  net_task(const net_task&) = delete;
+  net_task& operator=(const net_task&) = delete;
+
+  /// Queue a message for transmission through the protocol task.
+  void send(node_id dst, int channel, std::any payload,
+            std::size_t size_bytes = 64);
+
+  /// Send to every attached node except this one.
+  void send_all(int channel, const std::any& payload,
+                std::size_t size_bytes = 64);
+
+  /// Register the consumer of one inbound channel.
+  void on_channel(int channel, channel_handler h);
+
+  /// Stop processing (node crash): pending messages are dropped and inbound
+  /// frames ignored.
+  void halt();
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  [[nodiscard]] node_id node() const { return node_; }
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  struct outbound {
+    node_id dst;
+    int channel;
+    std::any payload;
+    std::size_t size_bytes;
+  };
+
+  void pump();              // ensure the protocol thread is working
+  void transmit_head();     // thread completion: put the head on the wire
+  void on_frame(const sim::message& m);
+
+  sim::engine* eng_;
+  processor* cpu_;
+  sim::network* net_;
+  node_id node_;
+  cost_model costs_;
+  kthread_id thread_;
+  bool thread_busy_ = false;
+  bool halted_ = false;
+  std::deque<outbound> queue_;
+  std::map<int, channel_handler> channels_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace hades::core

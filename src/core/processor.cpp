@@ -1,0 +1,281 @@
+#include "core/processor.hpp"
+
+#include <algorithm>
+
+namespace hades::core {
+
+namespace {
+constexpr duration zero = duration::zero();
+}
+
+processor::thread& processor::get(kthread_id t) {
+  auto it = threads_.find(t);
+  require(it != threads_.end(),
+          "processor: unknown thread #" + std::to_string(t.value));
+  return it->second;
+}
+
+const processor::thread& processor::get(kthread_id t) const {
+  auto it = threads_.find(t);
+  require(it != threads_.end(),
+          "processor: unknown thread #" + std::to_string(t.value));
+  return it->second;
+}
+
+void processor::trace(sim::trace_kind k, const std::string& subject,
+                      std::string detail) {
+  if (trace_ != nullptr)
+    trace_->record(eng_->now(), node_, k, subject, std::move(detail));
+}
+
+kthread_id processor::create(std::string name, priority prio, priority pt,
+                             duration work, completion_fn on_done) {
+  require(!work.is_infinite() && !work.is_negative(),
+          "processor::create: work must be finite and non-negative");
+  const kthread_id id{next_thread_++};
+  thread th;
+  th.name = std::move(name);
+  th.prio = prio;
+  th.pt = std::max(pt, prio);
+  th.remaining = work;
+  th.on_done = std::move(on_done);
+  trace(sim::trace_kind::thread_created, th.name);
+  threads_.emplace(id, std::move(th));
+  return id;
+}
+
+void processor::destroy(kthread_id t) {
+  auto it = threads_.find(t);
+  require(it != threads_.end(), "processor::destroy: unknown thread");
+  if (it->second.st == state::queued || it->second.st == state::running)
+    suspend(t);
+  threads_.erase(t);
+}
+
+void processor::make_runnable(kthread_id t) {
+  thread& th = get(t);
+  require(th.st == state::suspended,
+          "processor::make_runnable: thread '" + th.name +
+              "' is not suspended");
+  th.st = state::queued;
+  th.queue_seq = next_queue_seq_++;
+  queue_.emplace(key_of(th), t);
+  trace(sim::trace_kind::thread_runnable, th.name);
+  reschedule();
+}
+
+void processor::pause_running() {
+  if (running_ == invalid_kthread) return;
+  thread& th = get(running_);
+  if (th.completion == sim::invalid_event) return;  // already paused
+  eng_->cancel(th.completion);
+  th.completion = sim::invalid_event;
+  const duration burst = eng_->now() - th.burst_start;
+  // The first part of a burst is the context-switch overhead; only time past
+  // it consumes the thread's own work.
+  const duration cs = std::min(burst, th.burst_cs);
+  const duration work = burst - cs;
+  th.remaining = std::max(zero, th.remaining - work);
+  th.total_executed += work;
+  stats_.busy += burst;
+}
+
+void processor::requeue(kthread_id t) {
+  pause_running();
+  thread& th = get(t);
+  th.st = state::queued;
+  th.boosted = true;  // started jobs compete at their preemption threshold
+  // Keep the original queue_seq: a preempted thread resumes before
+  // same-priority threads that arrived later.
+  queue_.emplace(key_of(th), t);
+  running_ = invalid_kthread;
+  ++stats_.preemptions;
+  trace(sim::trace_kind::thread_preempted, th.name);
+}
+
+void processor::start_burst(kthread_id t) {
+  thread& th = get(t);
+  if (th.st == state::queued) queue_.erase(key_of(th));
+  th.st = state::running;
+  running_ = t;
+  th.burst_cs = (last_on_cpu_ == t) ? zero : params_.context_switch;
+  if (th.burst_cs > zero) ++stats_.context_switches;
+  last_on_cpu_ = t;
+  th.burst_start = eng_->now();
+  trace(sim::trace_kind::thread_running, th.name);
+  th.completion = eng_->at(eng_->now() + th.burst_cs + th.remaining,
+                           [this, t] { complete(t); });
+}
+
+void processor::complete(kthread_id t) {
+  thread& th = get(t);
+  th.completion = sim::invalid_event;
+  const duration burst = eng_->now() - th.burst_start;
+  stats_.busy += burst;
+  th.total_executed += th.remaining;
+  th.remaining = zero;
+  th.st = state::done;
+  th.boosted = false;
+  running_ = invalid_kthread;
+  trace(sim::trace_kind::thread_done, th.name);
+  // The callback may destroy this thread or create/release others; copy it
+  // out before anything else happens.
+  const completion_fn on_done = th.on_done;
+  if (on_done) on_done();
+  reschedule();
+}
+
+void processor::reschedule() {
+  if (irq_active()) return;
+
+  const bool have_candidate = !queue_.empty();
+  const kthread_id candidate =
+      have_candidate ? queue_.begin()->second : invalid_kthread;
+
+  if (running_ != invalid_kthread) {
+    thread& run = get(running_);
+    if (have_candidate && effective_prio(get(candidate)) > run.pt) {
+      requeue(running_);
+      start_burst(candidate);
+      return;
+    }
+    if (run.completion == sim::invalid_event) {
+      // Paused by an interrupt burst that has now drained: resume.
+      run.burst_cs = zero;  // returning from interrupt, no full switch
+      run.burst_start = eng_->now();
+      trace(sim::trace_kind::thread_running, run.name);
+      run.completion =
+          eng_->at(eng_->now() + run.remaining, [this, t = running_] { complete(t); });
+    }
+    return;
+  }
+
+  if (have_candidate) start_burst(candidate);
+}
+
+void processor::suspend(kthread_id t) {
+  thread& th = get(t);
+  switch (th.st) {
+    case state::running:
+      pause_running();
+      running_ = invalid_kthread;
+      th.st = state::suspended;
+      trace(sim::trace_kind::thread_blocked, th.name);
+      reschedule();
+      return;
+    case state::queued:
+      queue_.erase(key_of(th));
+      th.st = state::suspended;
+      trace(sim::trace_kind::thread_blocked, th.name);
+      return;
+    case state::suspended:
+    case state::done:
+      return;
+  }
+}
+
+void processor::set_priority(kthread_id t, priority prio) {
+  thread& th = get(t);
+  if (th.prio == prio) return;
+  const bool queued = th.st == state::queued;
+  if (queued) queue_.erase(key_of(th));
+  th.prio = prio;
+  th.pt = std::max(th.pt, prio);
+  if (queued) queue_.emplace(key_of(th), t);
+  reschedule();
+}
+
+void processor::set_threshold(kthread_id t, priority pt) {
+  thread& th = get(t);
+  // The threshold participates in the queue key of boosted (preempted)
+  // threads: reposition to keep the key consistent.
+  const bool queued = th.st == state::queued;
+  if (queued) queue_.erase(key_of(th));
+  th.pt = std::max(pt, th.prio);
+  if (queued) queue_.emplace(key_of(th), t);
+  reschedule();
+}
+
+void processor::add_work(kthread_id t, duration extra) {
+  require(!extra.is_negative(), "processor::add_work: negative work");
+  thread& th = get(t);
+  if (th.st == state::running && th.completion != sim::invalid_event) {
+    // Re-baseline the burst, then extend.
+    pause_running();
+    th.remaining += extra;
+    th.st = state::running;  // pause_running does not change state
+    th.burst_cs = zero;
+    th.burst_start = eng_->now();
+    th.completion =
+        eng_->at(eng_->now() + th.remaining, [this, t] { complete(t); });
+    return;
+  }
+  th.remaining += extra;
+  if (th.st == state::done) th.st = state::suspended;  // revivable
+}
+
+void processor::post_interrupt(std::string name, duration wcet,
+                               std::function<void()> body) {
+  require(!wcet.is_negative() && !wcet.is_infinite(),
+          "processor::post_interrupt: bad handler WCET");
+  if (!irq_active()) {
+    irq_busy_until_ = eng_->now();
+    pause_running();  // the incumbent resumes after the burst drains
+  }
+  irq_busy_until_ += wcet;
+  ++stats_.interrupts;
+  stats_.interrupt_time += wcet;
+  stats_.busy += wcet;
+  trace(sim::trace_kind::custom, name, "interrupt");
+
+  eng_->at(irq_busy_until_, [this, body = std::move(body)] {
+    if (body) body();
+    if (!irq_active()) reschedule();
+  });
+}
+
+bool processor::is_runnable(kthread_id t) const {
+  auto it = threads_.find(t);
+  return it != threads_.end() && it->second.st == state::queued;
+}
+
+bool processor::has_started(kthread_id t) const {
+  const thread& th = get(t);
+  if (th.total_executed > zero || th.st == state::done) return true;
+  if (th.st != state::running) return false;
+  // Running: started once past the context-switch part of the burst.
+  return eng_->now() - th.burst_start > th.burst_cs;
+}
+
+duration processor::executed(kthread_id t) const {
+  const thread& th = get(t);
+  duration total = th.total_executed;
+  if (th.st == state::running && th.completion != sim::invalid_event) {
+    const duration burst = eng_->now() - th.burst_start;
+    total += std::max(zero, burst - th.burst_cs);
+  }
+  return total;
+}
+
+duration processor::remaining(kthread_id t) const {
+  const thread& th = get(t);
+  duration rem = th.remaining;
+  if (th.st == state::running && th.completion != sim::invalid_event) {
+    const duration burst = eng_->now() - th.burst_start;
+    rem = std::max(zero, rem - std::max(zero, burst - th.burst_cs));
+  }
+  return rem;
+}
+
+priority processor::get_priority(kthread_id t) const { return get(t).prio; }
+
+const std::string& processor::name(kthread_id t) const { return get(t).name; }
+
+std::vector<kthread_id> processor::run_queue() const {
+  std::vector<kthread_id> out;
+  out.reserve(queue_.size());
+  for (const auto& [k, id] : queue_) out.push_back(id);
+  return out;
+}
+
+}  // namespace hades::core

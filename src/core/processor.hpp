@@ -1,0 +1,158 @@
+// Simulated COTS real-time kernel for one mono-processor node.
+//
+// This stands in for ChorusOS r3 of the paper's prototype (see DESIGN.md).
+// It provides exactly the mechanisms HADES requires from its underlying
+// kernel (paper 2.2.1): priority-based preemptive scheduling of threads,
+// with the preemption-threshold rule of section 3.2.1 — a runnable thread
+// t_i runs iff it has the highest priority among runnable threads, or, once
+// it is the incumbent, no runnable t_j with prio_j > pt_i exists — plus
+// non-preemptible interrupt handling above every thread priority (kernel
+// calls and interrupts have pt = prio_max, paper 3.1.2), and a context
+// switch whose cost is part of the characterized kernel cost model.
+//
+// Execution is modelled in virtual time: a thread owns `remaining` work; a
+// completion event is scheduled while it runs and re-computed whenever it is
+// preempted or paused by an interrupt burst.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace hades::core {
+
+struct kernel_params {
+  duration context_switch = duration::zero();
+};
+
+class processor {
+ public:
+  using completion_fn = std::function<void()>;
+
+  processor(sim::engine& eng, node_id node, kernel_params params,
+            sim::trace_recorder* trace = nullptr)
+      : eng_(&eng), node_(node), params_(params), trace_(trace) {}
+  processor(const processor&) = delete;
+  processor& operator=(const processor&) = delete;
+
+  [[nodiscard]] node_id node() const { return node_; }
+  [[nodiscard]] const kernel_params& params() const { return params_; }
+
+  // --- thread lifecycle --------------------------------------------------
+  /// Create a suspended thread with `work` units of CPU demand.
+  kthread_id create(std::string name, priority prio, priority pt,
+                    duration work, completion_fn on_done);
+  /// Remove a thread entirely. Running/runnable threads are stopped first.
+  void destroy(kthread_id t);
+  /// Insert into the run queue (the dispatcher decided it is eligible).
+  void make_runnable(kthread_id t);
+  /// Remove from the run queue / stop execution; accrued work is kept.
+  void suspend(kthread_id t);
+
+  // --- attribute changes (dispatcher primitive, paper 3.2.2) --------------
+  void set_priority(kthread_id t, priority prio);
+  void set_threshold(kthread_id t, priority pt);
+
+  /// Extend the thread's CPU demand (used to fold dispatcher activity costs
+  /// into the EU that caused them, paper section 4.1).
+  void add_work(kthread_id t, duration extra);
+
+  // --- interrupts ----------------------------------------------------------
+  /// Run a non-preemptible handler of length `wcet` at interrupt priority;
+  /// `body` executes when the handler completes. Back-to-back interrupts
+  /// queue FIFO.
+  void post_interrupt(std::string name, duration wcet,
+                      std::function<void()> body);
+
+  // --- queries -------------------------------------------------------------
+  [[nodiscard]] bool exists(kthread_id t) const { return threads_.contains(t); }
+  [[nodiscard]] kthread_id running() const { return running_; }
+  [[nodiscard]] bool is_runnable(kthread_id t) const;
+  [[nodiscard]] bool is_running(kthread_id t) const { return running_ == t; }
+  [[nodiscard]] bool has_started(kthread_id t) const;
+  [[nodiscard]] duration executed(kthread_id t) const;
+  [[nodiscard]] duration remaining(kthread_id t) const;
+  [[nodiscard]] priority get_priority(kthread_id t) const;
+  [[nodiscard]] const std::string& name(kthread_id t) const;
+
+  struct counters {
+    std::uint64_t context_switches = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t interrupts = 0;
+    duration busy = duration::zero();
+    duration interrupt_time = duration::zero();
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
+  /// Threads currently in the run queue (highest priority first).
+  [[nodiscard]] std::vector<kthread_id> run_queue() const;
+
+ private:
+  enum class state { suspended, queued, running, done };
+
+  struct thread {
+    std::string name;
+    priority prio = prio::min_app;
+    priority pt = prio::min_app;
+    duration remaining = duration::zero();
+    duration total_executed = duration::zero();
+    completion_fn on_done;
+    state st = state::suspended;
+    // A job that has started holds the CPU at its preemption threshold;
+    // while preempted it competes at that boosted level (section 3.2.1).
+    bool boosted = false;
+    std::uint64_t queue_seq = 0;       // FIFO order within a priority level
+    time_point burst_start;            // valid while running
+    duration burst_cs = duration::zero();  // switch overhead of this burst
+    sim::event_id completion = sim::invalid_event;
+  };
+
+  // Run-queue key: higher effective priority first, then FIFO.
+  using queue_key = std::pair<std::int64_t, std::uint64_t>;
+  static priority effective_prio(const thread& th) {
+    return th.boosted ? std::max(th.prio, th.pt) : th.prio;
+  }
+  static queue_key key_of(const thread& th) {
+    return {-static_cast<std::int64_t>(effective_prio(th)), th.queue_seq};
+  }
+
+  thread& get(kthread_id t);
+  const thread& get(kthread_id t) const;
+
+  void pause_running();          // stop the burst, keep state::running intent
+  void requeue(kthread_id t);    // running -> queued (preemption)
+  void start_burst(kthread_id t);
+  void complete(kthread_id t);
+  void reschedule();
+  void trace(sim::trace_kind k, const std::string& subject,
+             std::string detail = {});
+  [[nodiscard]] bool irq_active() const {
+    return eng_->now() < irq_busy_until_;
+  }
+
+  sim::engine* eng_;
+  node_id node_;
+  kernel_params params_;
+  sim::trace_recorder* trace_;
+
+  std::unordered_map<kthread_id, thread> threads_;
+  std::map<queue_key, kthread_id> queue_;
+  kthread_id running_ = invalid_kthread;
+  kthread_id last_on_cpu_ = invalid_kthread;
+  std::uint64_t next_thread_ = 1;
+  std::uint64_t next_queue_seq_ = 1;
+
+  time_point irq_busy_until_ = time_point::zero();
+  counters stats_;
+};
+
+}  // namespace hades::core

@@ -1,0 +1,436 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hades::core {
+
+system::system(std::size_t node_count) : system(node_count, config{}) {}
+
+system::system(std::size_t node_count, config cfg) : cfg_(std::move(cfg)) {
+  validate(node_count > 0, "system: need at least one node");
+  trace_.enable(cfg_.tracing);
+  net_ = std::make_unique<sim::network>(eng_, cfg_.net, cfg_.seed);
+
+  kernel_params kp;
+  kp.context_switch = cfg_.costs.context_switch;
+
+  for (std::size_t n = 0; n < node_count; ++n) {
+    auto ctx = std::make_unique<node_ctx>();
+    ctx->cpu = std::make_unique<processor>(eng_, static_cast<node_id>(n), kp,
+                                           &trace_);
+    const double drift =
+        n < cfg_.clock_drift.size() ? cfg_.clock_drift[n] : 0.0;
+    ctx->clock = std::make_unique<sim::hardware_clock>(eng_, drift);
+    ctx->net = std::make_unique<net_task>(eng_, *ctx->cpu, *net_,
+                                          static_cast<node_id>(n), cfg_.costs);
+    ctx->disp = std::make_unique<dispatcher>(*this, eng_,
+                                             static_cast<node_id>(n),
+                                             *ctx->cpu, *ctx->net, monitor_,
+                                             cfg_.costs, &trace_);
+    nodes_.push_back(std::move(ctx));
+    arm_clock_interrupts(static_cast<node_id>(n));
+  }
+}
+
+system::~system() = default;
+
+void system::arm_clock_interrupts(node_id n) {
+  if (!cfg_.kernel_background) return;
+  if (cfg_.costs.w_clk.is_zero() || cfg_.costs.p_clk.is_infinite()) return;
+  eng_.after(cfg_.costs.p_clk, [this, n] {
+    if (crashed(n)) return;  // a dead node's oscillator interrupts no one
+    cpu(n).post_interrupt("clk@" + std::to_string(n), cfg_.costs.w_clk,
+                          nullptr);
+    arm_clock_interrupts(n);
+  });
+}
+
+// ----------------------------------------------------------- registration --
+
+task_id system::register_task(task_graph g) {
+  for (node_id p : g.processors())
+    validate(p < nodes_.size(),
+             "task '" + g.name() + "' references unknown node " +
+                 std::to_string(p));
+  // Resources are local to one processor (paper 3.1.1): a resource id may
+  // only ever be claimed from a single node.
+  for (eu_index i = 0; i < g.eu_count(); ++i) {
+    const auto* c = g.as_code(i);
+    if (c == nullptr) continue;
+    for (const auto& claim : c->resources) {
+      auto [it, inserted] = resource_home_.emplace(claim.res, c->processor);
+      validate(inserted || it->second == c->processor,
+               "resource " + std::to_string(claim.res) +
+                   " claimed from two different nodes (resources are local)");
+    }
+  }
+  for (eu_index i = 0; i < g.eu_count(); ++i)
+    if (const auto* inv = g.as_inv(i))
+      validate(graphs_.contains(inv->target),
+               "task '" + g.name() + "' invokes unregistered task id " +
+                   std::to_string(inv->target));
+
+  const task_id id = next_task_++;
+  g.id_ = id;
+  auto shared = std::make_shared<const task_graph>(std::move(g));
+  graphs_.emplace(id, shared);
+  next_instance_[id] = 0;
+  if (shared->law().kind == arrival_kind::periodic) arm_periodic(id);
+  return id;
+}
+
+std::vector<task_id> system::tasks() const {
+  std::vector<task_id> out;
+  out.reserve(graphs_.size());
+  for (const auto& [id, g] : graphs_) out.push_back(id);
+  return out;
+}
+
+void system::attach_policy_everywhere(std::shared_ptr<policy> p) {
+  for (std::size_t n = 0; n < nodes_.size(); ++n)
+    disp(static_cast<node_id>(n)).attach_policy(p);
+}
+
+// -------------------------------------------------------------- activation --
+
+void system::arm_periodic(task_id t) {
+  const auto& g = *graphs_.at(t);
+  const time_point first = time_point::zero() + g.law().offset;
+  eng_.at(std::max(first, eng_.now()), [this, t] {
+    activation_origin origin;
+    origin.k = activation_origin::kind::timer;
+    activate_internal(t, origin);
+    // Re-arm for the next period regardless of acceptance.
+    const auto& graph = *graphs_.at(t);
+    eng_.after(graph.law().period, [this, t] { rearm_periodic(t); });
+  });
+}
+
+void system::rearm_periodic(task_id t) {
+  activation_origin origin;
+  origin.k = activation_origin::kind::timer;
+  activate_internal(t, origin);
+  eng_.after(graphs_.at(t)->law().period, [this, t] { rearm_periodic(t); });
+}
+
+bool system::activate(task_id t) {
+  activation_origin origin;
+  origin.k = activation_origin::kind::external;
+  return activate_internal(t, origin).has_value();
+}
+
+void system::activate_at(task_id t, time_point at) {
+  eng_.at(at, [this, t] { activate(t); });
+}
+
+std::optional<instance_number> system::activate_internal(
+    task_id t, const activation_origin& origin) {
+  auto git = graphs_.find(t);
+  require(git != graphs_.end(), "activate: unknown task");
+  const task_graph& g = *git->second;
+  const node_id home = g.home_node();
+  if (disp(home).halted()) return std::nullopt;
+
+  auto& st = task_stats_[t];
+  const time_point now = eng_.now();
+
+  // Arrival-law supervision (paper 3.2.1 event ii).
+  if (ever_activated_[t]) {
+    const duration gap = now - last_activation_[t];
+    const bool violated =
+        (g.law().kind == arrival_kind::sporadic && gap < g.law().period) ||
+        (g.law().kind == arrival_kind::periodic && gap < g.law().period);
+    if (violated) {
+      monitor_event ev;
+      ev.kind = monitor_event_kind::arrival_law_violation;
+      ev.at = now;
+      ev.node = home;
+      ev.task = t;
+      ev.subject = g.name();
+      ev.detail = "gap " + gap.to_string() + " < " + g.law().period.to_string();
+      monitor_.record(ev);
+      if (cfg_.reject_arrival_violations) {
+        monitor_event rej = ev;
+        rej.kind = monitor_event_kind::instance_rejected;
+        rej.detail = "arrival-law violation";
+        monitor_.record(rej);
+        ++st.rejections;
+        return std::nullopt;
+      }
+    }
+  }
+  ever_activated_[t] = true;
+  last_activation_[t] = now;
+
+  const instance_number k = next_instance_[t]++;
+  instance_record rec;
+  rec.activation = now;
+  auto procs = g.processors();
+  if (procs.empty()) procs.push_back(home);
+  rec.pending_shards.insert(procs.begin(), procs.end());
+  if (origin.waiter_node.has_value()) rec.sync_waiter = origin;
+  // Completing exactly at the deadline is timely: the check runs one tick
+  // after a+D so that same-instant completion events are processed first.
+  if (!g.deadline().is_infinite())
+    rec.deadline_timer =
+        eng_.at(now + g.deadline() + duration::nanoseconds(1),
+                [this, t, k] { on_deadline(t, k); });
+  instances_.emplace(std::make_pair(t, k), std::move(rec));
+  ++st.activations;
+  trace_.record(now, home, sim::trace_kind::instance_activated,
+                g.name() + "#" + std::to_string(k));
+
+  // Charge c_inv_start in kernel context on the home node, then create the
+  // shards on every involved node (they share the activation date `now`).
+  cpu(home).post_interrupt(
+      "inv_start:" + g.name(), cfg_.costs.c_inv_start,
+      [this, t, k, now, procs = std::move(procs)] {
+        auto it = graphs_.find(t);
+        if (it == graphs_.end()) return;
+        if (!instances_.contains({t, k})) return;  // aborted before start
+        for (node_id n : procs)
+          if (!disp(n).halted()) disp(n).create_shard(*it->second, k, now);
+      });
+  return k;
+}
+
+// -------------------------------------------------------- instance tracking --
+
+void system::on_deadline(task_id t, instance_number k) {
+  auto it = instances_.find({t, k});
+  if (it == instances_.end()) return;  // completed in time
+  it->second.deadline_timer = sim::invalid_event;
+  const task_graph& g = *graphs_.at(t);
+  monitor_event ev;
+  ev.kind = monitor_event_kind::deadline_miss;
+  ev.at = eng_.now();
+  ev.node = g.home_node();
+  ev.task = t;
+  ev.instance = k;
+  ev.subject = g.name();
+  monitor_.record(ev);
+  if (g.abort_on_deadline_miss())
+    abort_instance(t, k, "deadline miss", /*as_rejection=*/false);
+}
+
+void system::on_shard_complete(task_id t, instance_number k, node_id from) {
+  auto it = instances_.find({t, k});
+  if (it == instances_.end()) return;
+  it->second.pending_shards.erase(from);
+  if (it->second.pending_shards.empty()) finish_instance(t, k);
+}
+
+void system::finish_instance(task_id t, instance_number k) {
+  auto it = instances_.find({t, k});
+  require(it != instances_.end(), "finish_instance: unknown instance");
+  instance_record rec = std::move(it->second);
+  instances_.erase(it);
+  if (rec.deadline_timer != sim::invalid_event)
+    eng_.cancel(rec.deadline_timer);
+
+  const task_graph& g = *graphs_.at(t);
+  auto& st = task_stats_[t];
+  ++st.completions;
+  st.response_times.add(eng_.now() - rec.activation);
+  trace_.record(eng_.now(), g.home_node(), sim::trace_kind::instance_completed,
+                g.name() + "#" + std::to_string(k));
+
+  // c_inv_end in kernel context on the home node; a synchronous invoker (if
+  // any) resumes after the handler.
+  const node_id home = g.home_node();
+  cpu(home).post_interrupt(
+      "inv_end:" + g.name(), cfg_.costs.c_inv_end,
+      [this, home, waiter = rec.sync_waiter] {
+        if (waiter.has_value()) deliver_sync_return(home, *waiter);
+      });
+}
+
+void system::deliver_sync_return(node_id from,
+                                 const activation_origin& origin) {
+  const node_id wn = *origin.waiter_node;
+  if (disp(wn).halted()) return;
+  if (wn == from) {
+    disp(wn).on_sync_return(origin.waiter_task, origin.waiter_instance,
+                            origin.waiter_inv);
+    return;
+  }
+  control_token tok;
+  tok.k = control_token::kind::sync_return;
+  tok.task = origin.waiter_task;
+  tok.instance = origin.waiter_instance;
+  tok.to = origin.waiter_inv;
+  net(from).send(wn, control_channel, tok, 32);
+}
+
+void system::abort_instance(task_id t, instance_number k,
+                            const std::string& reason, bool as_rejection) {
+  auto it = instances_.find({t, k});
+  if (it == instances_.end()) return;
+  if (it->second.deadline_timer != sim::invalid_event)
+    eng_.cancel(it->second.deadline_timer);
+  instances_.erase(it);
+
+  const task_graph& g = *graphs_.at(t);
+  for (node_id n : g.processors())
+    if (!disp(n).halted()) disp(n).abort_shard(t, k, reason);
+  if (g.processors().empty() && !disp(g.home_node()).halted())
+    disp(g.home_node()).abort_shard(t, k, reason);
+
+  if (as_rejection) {
+    auto& st = task_stats_[t];
+    ++st.rejections;
+    monitor_event ev;
+    ev.kind = monitor_event_kind::instance_rejected;
+    ev.at = eng_.now();
+    ev.node = g.home_node();
+    ev.task = t;
+    ev.instance = k;
+    ev.subject = g.name();
+    ev.detail = reason;
+    monitor_.record(ev);
+  }
+}
+
+// ------------------------------------------------------ condition variables --
+
+void system::set_condition(condition_id c) {
+  bool& v = conditions_[c];
+  if (v) return;
+  v = true;
+  for (auto& n : nodes_)
+    if (!n->disp->halted()) n->disp->on_condition_set(c);
+}
+
+void system::clear_condition(condition_id c) { conditions_[c] = false; }
+
+bool system::condition(condition_id c) const {
+  auto it = conditions_.find(c);
+  return it != conditions_.end() && it->second;
+}
+
+// ------------------------------------------------------------------- faults --
+
+void system::crash_node(node_id n) {
+  if (crashed(n)) return;
+  monitor_event ev;
+  ev.kind = monitor_event_kind::node_crash;
+  ev.at = eng_.now();
+  ev.node = n;
+  ev.subject = "node" + std::to_string(n);
+  monitor_.record(ev);
+  disp(n).halt();
+}
+
+// -------------------------------------------------------- deadlock detection --
+
+std::size_t system::detect_deadlocks() {
+  struct stalled {
+    node_id node;
+    dispatcher::waiting_eu w;
+  };
+  std::vector<stalled> all;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (crashed(static_cast<node_id>(n))) continue;
+    for (auto& w : disp(static_cast<node_id>(n)).waiting_eus())
+      all.push_back({static_cast<node_id>(n), std::move(w)});
+  }
+
+  // Index stalled EUs by (task, instance, eu).
+  auto key_of = [](task_id t, instance_number k, eu_index e) {
+    std::ostringstream os;
+    os << t << '/' << k << '/' << e;
+    return os.str();
+  };
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < all.size(); ++i)
+    index[key_of(all[i].w.task, all[i].w.instance, all[i].w.eu)] = i;
+
+  // Condition setters: map condition -> stalled EUs that would set it.
+  std::map<condition_id, std::vector<std::size_t>> stalled_setters;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto* c = graphs_.at(all[i].w.task)->as_code(all[i].w.eu);
+    if (c == nullptr) continue;
+    for (condition_id cd : c->sets) stalled_setters[cd].push_back(i);
+  }
+
+  std::vector<std::vector<std::size_t>> adj(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto& w = all[i].w;
+    for (eu_index p : w.waiting_preds) {
+      auto it = index.find(key_of(w.task, w.instance, p));
+      if (it != index.end()) adj[i].push_back(it->second);
+    }
+    for (condition_id c : w.waiting_conds) {
+      auto it = stalled_setters.find(c);
+      if (it != stalled_setters.end())
+        for (std::size_t s : it->second)
+          if (s != i) adj[i].push_back(s);
+    }
+    if (w.sync_target.has_value()) {
+      for (std::size_t j = 0; j < all.size(); ++j)
+        if (all[j].w.task == *w.sync_target &&
+            all[j].w.instance == w.sync_target_instance)
+          adj[i].push_back(j);
+    }
+  }
+
+  // Iterative three-colour DFS to find nodes on cycles.
+  enum { white, grey, black };
+  std::vector<int> colour(all.size(), white);
+  std::vector<bool> on_cycle(all.size(), false);
+  std::vector<std::size_t> stack;
+  for (std::size_t root = 0; root < all.size(); ++root) {
+    if (colour[root] != white) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> dfs{{root, 0}};
+    colour[root] = grey;
+    stack.push_back(root);
+    while (!dfs.empty()) {
+      auto& [v, ei] = dfs.back();
+      if (ei < adj[v].size()) {
+        const std::size_t u = adj[v][ei++];
+        if (colour[u] == white) {
+          colour[u] = grey;
+          stack.push_back(u);
+          dfs.emplace_back(u, 0);
+        } else if (colour[u] == grey) {
+          // Back edge: everything from u to the stack top is on a cycle.
+          for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            on_cycle[*it] = true;
+            if (*it == u) break;
+          }
+        }
+      } else {
+        colour[v] = black;
+        stack.pop_back();
+        dfs.pop_back();
+      }
+    }
+  }
+
+  std::size_t involved = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!on_cycle[i]) continue;
+    ++involved;
+    const auto& w = all[i].w;
+    monitor_event ev;
+    ev.kind = monitor_event_kind::deadlock_suspected;
+    ev.at = eng_.now();
+    ev.node = all[i].node;
+    ev.task = w.task;
+    ev.instance = w.instance;
+    ev.subject = graphs_.at(w.task)->eu_name(w.eu);
+    ev.detail = "wait-for cycle";
+    monitor_.record(ev);
+  }
+  return involved;
+}
+
+void system::arm_deadlock_scan(duration period) {
+  eng_.after(period, [this, period] {
+    detect_deadlocks();
+    arm_deadlock_scan(period);
+  });
+}
+
+}  // namespace hades::core

@@ -1,0 +1,189 @@
+// System composition: the simulated distributed HADES deployment.
+//
+// A `system` owns the discrete-event engine, the LAN, and one node context
+// per machine (processor + dispatcher + net_mngt task + hardware clock). It
+// is the registration point for tasks (assigning task ids and validating
+// that resources stay local to one node, paper 3.1.1), the activation
+// authority (periodic timers, sporadic/aperiodic triggers, invocations —
+// all checked against the declared arrival law, paper 3.1.2), the keeper of
+// system-wide condition variables, and the seat of cross-node instance
+// bookkeeping (deadline timers, shard completion, synchronous-invocation
+// returns) plus the kernel background activities of section 4.2.
+#pragma once
+
+#include <any>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/dispatcher.hpp"
+#include "core/monitor.hpp"
+#include "core/net_task.hpp"
+#include "core/processor.hpp"
+#include "core/scheduling.hpp"
+#include "core/task_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/hardware_clock.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+#include "util/stats.hpp"
+
+namespace hades::core {
+
+class system {
+ public:
+  struct config {
+    cost_model costs;
+    sim::network::params net;
+    std::vector<double> clock_drift;   // per node; missing entries = 0
+    bool kernel_background = true;     // clock interrupt per p_clk
+    bool reject_arrival_violations = true;
+    std::uint64_t seed = 42;
+    bool tracing = true;
+  };
+
+  explicit system(std::size_t node_count);
+  system(std::size_t node_count, config cfg);
+  ~system();
+  system(const system&) = delete;
+  system& operator=(const system&) = delete;
+
+  // --- composition access ---------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] sim::engine& engine() { return eng_; }
+  [[nodiscard]] sim::network& network() { return *net_; }
+  [[nodiscard]] sim::trace_recorder& trace() { return trace_; }
+  [[nodiscard]] monitor& mon() { return monitor_; }
+  [[nodiscard]] processor& cpu(node_id n) { return *nodes_.at(n)->cpu; }
+  [[nodiscard]] dispatcher& disp(node_id n) { return *nodes_.at(n)->disp; }
+  [[nodiscard]] net_task& net(node_id n) { return *nodes_.at(n)->net; }
+  [[nodiscard]] sim::hardware_clock& clock(node_id n) {
+    return *nodes_.at(n)->clock;
+  }
+  [[nodiscard]] const cost_model& costs() const { return cfg_.costs; }
+
+  // --- task registration ----------------------------------------------------
+  /// Register a HEUG; returns its system-wide id. Periodic tasks are armed
+  /// automatically (first activation at law.offset).
+  task_id register_task(task_graph g);
+
+  [[nodiscard]] const task_graph& graph(task_id t) const {
+    return *graphs_.at(t);
+  }
+  [[nodiscard]] std::vector<task_id> tasks() const;
+
+  /// Attach a scheduling policy to one node's dispatcher.
+  void attach_policy(node_id n, std::shared_ptr<policy> p) {
+    disp(n).attach_policy(std::move(p));
+  }
+  /// Attach the same policy object to every node.
+  void attach_policy_everywhere(std::shared_ptr<policy> p);
+
+  // --- activation -----------------------------------------------------------
+  /// Trigger an activation request now (sporadic/aperiodic tasks; periodic
+  /// tasks fire automatically). Returns false if rejected (arrival law).
+  bool activate(task_id t);
+  /// Schedule an activation request at an absolute date.
+  void activate_at(task_id t, time_point at);
+
+  // --- condition variables (system-wide booleans, paper 3.1.1) -------------
+  void set_condition(condition_id c);
+  void clear_condition(condition_id c);
+  [[nodiscard]] bool condition(condition_id c) const;
+
+  // --- execution -------------------------------------------------------------
+  void run_until(time_point t) { eng_.run_until(t); }
+  void run_for(duration d) { eng_.run_until(eng_.now() + d); }
+  [[nodiscard]] time_point now() const { return eng_.now(); }
+
+  // --- fault injection --------------------------------------------------------
+  /// Crash a node: its threads stop, its NIC detaches; only message loss
+  /// and missed deadlines are observable from outside.
+  void crash_node(node_id n);
+  [[nodiscard]] bool crashed(node_id n) const {
+    return nodes_.at(n)->disp->halted();
+  }
+
+  // --- per-task state & results ----------------------------------------------
+  [[nodiscard]] std::any& task_state(task_id t) { return task_states_[t]; }
+
+  struct task_stats {
+    std::uint64_t activations = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t rejections = 0;
+    sample_set response_times;  // nanoseconds
+  };
+  [[nodiscard]] task_stats& stats_for(task_id t) { return task_stats_[t]; }
+
+  /// Scan all dispatchers for stalled-EU cycles (deadlock detection,
+  /// monitoring activity (iv) of paper 3.2.1). Records deadlock_suspected
+  /// events and returns the number of EUs involved in cycles.
+  std::size_t detect_deadlocks();
+
+  /// Arm periodic deadlock scans.
+  void arm_deadlock_scan(duration period);
+
+  // --- internal API for dispatchers (public for the component, not users) ---
+  struct activation_origin {
+    enum class kind { timer, external, invocation } k = kind::external;
+    // synchronous-invocation continuation:
+    std::optional<node_id> waiter_node;
+    task_id waiter_task = invalid_task;
+    instance_number waiter_instance = 0;
+    eu_index waiter_inv = 0;
+  };
+  std::optional<instance_number> activate_internal(
+      task_id t, const activation_origin& origin);
+  void on_shard_complete(task_id t, instance_number k, node_id from);
+  void abort_instance(task_id t, instance_number k, const std::string& reason,
+                      bool as_rejection);
+  [[nodiscard]] bool instance_live(task_id t, instance_number k) const {
+    return instances_.contains({t, k});
+  }
+
+ private:
+  struct node_ctx {
+    std::unique_ptr<processor> cpu;
+    std::unique_ptr<net_task> net;
+    std::unique_ptr<dispatcher> disp;
+    std::unique_ptr<sim::hardware_clock> clock;
+  };
+
+  struct instance_record {
+    time_point activation;
+    std::set<node_id> pending_shards;
+    sim::event_id deadline_timer = sim::invalid_event;
+    std::optional<activation_origin> sync_waiter;
+  };
+
+  void arm_periodic(task_id t);
+  void rearm_periodic(task_id t);
+  void arm_clock_interrupts(node_id n);
+  void on_deadline(task_id t, instance_number k);
+  void finish_instance(task_id t, instance_number k);
+  void deliver_sync_return(node_id from, const activation_origin& origin);
+
+  config cfg_;
+  sim::engine eng_;
+  sim::trace_recorder trace_;
+  monitor monitor_;
+  std::unique_ptr<sim::network> net_;
+  std::vector<std::unique_ptr<node_ctx>> nodes_;
+
+  std::map<task_id, std::shared_ptr<const task_graph>> graphs_;
+  std::map<task_id, instance_number> next_instance_;
+  std::map<task_id, time_point> last_activation_;
+  std::map<task_id, bool> ever_activated_;
+  std::map<resource_id, node_id> resource_home_;
+  std::map<std::pair<task_id, instance_number>, instance_record> instances_;
+  std::map<condition_id, bool> conditions_;
+  std::map<task_id, std::any> task_states_;
+  std::map<task_id, task_stats> task_stats_;
+  task_id next_task_ = 1;
+};
+
+}  // namespace hades::core

@@ -1,0 +1,46 @@
+#include "sched/edf.hpp"
+
+#include <algorithm>
+
+namespace hades::sched {
+
+void edf_policy::handle(const core::notification& n,
+                        core::scheduler_context& ctx) {
+  using core::notification_kind;
+  switch (n.kind) {
+    case notification_kind::atv: {
+      live_thread lt{n.thread, n.info.absolute_deadline, next_seq_++,
+                     prio::idle};
+      const auto pos = std::lower_bound(
+          live_.begin(), live_.end(), lt, [](const auto& a, const auto& b) {
+            if (a.deadline != b.deadline) return a.deadline < b.deadline;
+            return a.seq < b.seq;
+          });
+      live_.insert(pos, lt);
+      apply_ranks(ctx);
+      return;
+    }
+    case notification_kind::trm: {
+      // Figure 2: EDF ignores Trm for scheduling purposes; the remaining
+      // threads already hold correct relative priorities.
+      std::erase_if(live_,
+                    [&](const live_thread& l) { return l.thread == n.thread; });
+      return;
+    }
+    case notification_kind::rac:
+    case notification_kind::rre:
+      return;  // plain EDF does not arbitrate resources
+  }
+}
+
+void edf_policy::apply_ranks(core::scheduler_context& ctx) {
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    live_thread& lt = live_[i];
+    const priority want = rank_priority(i);
+    if (lt.current == want) continue;
+    if (ctx.alive(lt.thread)) ctx.set_priority(lt.thread, want);
+    lt.current = want;
+  }
+}
+
+}  // namespace hades::sched

@@ -1,0 +1,62 @@
+#include "sched/fixed_priority.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hades::sched {
+
+namespace {
+
+std::map<task_id, priority> rank_by(
+    const std::vector<const core::task_graph*>& tasks,
+    duration (*key)(const core::task_graph&)) {
+  validate(!tasks.empty(), "priority assignment needs at least one task");
+  std::vector<const core::task_graph*> sorted = tasks;
+  // Longest key first => lowest priority first; ties broken by task id for
+  // determinism.
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](const core::task_graph* a, const core::task_graph* b) {
+                     if (key(*a) != key(*b)) return key(*a) > key(*b);
+                     return a->id() > b->id();
+                   });
+  std::map<task_id, priority> out;
+  priority p = prio::min_app;
+  for (const auto* g : sorted) out[g->id()] = p++;
+  return out;
+}
+
+duration period_of(const core::task_graph& g) { return g.law().period; }
+duration deadline_of(const core::task_graph& g) { return g.deadline(); }
+
+}  // namespace
+
+std::map<task_id, priority> rate_monotonic_priorities(
+    const std::vector<const core::task_graph*>& tasks) {
+  for (const auto* g : tasks)
+    validate(!g->law().period.is_infinite(),
+             "RM needs a (pseudo-)period for task '" + g->name() + "'");
+  return rank_by(tasks, &period_of);
+}
+
+std::map<task_id, priority> deadline_monotonic_priorities(
+    const std::vector<const core::task_graph*>& tasks) {
+  for (const auto* g : tasks)
+    validate(!g->deadline().is_infinite(),
+             "DM needs a finite deadline for task '" + g->name() + "'");
+  return rank_by(tasks, &deadline_of);
+}
+
+std::shared_ptr<fixed_priority_policy> make_rate_monotonic(
+    const std::vector<const core::task_graph*>& tasks) {
+  return std::make_shared<fixed_priority_policy>(
+      rate_monotonic_priorities(tasks), "RM");
+}
+
+std::shared_ptr<fixed_priority_policy> make_deadline_monotonic(
+    const std::vector<const core::task_graph*>& tasks) {
+  return std::make_shared<fixed_priority_policy>(
+      deadline_monotonic_priorities(tasks), "DM");
+}
+
+}  // namespace hades::sched

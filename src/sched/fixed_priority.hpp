@@ -1,0 +1,58 @@
+// Static priority-based scheduling policies: Rate Monotonic and Deadline
+// Monotonic [LL73], two of the schedulers the paper builds on the generic
+// dispatcher (section 3.3).
+//
+// The policy computes a static priority per task from the registered task
+// set and applies it on every Atv notification — the runtime work of a
+// static scheduler is exactly one priority assignment per activation, which
+// is what the sigma term of the section 5.3 cost analysis charges.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/scheduling.hpp"
+#include "core/task_model.hpp"
+
+namespace hades::sched {
+
+class fixed_priority_policy final : public core::policy {
+ public:
+  explicit fixed_priority_policy(std::map<task_id, priority> priorities,
+                                 std::string name = "FP")
+      : priorities_(std::move(priorities)), name_(std::move(name)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void handle(const core::notification& n,
+              core::scheduler_context& ctx) override {
+    if (n.kind != core::notification_kind::atv) return;
+    auto it = priorities_.find(n.info.task);
+    if (it == priorities_.end()) return;  // unmanaged task: keep declared prio
+    ctx.set_priority(n.thread, it->second);
+  }
+
+  [[nodiscard]] const std::map<task_id, priority>& priorities() const {
+    return priorities_;
+  }
+
+ private:
+  std::map<task_id, priority> priorities_;
+  std::string name_;
+};
+
+/// Rate-monotonic priority map: shorter period -> higher priority.
+[[nodiscard]] std::map<task_id, priority> rate_monotonic_priorities(
+    const std::vector<const core::task_graph*>& tasks);
+
+/// Deadline-monotonic priority map: shorter relative deadline -> higher.
+[[nodiscard]] std::map<task_id, priority> deadline_monotonic_priorities(
+    const std::vector<const core::task_graph*>& tasks);
+
+[[nodiscard]] std::shared_ptr<fixed_priority_policy> make_rate_monotonic(
+    const std::vector<const core::task_graph*>& tasks);
+[[nodiscard]] std::shared_ptr<fixed_priority_policy> make_deadline_monotonic(
+    const std::vector<const core::task_graph*>& tasks);
+
+}  // namespace hades::sched

@@ -1,0 +1,79 @@
+#include "sched/spring.hpp"
+
+#include <algorithm>
+
+namespace hades::sched {
+
+bool spring_policy::plan(std::vector<job>& jobs,
+                         std::vector<time_point>& starts,
+                         time_point now) const {
+  // Myopic heuristic: order by H = d + W * est.
+  std::stable_sort(jobs.begin(), jobs.end(), [&](const job& a, const job& b) {
+    const auto h = [&](const job& j) {
+      const double d = static_cast<double>(j.deadline.nanoseconds());
+      const double est = static_cast<double>(
+          std::max(j.earliest, now).nanoseconds());
+      return d + params_.est_weight * est;
+    };
+    return h(a) < h(b);
+  });
+
+  starts.assign(jobs.size(), now);
+  time_point t = now;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const job& j = jobs[i];
+    const time_point s = std::max(t, j.earliest);
+    const time_point e = s + j.wcet;  // conservative: full WCET remaining
+    if (e > j.deadline) return false;
+    starts[i] = s;
+    t = e;
+  }
+  return true;
+}
+
+void spring_policy::handle(const core::notification& n,
+                           core::scheduler_context& ctx) {
+  using core::notification_kind;
+  switch (n.kind) {
+    case notification_kind::atv: {
+      std::vector<job> jobs;
+      jobs.reserve(live_.size() + 1);
+      for (const job& j : live_)
+        if (ctx.alive(j.thread)) jobs.push_back(j);
+      job fresh;
+      fresh.thread = n.thread;
+      fresh.deadline = n.info.absolute_deadline;
+      fresh.wcet = n.info.wcet;
+      fresh.earliest = n.info.activation;
+      jobs.push_back(fresh);
+
+      std::vector<time_point> starts;
+      if (!plan(jobs, starts, ctx.now())) {
+        ++rejected_;
+        ctx.reject_instance(n.thread, "Spring admission: no feasible plan");
+        // Keep previously guaranteed jobs exactly as they are.
+        return;
+      }
+      ++accepted_;
+      live_ = jobs;
+      // Install the plan: priority by plan order; earliest = planned start
+      // (the dispatcher ignores earliest changes for started threads, so
+      // running jobs are unaffected).
+      for (std::size_t i = 0; i < live_.size(); ++i) {
+        if (!ctx.alive(live_[i].thread)) continue;
+        ctx.set_priority(live_[i].thread,
+                         prio::max_app - static_cast<priority>(i));
+        ctx.set_earliest(live_[i].thread, starts[i]);
+      }
+      return;
+    }
+    case notification_kind::trm:
+      std::erase_if(live_, [&](const job& j) { return j.thread == n.thread; });
+      return;
+    case notification_kind::rac:
+    case notification_kind::rre:
+      return;
+  }
+}
+
+}  // namespace hades::sched

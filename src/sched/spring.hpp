@@ -1,0 +1,61 @@
+// Planning-based (Spring-style) scheduler [RSS90] — the third scheduler
+// family the paper implemented on the generic dispatcher (section 3.3).
+//
+// On every activation the policy runs an admission test: it builds a serial
+// plan of all live jobs plus the newcomer, ordered by the Spring myopic
+// heuristic H(J) = d_J + W * est_J (earliest-start-time weighted deadline;
+// W = 0 degenerates to EDF order). Remaining work is conservatively
+// estimated by the full WCET. If every job in the plan meets its deadline,
+// the newcomer is *guaranteed*: planned start times are installed through
+// the dispatcher primitive (earliest start time — the paper names exactly
+// this attribute as the hook for planning-based scheduling, section 3.1.2)
+// and priorities follow the plan order. Otherwise the newcomer's instance
+// is rejected (admission control) and previously guaranteed jobs remain
+// untouched.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scheduling.hpp"
+
+namespace hades::sched {
+
+class spring_policy final : public core::policy {
+ public:
+  struct params {
+    double est_weight = 0.0;  // W in H = d + W * est; 0 => deadline-driven
+  };
+
+  spring_policy() = default;
+  explicit spring_policy(params p) : params_(p) {}
+
+  [[nodiscard]] std::string name() const override { return "Spring"; }
+  [[nodiscard]] bool gates_activation() const override { return true; }
+
+  void handle(const core::notification& n,
+              core::scheduler_context& ctx) override;
+
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  struct job {
+    kthread_id thread;
+    time_point deadline;
+    duration wcet;
+    time_point earliest;  // declared earliest start (activation-derived)
+  };
+
+  /// Builds the plan for `jobs` (mutates order); returns true when every job
+  /// meets its deadline; fills planned start times.
+  bool plan(std::vector<job>& jobs, std::vector<time_point>& starts,
+            time_point now) const;
+
+  params params_;
+  std::vector<job> live_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace hades::sched

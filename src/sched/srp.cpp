@@ -1,0 +1,106 @@
+#include "sched/srp.hpp"
+
+#include <algorithm>
+
+namespace hades::sched {
+
+edf_srp_policy::edf_srp_policy(
+    const std::vector<const core::task_graph*>& tasks) {
+  for (const auto* g : tasks) {
+    for (eu_index i = 0; i < g->eu_count(); ++i) {
+      const auto* c = g->as_code(i);
+      if (c == nullptr) continue;
+      for (const auto& claim : c->resources) {
+        auto [it, inserted] = ceiling_.emplace(claim.res, g->deadline());
+        if (!inserted) it->second = std::min(it->second, g->deadline());
+      }
+    }
+  }
+}
+
+duration edf_srp_policy::system_ceiling() const {
+  return stack_.empty() ? duration::infinity() : *stack_.begin();
+}
+
+void edf_srp_policy::handle(const core::notification& n,
+                            core::scheduler_context& ctx) {
+  using core::notification_kind;
+  switch (n.kind) {
+    case notification_kind::atv: {
+      edf_policy::handle(n, ctx);  // EDF ranking first
+      // SRP start gate: pi(i) > ceiling  <=>  D_i < ceiling-deadline. The
+      // dispatcher holds every activation until this verdict (the policy
+      // gates activations).
+      if (n.info.relative_deadline >= system_ceiling()) {
+        held_.push_back(
+            {n.thread, n.info.relative_deadline, n.info.absolute_deadline});
+      } else {
+        ctx.release(n.thread);
+      }
+      return;
+    }
+    case notification_kind::rac: {
+      // Rac is emitted at grant time for non-resource-gating policies: the
+      // section is now active — raise the system ceiling before any
+      // application thread regains the CPU.
+      auto& entry = active_[n.thread];
+      for (const auto& claim : n.info.resources) {
+        auto it = ceiling_.find(claim.res);
+        const duration c =
+            it != ceiling_.end() ? it->second : n.info.relative_deadline;
+        entry.push_back(c);
+        stack_.insert(c);
+      }
+      return;
+    }
+    case notification_kind::rre: {
+      auto it = active_.find(n.thread);
+      if (it != active_.end()) {
+        for (duration c : it->second) {
+          auto sit = stack_.find(c);
+          if (sit != stack_.end()) stack_.erase(sit);
+        }
+        active_.erase(it);
+      }
+      release_eligible(ctx);
+      return;
+    }
+    case notification_kind::trm: {
+      edf_policy::handle(n, ctx);
+      std::erase_if(held_,
+                    [&](const gated& g) { return g.thread == n.thread; });
+      // Defensive: a killed thread may die holding a section (abort path
+      // emits Rre first, but keep the stack consistent regardless).
+      auto it = active_.find(n.thread);
+      if (it != active_.end()) {
+        for (duration c : it->second) {
+          auto sit = stack_.find(c);
+          if (sit != stack_.end()) stack_.erase(sit);
+        }
+        active_.erase(it);
+        release_eligible(ctx);
+      }
+      return;
+    }
+  }
+}
+
+void edf_srp_policy::release_eligible(core::scheduler_context& ctx) {
+  const duration ceiling = system_ceiling();
+  // Release in EDF order for determinism.
+  std::stable_sort(held_.begin(), held_.end(),
+                   [](const gated& a, const gated& b) {
+                     return a.deadline < b.deadline;
+                   });
+  std::vector<gated> still;
+  for (const gated& g : held_) {
+    if (g.level < ceiling && ctx.alive(g.thread)) {
+      ctx.release(g.thread);
+    } else if (ctx.alive(g.thread)) {
+      still.push_back(g);
+    }
+  }
+  held_ = std::move(still);
+}
+
+}  // namespace hades::sched

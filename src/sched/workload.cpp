@@ -1,0 +1,80 @@
+#include "sched/workload.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hades::sched {
+
+std::vector<double> uunifast(std::size_t n, double total, rng& r) {
+  validate(n > 0, "uunifast: need at least one task");
+  std::vector<double> u(n);
+  double sum = total;
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    const double next =
+        sum * std::pow(r.uniform01(), 1.0 / static_cast<double>(n - 1 - i));
+    u[i] = sum - next;
+    sum = next;
+  }
+  u[n - 1] = sum;
+  return u;
+}
+
+std::vector<analyzed_task> generate_taskset(const workload_params& p, rng& r) {
+  const auto us = uunifast(p.task_count, p.utilization, r);
+  std::vector<analyzed_task> out;
+  out.reserve(p.task_count);
+  const double log_lo = std::log(static_cast<double>(p.period_min.count()));
+  const double log_hi = std::log(static_cast<double>(p.period_max.count()));
+  for (std::size_t i = 0; i < p.task_count; ++i) {
+    analyzed_task t;
+    t.name = "tau" + std::to_string(i);
+    const double period_ns = std::exp(r.uniform(log_lo, log_hi));
+    t.t = duration::nanoseconds(static_cast<std::int64_t>(period_ns));
+    std::int64_t c_ns = static_cast<std::int64_t>(period_ns * us[i]);
+    c_ns = std::max<std::int64_t>(c_ns, 1'000);  // at least 1us
+    t.c = duration::nanoseconds(c_ns);
+    if (p.implicit_deadlines) {
+      t.d = t.t;
+    } else {
+      t.d = duration::nanoseconds(
+          r.uniform_int(t.c.count(), t.t.count()));
+    }
+    if (r.uniform01() < p.resource_fraction) {
+      t.uses_resource = true;
+      t.resource = static_cast<std::uint32_t>(
+          r.uniform_int(0, std::max<std::int64_t>(0, p.resource_pool - 1)));
+      std::int64_t cs_ns =
+          static_cast<std::int64_t>(static_cast<double>(c_ns) * p.cs_fraction);
+      cs_ns = std::clamp<std::int64_t>(cs_ns, 1, c_ns);
+      t.cs = duration::nanoseconds(cs_ns);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+core::task_graph to_task_graph(const analyzed_task& t, node_id node) {
+  if (!t.uses_resource) {
+    core::task_builder b(t.name);
+    b.deadline(t.d).law(core::arrival_law::sporadic(t.t));
+    b.add_code_eu(t.name, node, t.c);
+    return b.build();
+  }
+  // Figure 3 shape: before / critical section / after. Split the
+  // non-critical budget evenly around the section.
+  core::spuri_task s;
+  s.name = t.name;
+  s.processor = node;
+  const duration rest = t.c - t.cs;
+  s.c_before = rest / 2;
+  s.cs = t.cs;
+  s.c_after = rest - s.c_before;
+  if (s.c_before.is_zero()) s.c_before = duration::nanoseconds(0);
+  s.resource = t.resource;
+  s.deadline = t.d;
+  s.pseudo_period = t.t;
+  return core::translate_spuri(s);
+}
+
+}  // namespace hades::sched

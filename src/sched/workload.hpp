@@ -1,0 +1,43 @@
+// Synthetic workload generation for experiments and property tests.
+//
+// Task-set utilizations are drawn with the UUniFast algorithm (unbiased
+// uniform distribution over the simplex), periods log-uniformly over a
+// configurable range — the standard methodology for schedulability
+// experiments. Generated sets can be converted both to the analysis view
+// (`analyzed_task`) and to runnable HEUGs (single-unit tasks, or the
+// Figure 3 three-unit shape for resource users).
+#pragma once
+
+#include <vector>
+
+#include "core/task_model.hpp"
+#include "sched/feasibility.hpp"
+#include "util/rng.hpp"
+
+namespace hades::sched {
+
+struct workload_params {
+  std::size_t task_count = 5;
+  double utilization = 0.6;            // total target utilization
+  duration period_min = duration::milliseconds(5);
+  duration period_max = duration::milliseconds(200);
+  bool implicit_deadlines = true;      // D = T; else D uniform in [C, T]
+  double resource_fraction = 0.0;      // share of tasks with a critical section
+  double cs_fraction = 0.3;            // cs length as a share of C
+  std::uint32_t resource_pool = 2;     // distinct resource ids
+};
+
+/// UUniFast: n utilizations summing to `total`.
+[[nodiscard]] std::vector<double> uunifast(std::size_t n, double total,
+                                           rng& r);
+
+/// Generate one analyzed task set.
+[[nodiscard]] std::vector<analyzed_task> generate_taskset(
+    const workload_params& p, rng& r);
+
+/// Convert an analyzed task to a runnable HEUG on `node` (sporadic law,
+/// Figure 3 shape when it has a critical section).
+[[nodiscard]] core::task_graph to_task_graph(const analyzed_task& t,
+                                             node_id node);
+
+}  // namespace hades::sched

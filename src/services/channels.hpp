@@ -1,0 +1,16 @@
+// Channel registry for HADES services. Channel 0 is the dispatcher's
+// control channel (core/dispatcher.hpp); services multiplex the LAN through
+// the per-node net_mngt task on the ids below.
+#pragma once
+
+namespace hades::svc {
+
+inline constexpr int ch_clock_sync = 10;
+inline constexpr int ch_heartbeat = 11;
+inline constexpr int ch_reliable_p2p = 12;
+inline constexpr int ch_reliable_bcast = 13;
+inline constexpr int ch_consensus = 14;
+inline constexpr int ch_replication = 15;
+inline constexpr int ch_replication_client = 16;
+
+}  // namespace hades::svc

@@ -1,0 +1,112 @@
+#include "services/clock_sync.hpp"
+
+#include <algorithm>
+
+namespace hades::svc {
+
+namespace {
+struct sync_payload {
+  duration clock_value;
+  std::uint64_t round;
+};
+}  // namespace
+
+clock_sync_service::clock_sync_service(core::system& sys, params p)
+    : sys_(&sys), params_(p) {
+  const auto& net = sys_->network().config();
+  nominal_delay_ = (net.delta_min + net.delta_max) / 2;
+  inbox_.resize(sys_->node_count());
+  round_of_.assign(sys_->node_count(), 0);
+  for (node_id n = 0; n < sys_->node_count(); ++n) {
+    sys_->net(n).on_channel(ch_clock_sync, [this, n](const sim::message& m) {
+      on_message(n, m);
+    });
+  }
+}
+
+void clock_sync_service::start() {
+  for (node_id n = 0; n < sys_->node_count(); ++n) arm_round(n);
+}
+
+void clock_sync_service::arm_round(node_id n) {
+  sys_->engine().after(params_.resync_period, [this, n] {
+    if (!sys_->crashed(n)) begin_round(n);
+    arm_round(n);
+  });
+}
+
+void clock_sync_service::begin_round(node_id n) {
+  const std::uint64_t round = ++round_of_[n];
+  inbox_[n].clear();
+  // Own reading participates like any other.
+  inbox_[n].push_back({n, sys_->clock(n).read(), sys_->now()});
+  sync_payload p{sys_->clock(n).read(), round};
+  sys_->net(n).send_all(ch_clock_sync, p, 48);
+  sys_->engine().after(params_.collect_window,
+                       [this, n, round] { conclude_round(n, round); });
+}
+
+void clock_sync_service::on_message(node_id n, const sim::message& m) {
+  const auto* p = std::any_cast<sync_payload>(&m.payload);
+  if (p == nullptr) return;
+  if (p->round != round_of_[n]) return;  // stale round
+  inbox_[n].push_back({m.src, p->clock_value, sys_->now()});
+}
+
+void clock_sync_service::conclude_round(node_id n, std::uint64_t round) {
+  if (sys_->crashed(n) || round != round_of_[n]) return;
+  auto& box = inbox_[n];
+  const duration own_now = sys_->clock(n).read();
+
+  // Difference between each peer clock (extrapolated to "now") and ours.
+  std::vector<std::int64_t> diffs;
+  diffs.reserve(box.size());
+  const time_point now = sys_->now();
+  for (const reading& r : box) {
+    duration peer_estimate = r.clock_value;
+    if (r.from != n) {
+      // The reading aged while in flight and in the collection window; the
+      // flight time itself is approximated by the nominal delay.
+      peer_estimate += (now - r.received_at) + nominal_delay_;
+    } else {
+      peer_estimate += now - r.received_at;
+    }
+    diffs.push_back((peer_estimate - own_now).count());
+  }
+
+  const int f = params_.max_faulty;
+  if (static_cast<int>(diffs.size()) <= 2 * f) return;  // not enough readings
+  std::sort(diffs.begin(), diffs.end());
+  // Fault-tolerant average: trim f from each end.
+  std::int64_t sum = 0;
+  const std::size_t lo = static_cast<std::size_t>(f);
+  const std::size_t hi = diffs.size() - static_cast<std::size_t>(f);
+  for (std::size_t i = lo; i < hi; ++i) sum += diffs[i];
+  const auto correction =
+      duration::nanoseconds(sum / static_cast<std::int64_t>(hi - lo));
+
+  sys_->clock(n).adjust(correction);
+  corrections_.add(static_cast<double>(std::abs(correction.count())));
+  ++rounds_;
+  sys_->trace().record(sys_->now(), n, sim::trace_kind::service_event,
+                       "clock_sync",
+                       "correction " + correction.to_string());
+}
+
+duration clock_sync_service::max_skew(const std::vector<node_id>& nodes) const {
+  std::vector<node_id> ns = nodes;
+  if (ns.empty())
+    for (node_id n = 0; n < sys_->node_count(); ++n)
+      if (!sys_->crashed(n)) ns.push_back(n);
+  duration worst = duration::zero();
+  for (std::size_t i = 0; i < ns.size(); ++i)
+    for (std::size_t j = i + 1; j < ns.size(); ++j) {
+      const duration a = sys_->clock(ns[i]).read();
+      const duration b = sys_->clock(ns[j]).read();
+      const duration skew = a > b ? a - b : b - a;
+      worst = std::max(worst, skew);
+    }
+  return worst;
+}
+
+}  // namespace hades::svc

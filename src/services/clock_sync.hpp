@@ -1,0 +1,67 @@
+// Fault-tolerant clock synchronization (paper section 2.2.1, service (vi);
+// the paper names the Lundelius–Lynch algorithm [LL88]).
+//
+// Interactive-convergence style rounds: every resync period each node
+// broadcasts its logical clock reading; receivers estimate the peer-local
+// clock difference (compensating the nominal network delay); at the end of
+// the collection window each node discards the f largest and f smallest
+// differences — masking up to f Byzantine clocks, n >= 3f+1 — and steps its
+// logical clock by the fault-tolerant average of the rest. The achieved
+// skew bound is checked by tests and measured by bench_clock_sync (E6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/system.hpp"
+#include "services/channels.hpp"
+#include "util/stats.hpp"
+
+namespace hades::svc {
+
+class clock_sync_service {
+ public:
+  struct params {
+    duration resync_period = duration::milliseconds(100);
+    duration collect_window = duration::milliseconds(2);  // > delta_max
+    int max_faulty = 0;  // f: readings trimmed from each end
+  };
+
+  clock_sync_service(core::system& sys, params p);
+
+  /// Arm the periodic rounds on every node.
+  void start();
+
+  /// Maximum pairwise logical-clock skew over the given nodes (all attached
+  /// nodes when empty). Faulty/crashed nodes are the caller's business to
+  /// exclude.
+  [[nodiscard]] duration max_skew(const std::vector<node_id>& nodes = {}) const;
+
+  [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
+  [[nodiscard]] const running_stats& correction_magnitude() const {
+    return corrections_;
+  }
+
+ private:
+  struct reading {
+    node_id from;
+    duration clock_value;
+    time_point received_at;
+  };
+
+  void arm_round(node_id n);
+  void begin_round(node_id n);
+  void conclude_round(node_id n, std::uint64_t round);
+  void on_message(node_id n, const sim::message& m);
+
+  core::system* sys_;
+  params params_;
+  duration nominal_delay_;
+  std::vector<std::vector<reading>> inbox_;  // per node
+  std::vector<std::uint64_t> round_of_;      // per node
+  std::uint64_t rounds_ = 0;
+  running_stats corrections_;
+};
+
+}  // namespace hades::svc

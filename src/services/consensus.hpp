@@ -1,0 +1,63 @@
+// Consensus service (paper section 2.2.1, service (iii)).
+//
+// Synchronous flooding consensus: the platform's bounded message delay
+// justifies a round-based synchronous model (round length > delta_max).
+// Tolerating up to f crash/omission failures requires f+1 rounds; in each
+// round every node broadcasts the set of values it has learned, and after
+// round f+1 every correct node decides min(learned). Agreement, validity
+// and termination are asserted by tests; bench_consensus (E11) measures
+// decision latency as a function of f.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/system.hpp"
+#include "services/channels.hpp"
+
+namespace hades::svc {
+
+class consensus_service {
+ public:
+  struct params {
+    int max_faulty = 1;  // f: rounds run = f+1
+    duration round_length = duration::milliseconds(1);  // > delta_max
+  };
+
+  using decide_fn = std::function<void(node_id, std::int64_t)>;
+
+  consensus_service(core::system& sys, params p);
+
+  /// Start one consensus instance with the given proposals (one per node;
+  /// crashed nodes simply stay silent).
+  void run(const std::map<node_id, std::int64_t>& proposals);
+
+  void on_decide(decide_fn fn) { callbacks_.push_back(std::move(fn)); }
+
+  [[nodiscard]] bool decided(node_id n) const { return decided_.at(n); }
+  [[nodiscard]] std::int64_t decision(node_id n) const {
+    return decision_.at(n);
+  }
+  [[nodiscard]] int rounds() const { return params_.max_faulty + 1; }
+  [[nodiscard]] duration decision_latency() const {
+    return params_.round_length * (params_.max_faulty + 1);
+  }
+
+ private:
+  void round(int k);
+  void finish();
+  void on_message(node_id n, const sim::message& m);
+
+  core::system* sys_;
+  params params_;
+  std::map<node_id, std::set<std::int64_t>> learned_;
+  std::map<node_id, bool> decided_;
+  std::map<node_id, std::int64_t> decision_;
+  std::vector<decide_fn> callbacks_;
+  bool running_ = false;
+};
+
+}  // namespace hades::svc

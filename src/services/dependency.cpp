@@ -1,0 +1,47 @@
+#include "services/dependency.hpp"
+
+#include <deque>
+
+namespace hades::svc {
+
+void dependency_tracker::record(instance_key consumer, instance_key producer) {
+  if (consumers_[producer].insert(consumer).second) ++edges_;
+}
+
+std::set<dependency_tracker::instance_key> dependency_tracker::orphan_closure(
+    instance_key failed) const {
+  std::set<instance_key> out;
+  std::deque<instance_key> frontier{failed};
+  while (!frontier.empty()) {
+    const instance_key cur = frontier.front();
+    frontier.pop_front();
+    auto it = consumers_.find(cur);
+    if (it == consumers_.end()) continue;
+    for (const instance_key& c : it->second)
+      if (out.insert(c).second) frontier.push_back(c);
+  }
+  out.erase(failed);
+  return out;
+}
+
+std::vector<dependency_tracker::instance_key> dependency_tracker::consumers_of(
+    instance_key producer) const {
+  auto it = consumers_.find(producer);
+  if (it == consumers_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void dependency_tracker::attach(core::system& sys) {
+  sys.mon().subscribe([this, &sys](const core::monitor_event& e) {
+    if (e.kind != core::monitor_event_kind::orphan_killed) return;
+    const instance_key failed{e.task, e.instance};
+    for (const instance_key& orphan : orphan_closure(failed)) {
+      if (sys.instance_live(orphan.task, orphan.instance))
+        sys.abort_instance(orphan.task, orphan.instance,
+                           "dependency on failed instance",
+                           /*as_rejection=*/false);
+    }
+  });
+}
+
+}  // namespace hades::svc

@@ -1,0 +1,54 @@
+// Dependency tracking service (paper section 2.2.1, service (v), after
+// [NMT97] "Managing dependencies — a key problem in fault-tolerant
+// distributed algorithms").
+//
+// Records which task instances consumed data produced by which others
+// (messages, precedence parameters, shared state). When an instance is
+// declared failed, `orphan_closure()` returns every instance whose inputs
+// are transitively contaminated — the set the recovery layer must abort or
+// compensate. `attach()` wires the tracker to a system's monitor so that
+// aborted instances automatically contaminate their dependents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace hades::svc {
+
+class dependency_tracker {
+ public:
+  struct instance_key {
+    task_id task = invalid_task;
+    instance_number instance = 0;
+    auto operator<=>(const instance_key&) const = default;
+  };
+
+  /// `consumer` used data produced by `producer`.
+  void record(instance_key consumer, instance_key producer);
+
+  /// Transitive closure of instances contaminated by `failed` (excluding
+  /// `failed` itself).
+  [[nodiscard]] std::set<instance_key> orphan_closure(
+      instance_key failed) const;
+
+  /// Direct consumers of one producer.
+  [[nodiscard]] std::vector<instance_key> consumers_of(
+      instance_key producer) const;
+
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+
+  /// Subscribe to a system's monitor: whenever an instance aborts, its
+  /// orphan closure is aborted too (cascading abort). Returns nothing; the
+  /// tracker must outlive the system run.
+  void attach(core::system& sys);
+
+ private:
+  std::map<instance_key, std::set<instance_key>> consumers_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace hades::svc

@@ -1,0 +1,47 @@
+#include "services/fault_detector.hpp"
+
+namespace hades::svc {
+
+fault_detector::fault_detector(core::system& sys, params p)
+    : sys_(&sys), params_(p) {
+  const std::size_t n = sys_->node_count();
+  last_heard_.assign(n, std::vector<time_point>(n, sys_->now()));
+  suspected_.assign(n, std::vector<bool>(n, false));
+  when_.assign(n, std::vector<time_point>(n));
+  for (node_id me = 0; me < n; ++me) {
+    sys_->net(me).on_channel(ch_heartbeat, [this, me](const sim::message& m) {
+      last_heard_[me][m.src] = sys_->now();
+    });
+  }
+}
+
+void fault_detector::start() {
+  for (node_id n = 0; n < sys_->node_count(); ++n) arm(n);
+}
+
+void fault_detector::arm(node_id n) {
+  sys_->engine().after(params_.heartbeat_period, [this, n] {
+    if (!sys_->crashed(n)) {
+      sys_->net(n).send_all(ch_heartbeat, std::uint64_t{0}, 32);
+      ++sent_;
+      check(n);
+    }
+    arm(n);
+  });
+}
+
+void fault_detector::check(node_id n) {
+  for (node_id peer = 0; peer < sys_->node_count(); ++peer) {
+    if (peer == n || suspected_[n][peer]) continue;
+    if (sys_->now() - last_heard_[n][peer] > params_.timeout) {
+      suspected_[n][peer] = true;
+      when_[n][peer] = sys_->now();
+      sys_->trace().record(sys_->now(), n, sim::trace_kind::service_event,
+                           "fault_detector",
+                           "suspect node" + std::to_string(peer));
+      for (const auto& cb : callbacks_) cb(n, peer, sys_->now());
+    }
+  }
+}
+
+}  // namespace hades::svc

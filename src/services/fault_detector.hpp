@@ -1,0 +1,62 @@
+// Heartbeat-based fault detection (paper section 2.2: "fault detection" is
+// one of the generic robustness services).
+//
+// Every node broadcasts a heartbeat each period; every node supervises its
+// peers and suspects a node whose heartbeat has not been heard for
+// `timeout`. Under the synchronous assumptions of the platform (bounded
+// network delay, bounded omission degree) the detector is *perfect* when
+// timeout > period * (omission_degree + 1) + delta_max: no correct node is
+// ever suspected and a crashed node is suspected within one timeout —
+// bench_monitor / tests check both bounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/system.hpp"
+#include "services/channels.hpp"
+
+namespace hades::svc {
+
+class fault_detector {
+ public:
+  struct params {
+    duration heartbeat_period = duration::milliseconds(10);
+    duration timeout = duration::milliseconds(25);
+  };
+
+  using suspect_fn =
+      std::function<void(node_id observer, node_id suspect, time_point at)>;
+
+  fault_detector(core::system& sys, params p);
+
+  void start();
+  void on_suspect(suspect_fn fn) { callbacks_.push_back(std::move(fn)); }
+
+  [[nodiscard]] bool suspects(node_id observer, node_id subject) const {
+    return suspected_[observer][subject];
+  }
+  [[nodiscard]] std::optional<time_point> suspected_at(node_id observer,
+                                                       node_id subject) const {
+    return suspected_[observer][subject]
+               ? std::optional<time_point>(when_[observer][subject])
+               : std::nullopt;
+  }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const { return sent_; }
+
+ private:
+  void arm(node_id n);
+  void check(node_id n);
+
+  core::system* sys_;
+  params params_;
+  std::vector<std::vector<time_point>> last_heard_;  // [observer][subject]
+  std::vector<std::vector<bool>> suspected_;
+  std::vector<std::vector<time_point>> when_;
+  std::vector<suspect_fn> callbacks_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace hades::svc

@@ -1,0 +1,52 @@
+#include "services/mode_manager.hpp"
+
+namespace hades::svc {
+
+mode_manager::mode_manager(core::system& sys, thresholds t)
+    : sys_(&sys), thresholds_(t) {
+  sys_->mon().subscribe([this](const core::monitor_event& e) { consider(e); });
+}
+
+void mode_manager::consider(const core::monitor_event& e) {
+  switch (e.kind) {
+    case core::monitor_event_kind::deadline_miss:
+      ++misses_;
+      break;
+    case core::monitor_event_kind::node_crash:
+      ++crashes_;
+      break;
+    default:
+      return;
+  }
+  if (mode_ != op_mode::safe &&
+      (misses_ >= thresholds_.misses_for_safe ||
+       crashes_ >= thresholds_.crashes_for_safe)) {
+    switch_to(op_mode::safe);
+    return;
+  }
+  if (mode_ == op_mode::normal && misses_ >= thresholds_.misses_for_degraded)
+    switch_to(op_mode::degraded);
+}
+
+void mode_manager::switch_to(op_mode m) {
+  if (m == mode_) return;
+  const op_mode from = mode_;
+  mode_ = m;
+  ++switches_;
+  last_switch_ = sys_->now();
+  // State capture at the switch point.
+  captured_.clear();
+  for (task_id t : sys_->tasks()) captured_[t] = sys_->task_state(t);
+  sys_->trace().record(sys_->now(), invalid_node,
+                       sim::trace_kind::service_event, "mode_manager",
+                       std::string(to_string(from)) + " -> " + to_string(m));
+  for (const auto& h : hooks_) h(from, m, sys_->now());
+}
+
+void mode_manager::force_mode(op_mode m) {
+  misses_ = 0;
+  crashes_ = 0;
+  switch_to(m);
+}
+
+}  // namespace hades::svc

@@ -1,0 +1,77 @@
+// Operating-mode management (paper section 3.2.1: the dispatcher "includes
+// low-level fault-tolerance mechanisms (e.g. state capture, switching of
+// modes of operation in case of failure [Mos94])").
+//
+// The manager watches the monitor stream and switches between NORMAL,
+// DEGRADED and SAFE modes when configured thresholds are crossed (deadline
+// misses, node crashes). A mode switch captures the current task states
+// (state capture) and invokes the registered entry hook within a bounded
+// time — the switch latency is just the monitor-event propagation, which is
+// immediate in HADES because monitoring is part of the dispatcher.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace hades::svc {
+
+enum class op_mode { normal, degraded, safe };
+
+[[nodiscard]] constexpr const char* to_string(op_mode m) {
+  switch (m) {
+    case op_mode::normal: return "NORMAL";
+    case op_mode::degraded: return "DEGRADED";
+    case op_mode::safe: return "SAFE";
+  }
+  return "?";
+}
+
+class mode_manager {
+ public:
+  struct thresholds {
+    std::size_t misses_for_degraded = 1;
+    std::size_t misses_for_safe = 3;
+    std::size_t crashes_for_safe = 1;
+  };
+
+  using hook_fn = std::function<void(op_mode from, op_mode to, time_point at)>;
+
+  mode_manager(core::system& sys, thresholds t);
+
+  void on_switch(hook_fn fn) { hooks_.push_back(std::move(fn)); }
+
+  [[nodiscard]] op_mode mode() const { return mode_; }
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+  [[nodiscard]] time_point last_switch() const { return last_switch_; }
+
+  /// State capture: snapshot of every registered task's state blob at the
+  /// moment of the most recent switch.
+  [[nodiscard]] const std::map<task_id, std::any>& captured_state() const {
+    return captured_;
+  }
+
+  /// Manual transition (e.g. operator command or recovery complete).
+  void force_mode(op_mode m);
+
+ private:
+  void consider(const core::monitor_event& e);
+  void switch_to(op_mode m);
+
+  core::system* sys_;
+  thresholds thresholds_;
+  op_mode mode_ = op_mode::normal;
+  std::size_t misses_ = 0;
+  std::size_t crashes_ = 0;
+  std::uint64_t switches_ = 0;
+  time_point last_switch_;
+  std::map<task_id, std::any> captured_;
+  std::vector<hook_fn> hooks_;
+};
+
+}  // namespace hades::svc

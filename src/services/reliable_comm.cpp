@@ -1,0 +1,112 @@
+#include "services/reliable_comm.hpp"
+
+namespace hades::svc {
+
+// ------------------------------------------------------------ reliable_p2p
+
+reliable_p2p::reliable_p2p(core::system& sys, params p)
+    : sys_(&sys), params_(p) {
+  for (node_id n = 0; n < sys_->node_count(); ++n)
+    sys_->net(n).on_channel(ch_reliable_p2p,
+                            [this, n](const sim::message& m) {
+                              on_message(n, m);
+                            });
+}
+
+void reliable_p2p::send(node_id src, node_id dst, std::any payload,
+                        std::size_t size_bytes) {
+  const std::uint64_t seq = next_seq_++;
+  const frame f{seq, std::move(payload)};
+  for (int copy = 0; copy <= params_.omission_degree; ++copy) {
+    const duration delay = params_.retry_spacing * copy;
+    sys_->engine().after(delay, [this, src, dst, f, size_bytes] {
+      if (sys_->crashed(src)) return;
+      sys_->net(src).send(dst, ch_reliable_p2p, f, size_bytes);
+    });
+  }
+}
+
+void reliable_p2p::on_message(node_id n, const sim::message& m) {
+  const auto* f = std::any_cast<frame>(&m.payload);
+  if (f == nullptr) return;
+  if (!seen_[n][m.src].insert(f->seq).second) {
+    ++dups_;
+    return;
+  }
+  ++delivered_;
+  auto it = handlers_.find(n);
+  if (it != handlers_.end() && it->second) it->second(m.src, f->payload);
+}
+
+duration reliable_p2p::p2p_bound(std::size_t size_bytes) const {
+  return params_.retry_spacing * params_.omission_degree +
+         sys_->network().worst_case_latency(size_bytes);
+}
+
+// ------------------------------------------------------- reliable_broadcast
+
+reliable_broadcast::reliable_broadcast(core::system& sys, params p)
+    : sys_(&sys), params_(p) {
+  for (node_id n = 0; n < sys_->node_count(); ++n) {
+    logs_[n];
+    sys_->net(n).on_channel(ch_reliable_bcast,
+                            [this, n](const sim::message& m) {
+                              on_message(n, m);
+                            });
+  }
+}
+
+void reliable_broadcast::broadcast(node_id src, std::any payload,
+                                   std::size_t size_bytes) {
+  bcast_msg msg;
+  msg.origin = src;
+  msg.seq = next_seq_++;
+  msg.sent_at = sys_->now();
+  msg.payload = std::move(payload);
+  // Local delivery first (the sender is a destination too), then diffusion.
+  accept(src, msg);
+  sys_->net(src).send_all(ch_reliable_bcast, msg, size_bytes);
+}
+
+void reliable_broadcast::on_message(node_id n, const sim::message& m) {
+  const auto* msg = std::any_cast<bcast_msg>(&m.payload);
+  if (msg == nullptr) return;
+  accept(n, *msg);
+}
+
+void reliable_broadcast::accept(node_id n, const bcast_msg& msg) {
+  if (!seen_[n].insert({msg.origin, msg.seq}).second) return;  // duplicate
+  // Relay on first receipt: this is what makes the primitive tolerate a
+  // sender crash after a partial send (agreement).
+  if (n != msg.origin) {
+    ++relays_;
+    sys_->net(n).send_all(ch_reliable_bcast, msg, 64);
+  }
+  if (!params_.total_order) {
+    deliver(n, msg);
+    return;
+  }
+  // Delta-delivery: deliver at sent_at + Delta; the engine's deterministic
+  // tie-break plus the (timestamp, origin, seq) key yields a total order
+  // across nodes.
+  const time_point due = msg.sent_at + params_.stability_delay;
+  const time_point at = std::max(due, sys_->now());
+  sys_->engine().at(at, [this, n, msg] {
+    if (!sys_->crashed(n)) deliver(n, msg);
+  });
+}
+
+void reliable_broadcast::deliver(node_id n, const bcast_msg& msg) {
+  logs_[n].emplace_back(msg.origin, msg.seq);
+  ++delivered_;
+  auto it = handlers_.find(n);
+  if (it != handlers_.end() && it->second) it->second(msg);
+}
+
+duration reliable_broadcast::delivery_bound(std::size_t size_bytes) const {
+  const duration hop = sys_->network().worst_case_latency(size_bytes);
+  const duration base = hop * 2;  // direct + one relay hop
+  return params_.total_order ? std::max(base, params_.stability_delay) : base;
+}
+
+}  // namespace hades::svc

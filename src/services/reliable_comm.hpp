@@ -1,0 +1,116 @@
+// Time-bounded reliable communication (paper section 2.2.1, services (i):
+// time-bounded point-to-point communication and time-bounded
+// multicast/broadcast — "Rel. Bcast" / "Rel. Mcast" of Figure 1).
+//
+// Point-to-point: omission failures of degree k are masked by sending k+1
+// copies spaced by `retry_spacing`; receivers deduplicate on (src, seq).
+// Worst-case delivery latency is therefore
+//     k * retry_spacing + delta_max + per-byte cost
+// which `p2p_bound()` exposes for feasibility integration.
+//
+// Broadcast: flooding diffusion — on first receipt every node relays the
+// message once, so if any correct node delivers, every correct node
+// delivers even when the sender crashes mid-broadcast (agreement).
+// Optional Delta-delivery imposes total order: messages are held back and
+// delivered at send_time + stability_delay in (timestamp, sender) order.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/system.hpp"
+#include "services/channels.hpp"
+
+namespace hades::svc {
+
+class reliable_p2p {
+ public:
+  struct params {
+    int omission_degree = 1;  // k: copies sent = k+1
+    duration retry_spacing = duration::microseconds(200);
+  };
+
+  using deliver_fn = std::function<void(node_id src, const std::any& payload)>;
+
+  reliable_p2p(core::system& sys, params p);
+
+  void on_deliver(node_id n, deliver_fn fn) { handlers_[n] = std::move(fn); }
+  void send(node_id src, node_id dst, std::any payload,
+            std::size_t size_bytes = 64);
+
+  /// Worst-case fault-free + <=k-omission delivery bound for `size` bytes.
+  [[nodiscard]] duration p2p_bound(std::size_t size_bytes) const;
+
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const { return dups_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  struct frame {
+    std::uint64_t seq;
+    std::any payload;
+  };
+  void on_message(node_id n, const sim::message& m);
+
+  core::system* sys_;
+  params params_;
+  std::map<node_id, deliver_fn> handlers_;
+  std::uint64_t next_seq_ = 1;
+  std::map<node_id, std::map<node_id, std::set<std::uint64_t>>> seen_;
+  std::uint64_t dups_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+class reliable_broadcast {
+ public:
+  struct params {
+    bool total_order = false;
+    duration stability_delay = duration::milliseconds(2);  // Delta
+  };
+
+  struct bcast_msg {
+    node_id origin = invalid_node;
+    std::uint64_t seq = 0;
+    time_point sent_at;
+    std::any payload;
+  };
+
+  using deliver_fn = std::function<void(const bcast_msg&)>;
+
+  reliable_broadcast(core::system& sys, params p);
+
+  void on_deliver(node_id n, deliver_fn fn) { handlers_[n] = std::move(fn); }
+  void broadcast(node_id src, std::any payload, std::size_t size_bytes = 64);
+
+  /// Agreement bound: one hop to every node plus one relay hop.
+  [[nodiscard]] duration delivery_bound(std::size_t size_bytes) const;
+
+  [[nodiscard]] std::uint64_t relays() const { return relays_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  /// Per-node sequence of delivered (origin, seq) pairs — for
+  /// agreement/total-order assertions in tests.
+  [[nodiscard]] const std::vector<std::pair<node_id, std::uint64_t>>&
+  delivery_log(node_id n) const {
+    return logs_.at(n);
+  }
+
+ private:
+  void on_message(node_id n, const sim::message& m);
+  void accept(node_id n, const bcast_msg& msg);
+  void deliver(node_id n, const bcast_msg& msg);
+
+  core::system* sys_;
+  params params_;
+  std::map<node_id, deliver_fn> handlers_;
+  std::map<node_id, std::set<std::pair<node_id, std::uint64_t>>> seen_;
+  std::map<node_id, std::vector<std::pair<node_id, std::uint64_t>>> logs_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t relays_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace hades::svc

@@ -1,0 +1,115 @@
+// Replication service (paper section 2.2.1, service (ii)): passive, active
+// and semi-active replication in the taxonomy of [Pol96].
+//
+// The replicated object is a deterministic state machine (user-supplied
+// apply function over an int64 register vector). Clients submit requests
+// through `submit()`; the style determines the coordination:
+//
+//  * active      — every replica executes every request (delivered through
+//                  the reliable broadcast layer) and replies; the client
+//                  side deduplicates on the first reply. A crash of any
+//                  minority of replicas is masked with zero failover time.
+//  * passive     — only the primary executes; it checkpoints (state, seq)
+//                  to the backups after each request. On primary crash the
+//                  fault detector promotes the next live replica, which
+//                  resumes from the last checkpoint. Requests issued during
+//                  the failover window are re-routed after promotion.
+//  * semi-active — the leader chooses the processing order (the
+//                  nondeterministic decision) and followers execute in that
+//                  order too; every replica holds current state, so
+//                  failover needs no state transfer, only leader handover.
+//
+// bench_replication (E8) measures per-request overhead and failover time
+// for the three styles.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/system.hpp"
+#include "services/channels.hpp"
+#include "services/fault_detector.hpp"
+
+namespace hades::svc {
+
+enum class replication_style { active, passive, semi_active };
+
+[[nodiscard]] constexpr const char* to_string(replication_style s) {
+  switch (s) {
+    case replication_style::active: return "active";
+    case replication_style::passive: return "passive";
+    case replication_style::semi_active: return "semi-active";
+  }
+  return "?";
+}
+
+class replicated_service {
+ public:
+  struct request {
+    std::uint64_t id = 0;
+    std::int64_t value = 0;
+  };
+  struct state_t {
+    std::int64_t accumulator = 0;
+    std::uint64_t applied_seq = 0;
+  };
+  /// Deterministic application logic: new accumulator value.
+  using apply_fn = std::function<std::int64_t(std::int64_t acc, std::int64_t)>;
+  using reply_fn = std::function<void(std::uint64_t req_id, std::int64_t)>;
+
+  struct params {
+    replication_style style = replication_style::active;
+    std::vector<node_id> replicas;
+  };
+
+  replicated_service(core::system& sys, fault_detector& fd, params p,
+                     apply_fn apply = nullptr);
+
+  /// Submit a request from a client node; the reply callback fires once per
+  /// request (first stable reply).
+  void submit(node_id client, std::int64_t value);
+  void on_reply(reply_fn fn) { reply_ = std::move(fn); }
+
+  [[nodiscard]] node_id current_primary() const { return primary_; }
+  [[nodiscard]] const state_t& replica_state(node_id n) const {
+    return state_.at(n);
+  }
+  [[nodiscard]] std::uint64_t replies() const { return replies_; }
+  [[nodiscard]] std::uint64_t checkpoints() const { return checkpoints_; }
+  [[nodiscard]] std::uint64_t executions() const { return executions_; }
+
+ private:
+  struct wire {
+    enum class kind : std::uint8_t { execute, reply, checkpoint, order };
+    kind k = kind::execute;
+    request req;
+    state_t snapshot;   // checkpoint payload
+    node_id client = invalid_node;
+  };
+
+  void on_message(node_id n, const sim::message& m);
+  void execute(node_id n, const request& r, node_id client, bool reply);
+  void promote(node_id failed);
+  [[nodiscard]] bool is_replica(node_id n) const;
+
+  core::system* sys_;
+  params params_;
+  apply_fn apply_;
+  reply_fn reply_;
+  node_id primary_;
+  std::map<node_id, state_t> state_;
+  std::map<node_id, std::set<std::uint64_t>> executed_;  // dedup per replica
+  std::set<std::uint64_t> replied_;                      // client-side dedup
+  std::vector<std::pair<node_id, request>> pending_;     // awaiting failover
+  std::uint64_t next_req_ = 1;
+  std::uint64_t replies_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t executions_ = 0;
+};
+
+}  // namespace hades::svc

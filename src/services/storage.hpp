@@ -1,0 +1,62 @@
+// Persistent storage service (paper section 2.2.1, service (iv)).
+//
+// Stable storage in the classic two-copy construction: every record is kept
+// as two checksummed, versioned replicas on the simulated disk. A write
+// updates copy A, then copy B; a crash between the two leaves exactly one
+// valid newer copy, and `recover()` repairs by picking, per record, the
+// newest copy with a valid checksum. Tests drive crash injection at every
+// write step and assert atomicity (a read never observes a torn record)
+// plus durability of the last completed put.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace hades::svc {
+
+class stable_store {
+ public:
+  /// When to crash relative to the next put (fault injection).
+  enum class crash_point { none, before_first_copy, between_copies, after_both };
+
+  /// Read of one logical record.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Atomic durable write. Returns false when the injected crash stopped
+  /// the write (the store is then "down" until recover()).
+  bool put(const std::string& key, std::string value);
+
+  /// Simulated reboot: validates both copies of every record and repairs
+  /// the losing copy from the winner. Returns the number of repaired records.
+  std::size_t repair_and_restart();
+
+  void inject_crash(crash_point p) { crash_ = p; }
+  [[nodiscard]] bool is_down() const { return down_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+ private:
+  struct copy {
+    std::uint64_t version = 0;
+    std::string value;
+    std::uint64_t checksum = 0;
+    bool valid() const;
+  };
+  struct record {
+    copy a;
+    copy b;
+  };
+  static std::uint64_t checksum_of(std::uint64_t version,
+                                   const std::string& value);
+  [[nodiscard]] const copy* best_of(const record& r) const;
+
+  std::map<std::string, record> disk_;
+  crash_point crash_ = crash_point::none;
+  bool down_ = false;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace hades::svc

@@ -1,0 +1,67 @@
+#include "sim/engine.hpp"
+
+namespace hades::sim {
+
+event_id engine::at(time_point t, event_fn fn) {
+  require(!t.is_infinite(), "engine::at: cannot schedule at infinity");
+  require(t >= now_, "engine::at: cannot schedule in the past");
+  require(static_cast<bool>(fn), "engine::at: empty event function");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(entry{t, seq, std::move(fn)});
+  pending_ids_.insert(seq);
+  return event_id{seq};
+}
+
+void engine::cancel(event_id id) {
+  if (id.value == 0) return;
+  if (pending_ids_.erase(id.value) > 0) cancelled_.insert(id.value);
+}
+
+bool engine::pop_next(entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the closure must be copied out. Closures
+    // in HADES are small (pointer/id captures), so the copy is cheap.
+    entry e = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(e.seq) > 0) continue;
+    pending_ids_.erase(e.seq);
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+bool engine::step() {
+  entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.t;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::size_t engine::run_until(time_point t) {
+  std::size_t n = 0;
+  for (;;) {
+    if (queue_.empty()) break;
+    const entry& top = queue_.top();
+    if (cancelled_.contains(top.seq)) {
+      cancelled_.erase(top.seq);
+      queue_.pop();
+      continue;
+    }
+    if (top.t > t) break;
+    step();
+    ++n;
+  }
+  if (!t.is_infinite() && t > now_) now_ = t;
+  return n;
+}
+
+std::size_t engine::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace hades::sim

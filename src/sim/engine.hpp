@@ -1,0 +1,90 @@
+// Discrete-event simulation engine.
+//
+// This is the substrate that replaces the paper's Pentium/ATM testbed (see
+// DESIGN.md, substitution table). It provides a deterministic, totally
+// ordered event timeline: events scheduled at the same instant fire in the
+// order they were scheduled, so every run of a HADES experiment is exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace hades::sim {
+
+using event_fn = std::function<void()>;
+
+/// Opaque handle allowing cancellation of a scheduled event.
+struct event_id {
+  std::uint64_t value = 0;
+  friend constexpr bool operator==(event_id, event_id) = default;
+};
+
+inline constexpr event_id invalid_event{0};
+
+class engine {
+ public:
+  engine() = default;
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  [[nodiscard]] time_point now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (must be >= now()).
+  event_id at(time_point t, event_fn fn);
+
+  /// Schedule `fn` to run after `d` has elapsed. An infinite delay never fires.
+  event_id after(duration d, event_fn fn) {
+    if (d.is_infinite()) return invalid_event;
+    return at(now_ + d, std::move(fn));
+  }
+
+  /// Cancel a previously scheduled event. Safe with invalid_event, with an
+  /// already-fired id, and when called twice.
+  void cancel(event_id id);
+
+  /// Run the next pending event, if any. Returns false when idle.
+  bool step();
+
+  /// Run all events with timestamp <= t; afterwards now() == t.
+  /// Returns the number of events executed.
+  std::size_t run_until(time_point t);
+
+  /// Run until the event queue drains (or `max_events` executed).
+  std::size_t run(std::size_t max_events = 100'000'000);
+
+  [[nodiscard]] bool empty() const { return pending_ids_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return pending_ids_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct entry {
+    time_point t;
+    std::uint64_t seq;
+    event_fn fn;
+  };
+  struct later {
+    bool operator()(const entry& a, const entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(entry& out);
+
+  std::priority_queue<entry, std::vector<entry>, later> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;    // scheduled, not cancelled
+  std::unordered_set<std::uint64_t> cancelled_;      // cancelled, still queued
+  time_point now_ = time_point::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hades::sim

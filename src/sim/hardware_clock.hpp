@@ -1,0 +1,70 @@
+// Per-node hardware clock with bounded drift and a Byzantine fault mode.
+//
+// The paper's fault model (section 2.1) admits Byzantine failures for
+// clocks; the Lundelius–Lynch clock-synchronization service (section 2.2.1)
+// tolerates them for n >= 3f+1. The hardware clock models a crystal with a
+// constant drift rate rho: H(t) = base_local + (t - base_real) * (1 + rho).
+// A logical clock is derived as C(t) = H(t) + adjustment; the clock-sync
+// service applies discrete corrections to the adjustment term.
+#pragma once
+
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "util/time.hpp"
+
+namespace hades::sim {
+
+class hardware_clock {
+ public:
+  /// `drift_rate` is rho (e.g. 1e-5 = 10 ppm). May be negative.
+  explicit hardware_clock(const engine& eng, double drift_rate = 0.0,
+                          duration initial_offset = duration::zero())
+      : eng_(&eng), drift_(drift_rate), base_local_(initial_offset) {}
+
+  /// Raw hardware clock reading (local elapsed time since simulation start).
+  [[nodiscard]] duration read_hardware() const {
+    if (fault_) return fault_(eng_->now());
+    const duration real = eng_->now() - base_real_;
+    return base_local_ + real + real.scaled(drift_);
+  }
+
+  /// Logical (synchronized) clock reading: hardware + accumulated adjustment.
+  [[nodiscard]] duration read() const { return read_hardware() + adjustment_; }
+
+  /// Apply a discrete correction to the logical clock (clock-sync service).
+  void adjust(duration delta) { adjustment_ += delta; }
+
+  [[nodiscard]] duration adjustment() const { return adjustment_; }
+  [[nodiscard]] double drift_rate() const { return drift_; }
+
+  /// Change the drift rate going forward; the raw reading stays continuous.
+  void set_drift_rate(double rho) {
+    rebase();
+    drift_ = rho;
+  }
+
+  /// Install a Byzantine fault: the hardware reading becomes arbitrary.
+  /// Passing nullptr clears the fault; the clock resumes (continuously) from
+  /// its last faulty reading, so the sync service must re-correct it.
+  void set_fault(std::function<duration(time_point)> fault) {
+    if (!fault) rebase();
+    fault_ = std::move(fault);
+  }
+  [[nodiscard]] bool is_faulty() const { return static_cast<bool>(fault_); }
+
+ private:
+  void rebase() {
+    base_local_ = read_hardware();
+    base_real_ = eng_->now();
+  }
+
+  const engine* eng_;
+  double drift_;
+  time_point base_real_ = time_point::zero();
+  duration base_local_;
+  duration adjustment_ = duration::zero();
+  std::function<duration(time_point)> fault_;
+};
+
+}  // namespace hades::sim

@@ -1,0 +1,98 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace hades::sim {
+
+std::vector<node_id> network::attached_nodes() const {
+  std::vector<node_id> out;
+  out.reserve(handlers_.size());
+  for (const auto& [n, h] : handlers_) out.push_back(n);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool network::should_drop(node_id src, node_id dst) {
+  if (auto it = link_down_.find({src, dst}); it != link_down_.end() && it->second)
+    return true;
+  if (auto it = scripted_drops_.find({src, dst});
+      it != scripted_drops_.end() && it->second > 0) {
+    --it->second;
+    return true;
+  }
+  double p = omission_rate_;
+  if (auto it = link_omission_.find({src, dst}); it != link_omission_.end())
+    p = it->second;
+  return p > 0.0 && rng_.chance(p);
+}
+
+duration network::sample_latency(std::size_t size_bytes, bool& late) {
+  const std::int64_t jitter_span =
+      (params_.delta_max - params_.delta_min).count();
+  duration lat = params_.delta_min +
+                 duration::nanoseconds(jitter_span > 0
+                                           ? rng_.uniform_int(0, jitter_span)
+                                           : 0) +
+                 params_.per_byte * static_cast<std::int64_t>(size_bytes);
+  late = late_rate_ > 0.0 && rng_.chance(late_rate_);
+  if (late) lat += late_extra_;
+  return lat;
+}
+
+std::uint64_t network::unicast(node_id src, node_id dst, int channel,
+                               std::any payload, std::size_t size_bytes) {
+  message m;
+  m.src = src;
+  m.dst = dst;
+  m.channel = channel;
+  m.payload = std::move(payload);
+  m.size_bytes = size_bytes;
+  m.id = next_id_++;
+  m.sent_at = eng_->now();
+  ++stats_.sent;
+
+  if (should_drop(src, dst)) {
+    ++stats_.dropped;
+    return m.id;
+  }
+
+  bool late = false;
+  const duration lat = sample_latency(size_bytes, late);
+  if (late) ++stats_.late;
+
+  time_point deliver_at = eng_->now() + lat;
+  // ATM virtual circuits are FIFO: never deliver before an earlier frame on
+  // the same link.
+  auto& last = last_delivery_[{src, dst}];
+  if (deliver_at < last) deliver_at = last;
+  last = deliver_at;
+
+  eng_->at(deliver_at, [this, m = std::move(m)]() {
+    auto it = handlers_.find(m.dst);
+    if (it == handlers_.end() || !it->second) {
+      ++stats_.dropped;  // destination crashed in flight
+      return;
+    }
+    ++stats_.delivered;
+    if (observer_) observer_(m);
+    it->second(m);
+  });
+  return next_id_ - 1;
+}
+
+std::vector<std::uint64_t> network::broadcast(node_id src, int channel,
+                                              const std::any& payload,
+                                              std::size_t size_bytes) {
+  std::vector<std::uint64_t> ids;
+  for (node_id n : attached_nodes()) {
+    if (n == src) continue;
+    ids.push_back(unicast(src, n, channel, payload, size_bytes));
+  }
+  return ids;
+}
+
+void network::set_link_down(node_id src, node_id dst, bool down) {
+  link_down_[{src, dst}] = down;
+}
+
+}  // namespace hades::sim

@@ -1,0 +1,130 @@
+// Simulated LAN with bounded delay and the paper's network fault model.
+//
+// The paper assumes an ATM LAN whose communication failures are omissions
+// (messages lost) and performance failures (messages delivered late,
+// section 2.1). The simulator implements exactly those semantics: delivery
+// latency is drawn uniformly from [delta_min, delta_max] plus a per-byte
+// transfer cost; faults can be injected probabilistically per link or
+// scripted deterministically ("drop the next k messages from a to b").
+// Per-link FIFO order is preserved, as on an ATM virtual circuit.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace hades::sim {
+
+/// One frame on the wire. Payloads are type-erased values (the simulation is
+/// in-process; services down-cast on their own channel).
+struct message {
+  node_id src = invalid_node;
+  node_id dst = invalid_node;
+  int channel = 0;
+  std::any payload;
+  std::size_t size_bytes = 0;
+  std::uint64_t id = 0;
+  time_point sent_at;
+};
+
+class network {
+ public:
+  struct params {
+    duration delta_min = duration::microseconds(10);
+    duration delta_max = duration::microseconds(50);
+    duration per_byte = duration::nanoseconds(8);  // ~1 Gbit/s
+  };
+
+  using handler = std::function<void(const message&)>;
+
+  network(engine& eng, params p, std::uint64_t seed = 42)
+      : eng_(&eng), params_(p), rng_(seed) {
+    validate(p.delta_min <= p.delta_max, "network: delta_min > delta_max");
+    validate(!p.delta_max.is_infinite(), "network: delta_max must be finite");
+  }
+
+  /// Attach a node's receive handler. A node without a handler silently
+  /// drops inbound traffic (models a crashed or absent node).
+  void attach(node_id n, handler h) { handlers_[n] = std::move(h); }
+  void detach(node_id n) { handlers_.erase(n); }
+  [[nodiscard]] bool attached(node_id n) const { return handlers_.contains(n); }
+  [[nodiscard]] std::vector<node_id> attached_nodes() const;
+
+  /// Send one message. Returns the message id (0 if dropped at submit time
+  /// because the destination never attached).
+  std::uint64_t unicast(node_id src, node_id dst, int channel, std::any payload,
+                        std::size_t size_bytes = 64);
+
+  /// Send to every attached node except the sender. Returns ids.
+  std::vector<std::uint64_t> broadcast(node_id src, int channel,
+                                       const std::any& payload,
+                                       std::size_t size_bytes = 64);
+
+  // --- fault injection -------------------------------------------------
+  /// Probability that any message is lost (global omission rate).
+  void set_omission_rate(double p) { omission_rate_ = p; }
+  /// Per-link omission probability, overrides the global rate.
+  void set_link_omission(node_id src, node_id dst, double p) {
+    link_omission_[{src, dst}] = p;
+  }
+  /// Deterministically drop the next `count` messages src -> dst.
+  void drop_next(node_id src, node_id dst, int count) {
+    scripted_drops_[{src, dst}] += count;
+  }
+  /// Take a whole link down / up.
+  void set_link_down(node_id src, node_id dst, bool down);
+  /// Performance failures: with probability p, add `extra` delay.
+  void set_performance_fault(double p, duration extra) {
+    late_rate_ = p;
+    late_extra_ = extra;
+  }
+
+  // --- observability ---------------------------------------------------
+  struct counters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t late = 0;
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+  [[nodiscard]] const params& config() const { return params_; }
+
+  /// Worst-case fault-free delivery latency for a message of `size` bytes.
+  [[nodiscard]] duration worst_case_latency(std::size_t size_bytes) const {
+    return params_.delta_max + params_.per_byte * static_cast<std::int64_t>(size_bytes);
+  }
+
+  /// Observer invoked on every delivery (tracing).
+  void set_delivery_observer(std::function<void(const message&)> obs) {
+    observer_ = std::move(obs);
+  }
+
+ private:
+  duration sample_latency(std::size_t size_bytes, bool& late);
+  bool should_drop(node_id src, node_id dst);
+
+  engine* eng_;
+  params params_;
+  rng rng_;
+  std::unordered_map<node_id, handler> handlers_;
+  std::map<std::pair<node_id, node_id>, double> link_omission_;
+  std::map<std::pair<node_id, node_id>, int> scripted_drops_;
+  std::map<std::pair<node_id, node_id>, bool> link_down_;
+  std::map<std::pair<node_id, node_id>, time_point> last_delivery_;  // FIFO per link
+  double omission_rate_ = 0.0;
+  double late_rate_ = 0.0;
+  duration late_extra_ = duration::zero();
+  std::uint64_t next_id_ = 1;
+  counters stats_;
+  std::function<void(const message&)> observer_;
+};
+
+}  // namespace hades::sim

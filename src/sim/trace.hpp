@@ -1,0 +1,83 @@
+// Execution trace recorder.
+//
+// Records the observable events of a HADES run — thread state transitions,
+// dispatcher/scheduler notifications, priority changes, monitor verdicts —
+// so that tests can assert on exact cooperation sequences (the Figure 2
+// reproduction checks the Atv / priority-change / Trm trace verbatim) and
+// examples can render ASCII Gantt timelines.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace hades::sim {
+
+enum class trace_kind {
+  thread_created,
+  thread_runnable,
+  thread_running,
+  thread_preempted,
+  thread_blocked,
+  thread_done,
+  thread_killed,
+  notification,       // dispatcher -> scheduler FIFO insert
+  priority_change,    // scheduler primitive
+  earliest_change,    // scheduler primitive
+  instance_activated,
+  instance_completed,
+  instance_aborted,
+  monitor_event,
+  message_sent,
+  message_delivered,
+  service_event,
+  custom,
+};
+
+[[nodiscard]] std::string_view to_string(trace_kind k);
+
+struct trace_event {
+  time_point t;
+  node_id node = invalid_node;
+  trace_kind kind = trace_kind::custom;
+  std::string subject;  // thread / task / service name
+  std::string detail;
+};
+
+class trace_recorder {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(time_point t, node_id node, trace_kind kind, std::string subject,
+              std::string detail = {}) {
+    if (!enabled_) return;
+    events_.push_back({t, node, kind, std::move(subject), std::move(detail)});
+  }
+
+  [[nodiscard]] const std::vector<trace_event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// All events of one kind, in order.
+  [[nodiscard]] std::vector<trace_event> of_kind(trace_kind k) const;
+
+  /// All events whose subject matches exactly.
+  [[nodiscard]] std::vector<trace_event> for_subject(std::string_view subject) const;
+
+  /// Human-readable dump of the full trace.
+  [[nodiscard]] std::string render_log() const;
+
+  /// ASCII Gantt chart of thread execution between t0 and t1 with the given
+  /// column resolution. One row per subject that ran in the window.
+  [[nodiscard]] std::string render_gantt(time_point t0, time_point t1,
+                                         duration column) const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<trace_event> events_;
+};
+
+}  // namespace hades::sim

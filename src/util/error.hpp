@@ -1,0 +1,34 @@
+// Error handling helpers.
+//
+// HADES follows the C++ Core Guidelines: configuration and construction
+// errors throw `hades::error`; internal invariants are checked with
+// `require()` which throws `hades::invariant_violation` — tests rely on
+// these being real exceptions rather than aborts.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hades {
+
+class error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class invariant_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Precondition / invariant check. Always on (safety-critical domain).
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw invariant_violation(message);
+}
+
+/// Configuration validation helper: throws hades::error on failure.
+inline void validate(bool condition, const std::string& message) {
+  if (!condition) throw error(message);
+}
+
+}  // namespace hades

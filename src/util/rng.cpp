@@ -1,0 +1,14 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace hades {
+
+double rng::exponential(double mean) {
+  require(mean > 0.0, "rng::exponential: mean must be positive");
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+}  // namespace hades

@@ -1,0 +1,29 @@
+#include "util/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hades {
+
+std::string duration::to_string() const {
+  if (is_infinite()) return "inf";
+  char buf[64];
+  const std::int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns >= 1'000'000'000 && ns_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds());
+  } else if (abs_ns >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns_) / 1e6);
+  } else if (abs_ns >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRId64 "ns", ns_);
+  }
+  return buf;
+}
+
+std::string time_point::to_string() const {
+  if (is_infinite()) return "t=inf";
+  return "t=" + since_epoch().to_string();
+}
+
+}  // namespace hades

@@ -1,0 +1,134 @@
+// Strong time types for HADES.
+//
+// All of HADES reasons about time as 64-bit signed nanosecond counts. Two
+// distinct vocabulary types are provided so that absolute dates and spans
+// cannot be confused: `duration` (a span) and `time_point` (an absolute
+// simulated date). Both support a saturating "infinity" used for open-ended
+// timing attributes (e.g. a latest start time that is never enforced, or a
+// scheduler gate that holds a thread indefinitely — see DESIGN.md).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hades {
+
+namespace detail {
+inline constexpr std::int64_t time_infinity = std::numeric_limits<std::int64_t>::max();
+
+constexpr std::int64_t saturating_add(std::int64_t a, std::int64_t b) {
+  if (a == time_infinity || b == time_infinity) return time_infinity;
+  if (a > 0 && b > time_infinity - a) return time_infinity;
+  if (a < 0 && b < std::numeric_limits<std::int64_t>::min() - a)
+    return std::numeric_limits<std::int64_t>::min();
+  return a + b;
+}
+}  // namespace detail
+
+/// A span of simulated time in nanoseconds. Value-semantic, totally ordered.
+class duration {
+ public:
+  constexpr duration() = default;
+
+  static constexpr duration nanoseconds(std::int64_t v) { return duration{v}; }
+  static constexpr duration microseconds(std::int64_t v) { return duration{v * 1000}; }
+  static constexpr duration milliseconds(std::int64_t v) { return duration{v * 1000 * 1000}; }
+  static constexpr duration seconds(std::int64_t v) { return duration{v * 1000 * 1000 * 1000}; }
+  static constexpr duration zero() { return duration{0}; }
+  static constexpr duration infinity() { return duration{detail::time_infinity}; }
+
+  /// Nanosecond count. Infinity reports std::numeric_limits<int64_t>::max().
+  [[nodiscard]] constexpr std::int64_t count() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_microseconds() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr bool is_infinite() const { return ns_ == detail::time_infinity; }
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr auto operator<=>(const duration&) const = default;
+
+  constexpr duration operator+(duration o) const {
+    return duration{detail::saturating_add(ns_, o.ns_)};
+  }
+  constexpr duration operator-(duration o) const {
+    if (is_infinite()) return infinity();
+    return duration{detail::saturating_add(ns_, -o.ns_)};
+  }
+  constexpr duration operator*(std::int64_t k) const {
+    if (is_infinite()) return infinity();
+    return duration{ns_ * k};
+  }
+  constexpr duration operator/(std::int64_t k) const { return duration{ns_ / k}; }
+  constexpr duration& operator+=(duration o) { return *this = *this + o; }
+  constexpr duration& operator-=(duration o) { return *this = *this - o; }
+  constexpr duration operator-() const { return duration{-ns_}; }
+
+  /// Scale by a real factor (used for clock drift modelling). Rounds toward zero.
+  [[nodiscard]] constexpr duration scaled(double factor) const {
+    return duration{static_cast<std::int64_t>(static_cast<double>(ns_) * factor)};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute simulated date (nanoseconds since simulation start).
+class time_point {
+ public:
+  constexpr time_point() = default;
+
+  static constexpr time_point zero() { return time_point{0}; }
+  static constexpr time_point infinity() { return time_point{detail::time_infinity}; }
+  static constexpr time_point at(duration since_epoch) {
+    return time_point{since_epoch.count()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t nanoseconds() const { return ns_; }
+  [[nodiscard]] constexpr duration since_epoch() const {
+    return duration::nanoseconds(ns_);
+  }
+  [[nodiscard]] constexpr bool is_infinite() const { return ns_ == detail::time_infinity; }
+
+  constexpr auto operator<=>(const time_point&) const = default;
+
+  constexpr time_point operator+(duration d) const {
+    return time_point{detail::saturating_add(ns_, d.count())};
+  }
+  constexpr time_point operator-(duration d) const {
+    if (is_infinite()) return infinity();
+    return time_point{detail::saturating_add(ns_, -d.count())};
+  }
+  constexpr duration operator-(time_point o) const {
+    if (is_infinite()) return duration::infinity();
+    return duration::nanoseconds(ns_ - o.ns_);
+  }
+  constexpr time_point& operator+=(duration d) { return *this = *this + d; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr time_point(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr duration operator"" _ns(unsigned long long v) {
+  return duration::nanoseconds(static_cast<std::int64_t>(v));
+}
+constexpr duration operator"" _us(unsigned long long v) {
+  return duration::microseconds(static_cast<std::int64_t>(v));
+}
+constexpr duration operator"" _ms(unsigned long long v) {
+  return duration::milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr duration operator"" _s(unsigned long long v) {
+  return duration::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace hades

@@ -1,0 +1,243 @@
+#include "core/task_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hades::core {
+namespace {
+
+using namespace hades::literals;
+
+task_graph diamond() {
+  // a -> b, a -> c, b -> d, c -> d ; b on another node
+  task_builder b("diamond");
+  b.deadline(10_ms).law(arrival_law::periodic(20_ms));
+  const auto a = b.add_code_eu("a", 0, 1_ms);
+  const auto bb = b.add_code_eu("b", 1, 2_ms);
+  const auto c = b.add_code_eu("c", 0, 3_ms);
+  const auto d = b.add_code_eu("d", 0, 4_ms);
+  b.precede(a, bb, 128).precede(a, c).precede(bb, d, 64).precede(c, d);
+  return b.build();
+}
+
+TEST(TaskModelTest, BuilderProducesValidGraph) {
+  const auto g = diamond();
+  EXPECT_EQ(g.name(), "diamond");
+  EXPECT_EQ(g.eu_count(), 4u);
+  EXPECT_EQ(g.deadline(), 10_ms);
+  EXPECT_EQ(g.law().kind, arrival_kind::periodic);
+  EXPECT_EQ(g.law().period, 20_ms);
+}
+
+TEST(TaskModelTest, PredsAndSuccs) {
+  const auto g = diamond();
+  EXPECT_TRUE(g.is_source(0));
+  EXPECT_TRUE(g.is_sink(3));
+  EXPECT_EQ(g.preds(3).size(), 2u);
+  EXPECT_EQ(g.succs(0).size(), 2u);
+  EXPECT_FALSE(g.is_source(1));
+  EXPECT_FALSE(g.is_sink(0));
+}
+
+TEST(TaskModelTest, TopologicalOrderRespectsPrecedence) {
+  const auto g = diamond();
+  const auto& topo = g.topological_order();
+  ASSERT_EQ(topo.size(), 4u);
+  auto pos = [&](eu_index i) {
+    return std::find(topo.begin(), topo.end(), i) - topo.begin();
+  };
+  for (const auto& p : g.precedences()) EXPECT_LT(pos(p.from), pos(p.to));
+}
+
+TEST(TaskModelTest, RemotePrecedenceDetection) {
+  const auto g = diamond();
+  EXPECT_TRUE(g.is_remote(g.precedences()[0]));   // a(0) -> b(1)
+  EXPECT_FALSE(g.is_remote(g.precedences()[1]));  // a -> c
+  EXPECT_EQ(g.local_precedence_count(), 2u);
+}
+
+TEST(TaskModelTest, ProcessorsAndHomeNode) {
+  const auto g = diamond();
+  EXPECT_EQ(g.processors(), (std::vector<node_id>{0, 1}));
+  EXPECT_EQ(g.home_node(), 0u);
+}
+
+TEST(TaskModelTest, TotalWcet) {
+  EXPECT_EQ(diamond().total_wcet(), 10_ms);
+}
+
+TEST(TaskModelTest, EmptyTaskThrows) {
+  task_builder b("empty");
+  EXPECT_THROW(b.build(), error);
+}
+
+TEST(TaskModelTest, ZeroWcetThrows) {
+  task_builder b("t");
+  EXPECT_THROW(b.add_code_eu("x", 0, duration::zero()), error);
+}
+
+TEST(TaskModelTest, InfiniteWcetThrows) {
+  task_builder b("t");
+  EXPECT_THROW(b.add_code_eu("x", 0, duration::infinity()), error);
+}
+
+TEST(TaskModelTest, CycleThrows) {
+  task_builder b("cyclic");
+  const auto x = b.add_code_eu("x", 0, 1_ms);
+  const auto y = b.add_code_eu("y", 0, 1_ms);
+  b.precede(x, y).precede(y, x);
+  EXPECT_THROW(b.build(), error);
+}
+
+TEST(TaskModelTest, SelfLoopThrows) {
+  task_builder b("t");
+  const auto x = b.add_code_eu("x", 0, 1_ms);
+  EXPECT_THROW(b.precede(x, x), error);
+}
+
+TEST(TaskModelTest, UnknownEuInPrecedenceThrows) {
+  task_builder b("t");
+  const auto x = b.add_code_eu("x", 0, 1_ms);
+  EXPECT_THROW(b.precede(x, 5), error);
+}
+
+TEST(TaskModelTest, DuplicateEuNamesThrow) {
+  task_builder b("t");
+  b.add_code_eu("x", 0, 1_ms);
+  b.add_code_eu("x", 0, 1_ms);
+  EXPECT_THROW(b.build(), error);
+}
+
+TEST(TaskModelTest, DuplicateResourceClaimThrows) {
+  task_builder b("t");
+  code_eu eu;
+  eu.name = "x";
+  eu.wcet = 1_ms;
+  eu.resources = {{7, access_mode::shared}, {7, access_mode::exclusive}};
+  EXPECT_THROW(b.add_code_eu(std::move(eu)), error);
+}
+
+TEST(TaskModelTest, PriorityOutsideBandThrows) {
+  task_builder b("t");
+  code_eu eu;
+  eu.name = "x";
+  eu.wcet = 1_ms;
+  eu.attrs.prio = prio::kernel;  // reserved for kernel mechanisms
+  EXPECT_THROW(b.add_code_eu(std::move(eu)), error);
+}
+
+TEST(TaskModelTest, PreemptionThresholdNormalizedUpToPriority) {
+  task_builder b("t");
+  code_eu eu;
+  eu.name = "x";
+  eu.wcet = 1_ms;
+  eu.attrs.prio = 50;
+  eu.attrs.preemption_threshold = 10;  // below prio: normalized
+  const auto i = b.add_code_eu(std::move(eu));
+  const auto g = b.build();
+  EXPECT_EQ(g.as_code(i)->attrs.preemption_threshold, 50);
+}
+
+TEST(TaskModelTest, InvEuRequiresValidTarget) {
+  task_builder b("t");
+  EXPECT_THROW(b.add_inv_eu("inv", invalid_task), error);
+}
+
+TEST(TaskModelTest, InvEuRoundTrip) {
+  task_builder b("caller");
+  const auto code = b.add_code_eu("pre", 0, 1_ms);
+  const auto inv = b.add_inv_eu("call", 42, invocation_kind::synchronous);
+  b.precede(code, inv);
+  const auto g = b.build();
+  ASSERT_NE(g.as_inv(inv), nullptr);
+  EXPECT_EQ(g.as_inv(inv)->target, 42u);
+  EXPECT_EQ(g.as_inv(inv)->kind, invocation_kind::synchronous);
+  EXPECT_EQ(g.as_code(inv), nullptr);
+  EXPECT_EQ(g.eu_name(inv), "call");
+}
+
+TEST(TaskModelTest, ArrivalLawValidation) {
+  EXPECT_THROW(arrival_law::periodic(duration::zero()), error);
+  EXPECT_THROW(arrival_law::periodic(duration::infinity()), error);
+  EXPECT_THROW(arrival_law::sporadic(duration::zero()), error);
+  EXPECT_EQ(arrival_law::aperiodic().kind, arrival_kind::aperiodic);
+}
+
+TEST(TaskModelTest, UsesResources) {
+  EXPECT_FALSE(diamond().uses_resources());
+  task_builder b("r");
+  code_eu eu;
+  eu.name = "x";
+  eu.wcet = 1_ms;
+  eu.resources = {{3, access_mode::exclusive}};
+  b.add_code_eu(std::move(eu));
+  EXPECT_TRUE(b.build().uses_resources());
+}
+
+// --- Figure 3: Spuri model translation ------------------------------------
+
+TEST(SpuriTranslationTest, FullTaskProducesThreeUnits) {
+  spuri_task t;
+  t.name = "tau";
+  t.processor = 2;
+  t.c_before = 1_ms;
+  t.cs = 2_ms;
+  t.c_after = 3_ms;
+  t.resource = 9;
+  t.deadline = 20_ms;
+  t.pseudo_period = 50_ms;
+  t.blocking_latest = 5_ms;
+
+  const auto g = translate_spuri(t);
+  ASSERT_EQ(g.eu_count(), 3u);
+  ASSERT_EQ(g.precedences().size(), 2u);
+  EXPECT_EQ(g.law().kind, arrival_kind::sporadic);
+  EXPECT_EQ(g.law().period, 50_ms);
+  EXPECT_EQ(g.deadline(), 20_ms);
+
+  const auto* before = g.as_code(0);
+  const auto* cs = g.as_code(1);
+  const auto* after = g.as_code(2);
+  ASSERT_TRUE(before && cs && after);
+  EXPECT_EQ(before->wcet, 1_ms);
+  EXPECT_EQ(cs->wcet, 2_ms);
+  EXPECT_EQ(after->wcet, 3_ms);
+  // Figure 3: the critical-section unit holds S and has latest = B'_i;
+  // the last unit carries D = D_i.
+  ASSERT_EQ(cs->resources.size(), 1u);
+  EXPECT_EQ(cs->resources[0].res, 9u);
+  EXPECT_EQ(cs->resources[0].mode, access_mode::exclusive);
+  EXPECT_EQ(cs->attrs.latest_offset, 5_ms);
+  EXPECT_EQ(after->attrs.deadline_offset, 20_ms);
+  EXPECT_TRUE(before->resources.empty());
+  EXPECT_TRUE(after->resources.empty());
+  // Chain precedence on one node => both constraints local.
+  EXPECT_EQ(g.local_precedence_count(), 2u);
+}
+
+TEST(SpuriTranslationTest, NoResourceProducesSingleUnitChain) {
+  spuri_task t;
+  t.name = "plain";
+  t.c_before = 4_ms;
+  t.deadline = 10_ms;
+  t.pseudo_period = 10_ms;
+  const auto g = translate_spuri(t);
+  EXPECT_EQ(g.eu_count(), 1u);
+  EXPECT_TRUE(g.precedences().empty());
+  EXPECT_FALSE(g.uses_resources());
+}
+
+TEST(SpuriTranslationTest, CsWithoutResourceThrows) {
+  spuri_task t;
+  t.name = "bad";
+  t.cs = 1_ms;  // critical section but no resource
+  EXPECT_THROW(translate_spuri(t), error);
+}
+
+TEST(SpuriTranslationTest, EmptyTaskThrows) {
+  spuri_task t;
+  t.name = "empty";
+  EXPECT_THROW(translate_spuri(t), error);
+}
+
+}  // namespace
+}  // namespace hades::core

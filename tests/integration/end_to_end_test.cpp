@@ -1,0 +1,194 @@
+// End-to-end integration: distributed HEUGs + schedulers + services
+// composed the way an application would use HADES (the paper's whole point:
+// the pieces are designed to be compatible, section 2.1).
+#include <gtest/gtest.h>
+
+#include "hades.hpp"
+
+namespace hades {
+namespace {
+
+using namespace hades::literals;
+
+core::system::config platform() {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::chorus_like();
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 80_us;
+  cfg.clock_drift = {3e-5, -2e-5, 1e-5};
+  return cfg;
+}
+
+TEST(EndToEndTest, DistributedPipelineWithRealCostsMeetsDeadlines) {
+  core::system sys(3, platform());
+  core::task_builder pipe("pipeline");
+  pipe.deadline(9_ms).law(core::arrival_law::periodic(10_ms));
+  const auto a = pipe.add_code_eu("stage_a", 0, 1_ms);
+  const auto b = pipe.add_code_eu("stage_b", 1, 2_ms);
+  const auto c = pipe.add_code_eu("stage_c", 2, 1_ms);
+  pipe.precede(a, b, 256).precede(b, c, 128);
+  const auto id = sys.register_task(pipe.build());
+  for (node_id n = 0; n < 3; ++n)
+    sys.attach_policy(n, std::make_shared<sched::edf_policy>());
+  sys.run_for(1_s);
+  // Activations at 0, 10, ..., 1000ms inclusive; the last is in flight.
+  EXPECT_EQ(sys.stats_for(id).activations, 101u);
+  EXPECT_EQ(sys.stats_for(id).completions, 100u);
+  EXPECT_EQ(sys.mon().count(core::monitor_event_kind::deadline_miss), 0u);
+  // Response includes both hops + per-hop interrupt/protocol costs.
+  EXPECT_GT(sys.stats_for(id).response_times.max(), 4e6);
+  EXPECT_LT(sys.stats_for(id).response_times.max(), 9e6);
+}
+
+TEST(EndToEndTest, ServicesComposeOnOneSystem) {
+  core::system sys(3, platform());
+  svc::clock_sync_service::params cp;
+  cp.resync_period = 100_ms;
+  cp.collect_window = 1_ms;
+  svc::clock_sync_service clocks(sys, cp);
+  clocks.start();
+  svc::fault_detector fd(sys, {10_ms, 25_ms});
+  fd.start();
+  svc::reliable_broadcast::params bp;
+  bp.total_order = true;
+  bp.stability_delay = 2_ms;
+  svc::reliable_broadcast bcast(sys, bp);
+
+  const auto t = sys.register_task([&] {
+    core::task_builder b("beat");
+    b.deadline(20_ms).law(core::arrival_law::periodic(20_ms));
+    core::code_eu e;
+    e.name = "beat";
+    e.processor = 0;
+    e.wcet = 500_us;
+    e.body = [&bcast](core::execution_context& ctx) {
+      bcast.broadcast(ctx.node(), ctx.now().nanoseconds());
+    };
+    b.add_code_eu(std::move(e));
+    return b.build();
+  }());
+  sys.attach_policy(0, std::make_shared<sched::edf_policy>());
+  sys.run_for(1_s);
+
+  EXPECT_EQ(sys.stats_for(t).completions, 50u);
+  EXPECT_EQ(bcast.delivery_log(1), bcast.delivery_log(2));
+  EXPECT_EQ(bcast.delivery_log(1).size(), 50u);
+  EXPECT_LE(clocks.max_skew(), 100_us);
+  EXPECT_FALSE(fd.suspects(1, 0));
+  EXPECT_EQ(sys.mon().count(core::monitor_event_kind::deadline_miss), 0u);
+}
+
+TEST(EndToEndTest, CrashTriggersDetectionModeSwitchAndOrphanCascade) {
+  core::system sys(3, platform());
+  svc::fault_detector fd(sys, {10_ms, 25_ms});
+  fd.start();
+  svc::mode_manager modes(sys, {.misses_for_degraded = 1,
+                                .misses_for_safe = 5,
+                                .crashes_for_safe = 1});
+  svc::dependency_tracker deps;
+  deps.attach(sys);
+
+  core::task_builder pipe("dist");
+  pipe.deadline(15_ms).law(core::arrival_law::periodic(20_ms));
+  const auto a = pipe.add_code_eu("src_eu", 0, 1_ms);
+  const auto b = pipe.add_code_eu("dst_eu", 1, 1_ms);
+  pipe.precede(a, b, 64);
+  const auto id = sys.register_task(pipe.build());
+  for (node_id n = 0; n < 3; ++n)
+    sys.attach_policy(n, std::make_shared<sched::edf_policy>());
+
+  sys.engine().at(time_point::at(205_ms), [&] { sys.crash_node(1); });
+  sys.run_for(500_ms);
+
+  EXPECT_TRUE(fd.suspects(0, 1));
+  EXPECT_EQ(modes.mode(), svc::op_mode::safe);
+  // Instances activated after the crash never complete (dst node dead).
+  const auto& st = sys.stats_for(id);
+  EXPECT_GT(st.activations, st.completions);
+  EXPECT_GT(sys.mon().count(core::monitor_event_kind::deadline_miss), 0u);
+}
+
+TEST(EndToEndTest, ReplicatedStateMachineDrivenByPeriodicTask) {
+  core::system sys(4, platform());
+  svc::fault_detector fd(sys, {5_ms, 12_ms});
+  fd.start();
+  svc::replicated_service log(sys, fd,
+                              {svc::replication_style::passive, {1, 2, 3}});
+  const auto t = sys.register_task([&] {
+    core::task_builder b("producer");
+    b.deadline(10_ms).law(core::arrival_law::periodic(10_ms));
+    core::code_eu e;
+    e.name = "producer";
+    e.processor = 0;
+    e.wcet = 300_us;
+    e.body = [&log](core::execution_context& ctx) {
+      log.submit(ctx.node(), 1);
+    };
+    b.add_code_eu(std::move(e));
+    return b.build();
+  }());
+  sys.attach_policy(0, std::make_shared<sched::edf_policy>());
+  sys.engine().at(time_point::at(250_ms), [&] { sys.crash_node(1); });
+  sys.run_for(1_s);
+
+  EXPECT_EQ(sys.stats_for(t).completions, 100u);
+  EXPECT_EQ(log.current_primary(), 2u);
+  // No request submitted after promotion is lost; in-flight ones during the
+  // detector window may be. Allow that bounded gap (12ms + margin => <= 3).
+  const auto applied = log.replica_state(2).applied_seq;
+  EXPECT_GE(applied, 97u);
+  EXPECT_LE(applied, 100u);
+}
+
+TEST(EndToEndTest, DeterministicReplayOfAComplexSystem) {
+  auto run = [] {
+    core::system sys(3, platform());
+    svc::fault_detector fd(sys, {10_ms, 25_ms});
+    fd.start();
+    core::task_builder pipe("p");
+    pipe.deadline(15_ms).law(core::arrival_law::periodic(7_ms));
+    const auto a = pipe.add_code_eu("pa", 0, 1_ms);
+    const auto b = pipe.add_code_eu("pb", 1, 2_ms);
+    pipe.precede(a, b, 64);
+    const auto id = sys.register_task(pipe.build());
+    for (node_id n = 0; n < 3; ++n)
+      sys.attach_policy(n, std::make_shared<sched::edf_policy>());
+    sys.network().set_omission_rate(0.05);
+    sys.run_for(700_ms);
+    return std::make_tuple(sys.stats_for(id).completions,
+                           sys.mon().events().size(),
+                           sys.network().stats().dropped,
+                           sys.engine().executed());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EndToEndTest, SyncInvocationAcrossNodes) {
+  core::system sys(2, platform());
+  // callee lives on node 1.
+  core::task_builder cb("callee");
+  cb.deadline(50_ms).law(core::arrival_law::aperiodic());
+  cb.add_code_eu("callee_eu", 1, 2_ms);
+  const auto callee = sys.register_task(cb.build());
+  // caller on node 0 invokes it synchronously mid-graph.
+  core::task_builder b("caller");
+  b.deadline(100_ms).law(core::arrival_law::aperiodic());
+  const auto pre = b.add_code_eu("pre", 0, 1_ms);
+  const auto inv = b.add_inv_eu("call", callee,
+                                core::invocation_kind::synchronous);
+  const auto post = b.add_code_eu("post", 0, 1_ms);
+  b.precede(pre, inv).precede(inv, post);
+  const auto caller = sys.register_task(b.build());
+  for (node_id n = 0; n < 2; ++n)
+    sys.attach_policy(n, std::make_shared<sched::edf_policy>());
+  sys.activate(caller);
+  sys.run_for(100_ms);
+  EXPECT_EQ(sys.stats_for(caller).completions, 1u);
+  EXPECT_EQ(sys.stats_for(callee).completions, 1u);
+  // Response covers pre + callee (remote, incl. network + sync return) +
+  // post, with platform costs: strictly more than the 4ms of pure work.
+  EXPECT_GT(sys.stats_for(caller).response_times.max(), 4e6);
+}
+
+}  // namespace
+}  // namespace hades

@@ -1,0 +1,142 @@
+// Randomized stress: many random systems (topology, workload, scheduler,
+// faults) executed end-to-end, checking the global invariants that must
+// hold for *any* configuration. This is the failure-injection sweep of the
+// test pyramid: nothing here asserts exact numbers, only invariants.
+#include <gtest/gtest.h>
+
+#include "hades.hpp"
+
+namespace hades {
+namespace {
+
+using namespace hades::literals;
+
+struct scenario_result {
+  std::uint64_t activations = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t rejections = 0;
+  std::size_t misses = 0;
+  std::size_t orphans = 0;
+  std::uint64_t events = 0;
+};
+
+scenario_result run_scenario(std::uint64_t seed) {
+  rng r(seed);
+  core::system::config cfg;
+  cfg.costs = r.chance(0.5) ? core::cost_model::chorus_like()
+                            : core::cost_model::zero();
+  cfg.kernel_background = r.chance(0.5);
+  cfg.tracing = false;
+  cfg.reject_arrival_violations = r.chance(0.5);
+  cfg.seed = seed;
+  const std::size_t nodes = static_cast<std::size_t>(r.uniform_int(1, 4));
+  for (std::size_t n = 0; n < nodes; ++n)
+    cfg.clock_drift.push_back(r.uniform(-1e-4, 1e-4));
+  core::system sys(nodes, cfg);
+
+  // Random tasks: single-EU periodic, resource users, distributed chains.
+  std::vector<task_id> ids;
+  const int task_count = static_cast<int>(r.uniform_int(2, 8));
+  for (int i = 0; i < task_count; ++i) {
+    const auto period = duration::milliseconds(r.uniform_int(5, 60));
+    const auto wcet = duration::microseconds(
+        r.uniform_int(200, period.count() / 4000));
+    const int shape = static_cast<int>(r.uniform_int(0, 2));
+    core::task_builder b("task" + std::to_string(i));
+    b.deadline(period).law(core::arrival_law::periodic(period));
+    b.abort_on_deadline_miss(r.chance(0.3));
+    const auto home = static_cast<node_id>(
+        r.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+    if (shape == 0) {
+      b.add_code_eu("t" + std::to_string(i), home, wcet);
+    } else if (shape == 1) {
+      core::code_eu e;
+      e.name = "t" + std::to_string(i);
+      e.processor = home;
+      e.wcet = wcet;
+      e.resources = {{static_cast<resource_id>(1000 + home),
+                      core::access_mode::exclusive}};
+      b.add_code_eu(std::move(e));
+    } else {
+      const auto other = static_cast<node_id>(
+          r.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+      const auto a = b.add_code_eu("t" + std::to_string(i) + "a", home,
+                                   wcet / 2);
+      const auto c = b.add_code_eu("t" + std::to_string(i) + "b", other,
+                                   wcet / 2);
+      b.precede(a, c, 64);
+    }
+    ids.push_back(sys.register_task(b.build()));
+  }
+
+  // Random scheduler per node.
+  std::vector<const core::task_graph*> graphs;
+  for (auto id : ids) graphs.push_back(&sys.graph(id));
+  for (std::size_t n = 0; n < nodes; ++n) {
+    switch (r.uniform_int(0, 2)) {
+      case 0:
+        sys.attach_policy(static_cast<node_id>(n),
+                          std::make_shared<sched::edf_policy>());
+        break;
+      case 1:
+        sys.attach_policy(static_cast<node_id>(n),
+                          std::make_shared<sched::edf_srp_policy>(graphs));
+        break;
+      default:
+        break;  // no policy: declared priorities
+    }
+  }
+
+  // Random faults.
+  if (r.chance(0.4)) sys.network().set_omission_rate(r.uniform(0.0, 0.2));
+  if (r.chance(0.3))
+    sys.network().set_performance_fault(r.uniform(0.0, 0.1), 1_ms);
+  if (nodes > 1 && r.chance(0.3)) {
+    const auto victim = static_cast<node_id>(
+        r.uniform_int(1, static_cast<std::int64_t>(nodes) - 1));
+    sys.engine().at(time_point::at(duration::milliseconds(
+                        r.uniform_int(50, 250))),
+                    [&sys, victim] { sys.crash_node(victim); });
+  }
+  sys.arm_deadlock_scan(50_ms);
+  sys.run_for(400_ms);
+
+  scenario_result out;
+  for (auto id : ids) {
+    const auto& st = sys.stats_for(id);
+    out.activations += st.activations;
+    out.completions += st.completions;
+    out.rejections += st.rejections;
+  }
+  out.misses = sys.mon().count(core::monitor_event_kind::deadline_miss);
+  out.orphans = sys.mon().count(core::monitor_event_kind::orphan_killed);
+  out.events = sys.engine().executed();
+  return out;
+}
+
+class StressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StressTest, InvariantsHoldUnderRandomFaults) {
+  const auto seed = static_cast<std::uint64_t>(31337 + GetParam());
+  scenario_result r;
+  // Invariant 0: no exception escapes a full run.
+  ASSERT_NO_THROW(r = run_scenario(seed));
+  // Invariant 1: conservation — completed instances never exceed
+  // activations minus rejections.
+  EXPECT_LE(r.completions, r.activations);
+  EXPECT_LE(r.rejections, r.activations + r.rejections);
+  // Invariant 2: the run made progress.
+  EXPECT_GT(r.activations, 0u);
+  EXPECT_GT(r.events, 0u);
+  // Invariant 3: determinism — the identical seed replays identically.
+  const auto again = run_scenario(seed);
+  EXPECT_EQ(r.activations, again.activations);
+  EXPECT_EQ(r.completions, again.completions);
+  EXPECT_EQ(r.misses, again.misses);
+  EXPECT_EQ(r.events, again.events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StressTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace hades

@@ -1,0 +1,112 @@
+#include "sched/fixed_priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace hades::sched {
+namespace {
+
+using namespace hades::literals;
+using core::system;
+
+system::config quiet() {
+  system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  return cfg;
+}
+
+core::task_graph periodic(const std::string& name, duration wcet, duration t,
+                          duration d) {
+  core::task_builder b(name);
+  b.deadline(d).law(core::arrival_law::periodic(t));
+  b.add_code_eu(name, 0, wcet);
+  return b.build();
+}
+
+TEST(FixedPriorityTest, RateMonotonicOrdersByPeriod) {
+  core::task_graph a = periodic("a", 1_ms, 10_ms, 10_ms);
+  core::task_graph b = periodic("b", 1_ms, 5_ms, 5_ms);
+  core::task_graph c = periodic("c", 1_ms, 20_ms, 20_ms);
+  // Fake ids for the pure assignment helper.
+  system sys(1, quiet());
+  const auto ia = sys.register_task(std::move(a));
+  const auto ib = sys.register_task(std::move(b));
+  const auto ic = sys.register_task(std::move(c));
+  const auto prios = rate_monotonic_priorities(
+      {&sys.graph(ia), &sys.graph(ib), &sys.graph(ic)});
+  EXPECT_GT(prios.at(ib), prios.at(ia));  // shortest period wins
+  EXPECT_GT(prios.at(ia), prios.at(ic));
+}
+
+TEST(FixedPriorityTest, DeadlineMonotonicOrdersByDeadline) {
+  system sys(1, quiet());
+  const auto ia = sys.register_task(periodic("a", 1_ms, 10_ms, 9_ms));
+  const auto ib = sys.register_task(periodic("b", 1_ms, 10_ms, 3_ms));
+  const auto prios = deadline_monotonic_priorities(
+      {&sys.graph(ia), &sys.graph(ib)});
+  EXPECT_GT(prios.at(ib), prios.at(ia));
+}
+
+TEST(FixedPriorityTest, RmRequiresPeriods) {
+  system sys(1, quiet());
+  core::task_builder b("aper");
+  b.add_code_eu("aper", 0, 1_ms);
+  const auto t = sys.register_task(b.build());
+  EXPECT_THROW(rate_monotonic_priorities({&sys.graph(t)}), error);
+}
+
+TEST(FixedPriorityTest, RmSchedulesHarmonicSetWithoutMisses) {
+  system sys(1, quiet());
+  const auto a = sys.register_task(periodic("a", 1_ms, 4_ms, 4_ms));
+  const auto b = sys.register_task(periodic("b", 2_ms, 8_ms, 8_ms));
+  const auto c = sys.register_task(periodic("c", 4_ms, 16_ms, 16_ms));
+  sys.attach_policy(0, make_rate_monotonic(
+      {&sys.graph(a), &sys.graph(b), &sys.graph(c)}));
+  sys.run_for(160_ms);  // U = 1.0, harmonic: RM schedules it
+  EXPECT_EQ(sys.mon().count(core::monitor_event_kind::deadline_miss), 0u);
+}
+
+TEST(FixedPriorityTest, RmShortPeriodTaskAlwaysWins) {
+  system sys(1, quiet());
+  const auto fast = sys.register_task(periodic("fast", 1_ms, 5_ms, 5_ms));
+  const auto slow = sys.register_task(periodic("slow", 8_ms, 40_ms, 40_ms));
+  sys.attach_policy(0,
+                    make_rate_monotonic({&sys.graph(fast), &sys.graph(slow)}));
+  sys.run_for(200_ms);
+  // fast is never preempted: its response time is exactly its WCET.
+  EXPECT_DOUBLE_EQ(sys.stats_for(fast).response_times.max(), 1e6);
+  EXPECT_EQ(sys.mon().count(core::monitor_event_kind::deadline_miss), 0u);
+  (void)slow;
+}
+
+TEST(FixedPriorityTest, RmOverloadHurtsLongPeriodsFirst) {
+  system sys(1, quiet());
+  const auto fast = sys.register_task(periodic("fast", 3_ms, 5_ms, 5_ms));
+  const auto slow = sys.register_task(periodic("slow", 5_ms, 10_ms, 10_ms));
+  sys.attach_policy(0,
+                    make_rate_monotonic({&sys.graph(fast), &sys.graph(slow)}));
+  sys.run_for(100_ms);  // U = 1.1: overload
+  EXPECT_EQ(sys.mon().count_for_task(core::monitor_event_kind::deadline_miss,
+                                     fast), 0u);
+  EXPECT_GT(sys.mon().count_for_task(core::monitor_event_kind::deadline_miss,
+                                     slow), 0u);
+}
+
+TEST(FixedPriorityTest, UnmanagedTaskKeepsDeclaredPriority) {
+  system sys(1, quiet());
+  const auto managed = sys.register_task(periodic("m", 1_ms, 10_ms, 10_ms));
+  sys.attach_policy(0, make_rate_monotonic({&sys.graph(managed)}));
+  core::task_builder b("un");
+  core::timing_attrs attrs;
+  attrs.prio = 77;
+  b.add_code_eu("un", 0, 1_ms, attrs);
+  const auto un = sys.register_task(b.build());
+  sys.activate(un);
+  sys.run_for(20_ms);
+  EXPECT_EQ(sys.stats_for(un).completions, 1u);
+}
+
+}  // namespace
+}  // namespace hades::sched

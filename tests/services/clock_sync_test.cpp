@@ -1,0 +1,120 @@
+#include "services/clock_sync.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hades::svc {
+namespace {
+
+using namespace hades::literals;
+
+core::system::config lan(std::vector<double> drift) {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 60_us;
+  cfg.net.per_byte = 0_ns;
+  cfg.clock_drift = std::move(drift);
+  return cfg;
+}
+
+TEST(ClockSyncTest, DriftingClocksDivergeWithoutSync) {
+  core::system sys(2, lan({1e-4, -1e-4}));
+  sys.run_for(5_s);
+  clock_sync_service svc(sys, {});
+  EXPECT_GE(svc.max_skew(), 900_us);  // 2e-4 * 5s = 1ms
+}
+
+TEST(ClockSyncTest, SyncBoundsSkewUnderDrift) {
+  core::system sys(4, lan({1e-4, -1e-4, 5e-5, -2e-5}));
+  clock_sync_service::params p;
+  p.resync_period = 50_ms;
+  p.collect_window = 1_ms;
+  clock_sync_service svc(sys, p);
+  svc.start();
+  sys.run_for(5_s);
+  // Without sync the spread would be ~1ms; with 50ms resync the skew stays
+  // within drift*period + reading error (jitter 40us): generous bound 60us.
+  EXPECT_GT(svc.rounds_completed(), 50u);
+  EXPECT_LE(svc.max_skew(), 60_us);
+}
+
+TEST(ClockSyncTest, SkewScalesWithResyncPeriod) {
+  auto run = [&](duration period) {
+    core::system sys(3, lan({2e-4, -2e-4, 0.0}));
+    clock_sync_service::params p;
+    p.resync_period = period;
+    p.collect_window = 1_ms;
+    clock_sync_service svc(sys, p);
+    svc.start();
+    sys.run_for(3_s);
+    return svc.max_skew();
+  };
+  // Longer resync period => more drift accumulates between corrections.
+  EXPECT_LT(run(20_ms), run(400_ms));
+}
+
+TEST(ClockSyncTest, ToleratesByzantineClockWithEnoughNodes) {
+  // n = 4, f = 1: the faulty extreme is trimmed.
+  core::system sys(4, lan({5e-5, -5e-5, 2e-5, 0.0}));
+  sys.clock(3).set_fault(
+      [](time_point) { return duration::seconds(999); });  // insane clock
+  clock_sync_service::params p;
+  p.resync_period = 50_ms;
+  p.collect_window = 1_ms;
+  p.max_faulty = 1;
+  clock_sync_service svc(sys, p);
+  svc.start();
+  sys.run_for(3_s);
+  EXPECT_LE(svc.max_skew({0, 1, 2}), 60_us);
+}
+
+TEST(ClockSyncTest, ByzantineClockDragsTimeBaseWithoutTrimming) {
+  // A consistent liar cannot break mutual agreement (everyone applies the
+  // same poisoned average), but it drags the whole time base away from real
+  // time. Trimming (f=1) keeps the base anchored.
+  auto run = [](int f) {
+    core::system sys(4, lan({5e-5, -5e-5, 2e-5, 0.0}));
+    sys.clock(3).set_fault([](time_point) { return duration::seconds(999); });
+    clock_sync_service::params p;
+    p.resync_period = 50_ms;
+    p.collect_window = 1_ms;
+    p.max_faulty = f;
+    clock_sync_service svc(sys, p);
+    svc.start();
+    sys.run_for(1_s);
+    const duration err = sys.clock(0).read() - sys.now().since_epoch();
+    return err.is_negative() ? duration::zero() - err : err;
+  };
+  EXPECT_GT(run(0), 100_ms);  // poisoned average: time base runs away
+  EXPECT_LT(run(1), 1_ms);    // trimmed: liar masked
+}
+
+TEST(ClockSyncTest, CrashedNodeDoesNotBlockRounds) {
+  core::system sys(3, lan({1e-4, -1e-4, 0.0}));
+  clock_sync_service::params p;
+  p.resync_period = 50_ms;
+  p.collect_window = 1_ms;
+  clock_sync_service svc(sys, p);
+  svc.start();
+  sys.run_for(500_ms);
+  sys.crash_node(2);
+  sys.run_for(2_s);
+  EXPECT_LE(svc.max_skew({0, 1}), 60_us);
+}
+
+TEST(ClockSyncTest, CorrectionMagnitudeShrinksAfterConvergence) {
+  core::system sys(3, lan({3e-4, -3e-4, 0.0}));
+  clock_sync_service::params p;
+  p.resync_period = 100_ms;
+  p.collect_window = 1_ms;
+  clock_sync_service svc(sys, p);
+  svc.start();
+  sys.run_for(2_s);
+  // Steady state: corrections approach drift*period (~30-60us), far below
+  // a cold-start correction for 100ms of divergence.
+  EXPECT_LT(svc.correction_magnitude().mean(), 100e3);  // < 100us
+}
+
+}  // namespace
+}  // namespace hades::svc

@@ -1,0 +1,86 @@
+#include "services/consensus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hades::svc {
+namespace {
+
+using namespace hades::literals;
+
+core::system::config lan() {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 60_us;
+  return cfg;
+}
+
+TEST(ConsensusTest, AgreementAndValidityFaultFree) {
+  core::system sys(4, lan());
+  consensus_service svc(sys, {1, 1_ms});
+  svc.run({{0, 30}, {1, 10}, {2, 40}, {3, 20}});
+  sys.run_for(10_ms);
+  for (node_id n = 0; n < 4; ++n) {
+    ASSERT_TRUE(svc.decided(n));
+    EXPECT_EQ(svc.decision(n), 10);  // min of proposals: validity
+  }
+}
+
+TEST(ConsensusTest, AgreementDespiteCrashMidProtocol) {
+  core::system sys(4, lan());
+  consensus_service svc(sys, {1, 1_ms});
+  svc.run({{0, 5}, {1, 10}, {2, 40}, {3, 20}});
+  sys.engine().after(500_us, [&] { sys.crash_node(0); });  // proposer of min
+  sys.run_for(10_ms);
+  std::int64_t agreed = -1;
+  for (node_id n = 1; n < 4; ++n) {
+    ASSERT_TRUE(svc.decided(n));
+    if (agreed == -1) agreed = svc.decision(n);
+    EXPECT_EQ(svc.decision(n), agreed);  // agreement among survivors
+  }
+  // Validity: the decision is one of the proposals.
+  EXPECT_TRUE(agreed == 5 || agreed == 10 || agreed == 20 || agreed == 40);
+}
+
+TEST(ConsensusTest, ToleratesOmissionsWithinF) {
+  core::system sys(3, lan());
+  consensus_service svc(sys, {2, 1_ms});  // f = 2 -> 3 rounds
+  sys.network().drop_next(1, 0, 1);
+  sys.network().drop_next(1, 2, 1);  // node 1's first round lost entirely
+  svc.run({{0, 9}, {1, 3}, {2, 7}});
+  sys.run_for(20_ms);
+  for (node_id n = 0; n < 3; ++n) {
+    ASSERT_TRUE(svc.decided(n));
+    EXPECT_EQ(svc.decision(n), 3);  // later rounds re-flood node 1's value
+  }
+}
+
+TEST(ConsensusTest, DecisionLatencyMatchesRounds) {
+  core::system sys(3, lan());
+  consensus_service svc(sys, {3, 2_ms});
+  std::vector<time_point> decided_at;
+  svc.on_decide([&](node_id, std::int64_t) { decided_at.push_back(sys.now()); });
+  svc.run({{0, 1}, {1, 2}, {2, 3}});
+  sys.run_for(50_ms);
+  ASSERT_EQ(decided_at.size(), 3u);
+  for (auto t : decided_at)
+    EXPECT_EQ(t, time_point::at(8_ms));  // (f+1)=4 rounds of 2ms
+  EXPECT_EQ(svc.decision_latency(), 8_ms);
+}
+
+TEST(ConsensusTest, CrashedNodeStaysSilent) {
+  core::system sys(3, lan());
+  sys.crash_node(2);
+  consensus_service svc(sys, {1, 1_ms});
+  svc.run({{0, 4}, {1, 6}, {2, 1}});  // node 2's proposal never enters
+  sys.run_for(10_ms);
+  EXPECT_TRUE(svc.decided(0));
+  EXPECT_TRUE(svc.decided(1));
+  EXPECT_FALSE(svc.decided(2));
+  EXPECT_EQ(svc.decision(0), 4);
+  EXPECT_EQ(svc.decision(1), 4);
+}
+
+}  // namespace
+}  // namespace hades::svc

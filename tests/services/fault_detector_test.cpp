@@ -1,0 +1,88 @@
+#include "services/fault_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hades::svc {
+namespace {
+
+using namespace hades::literals;
+
+core::system::config lan() {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 60_us;
+  return cfg;
+}
+
+TEST(FaultDetectorTest, NoFalseSuspicionsOnHealthySystem) {
+  core::system sys(4, lan());
+  fault_detector fd(sys, {10_ms, 25_ms});
+  fd.start();
+  sys.run_for(2_s);
+  for (node_id a = 0; a < 4; ++a)
+    for (node_id b = 0; b < 4; ++b)
+      if (a != b) {
+        EXPECT_FALSE(fd.suspects(a, b));
+      }
+}
+
+TEST(FaultDetectorTest, CrashDetectedWithinBound) {
+  core::system sys(3, lan());
+  fault_detector fd(sys, {10_ms, 25_ms});
+  std::vector<std::pair<node_id, time_point>> suspicions;
+  fd.on_suspect([&](node_id obs, node_id sus, time_point at) {
+    suspicions.emplace_back(obs * 100 + sus, at);
+  });
+  fd.start();
+  sys.run_for(100_ms);
+  sys.crash_node(2);
+  sys.run_for(100_ms);
+  EXPECT_TRUE(fd.suspects(0, 2));
+  EXPECT_TRUE(fd.suspects(1, 2));
+  EXPECT_FALSE(fd.suspects(0, 1));
+  // Detection latency bound: timeout + heartbeat period + delta_max.
+  for (auto& [key, at] : suspicions) {
+    const auto latency = at - time_point::at(100_ms);
+    EXPECT_LE(latency, 25_ms + 10_ms + 1_ms);
+  }
+  EXPECT_EQ(suspicions.size(), 2u);  // both survivors suspect node 2 once
+}
+
+TEST(FaultDetectorTest, OmissionsBelowToleranceDoNotTriggerSuspicion) {
+  core::system sys(2, lan());
+  // Timeout of 35ms tolerates up to ~2 consecutive lost heartbeats at 10ms.
+  fault_detector fd(sys, {10_ms, 35_ms});
+  fd.start();
+  sys.network().drop_next(1, 0, 2);  // lose two heartbeats 1 -> 0
+  sys.run_for(500_ms);
+  EXPECT_FALSE(fd.suspects(0, 1));
+}
+
+TEST(FaultDetectorTest, HeavyOmissionsCauseSuspicion) {
+  core::system sys(2, lan());
+  fault_detector fd(sys, {10_ms, 25_ms});
+  fd.start();
+  sys.run_for(50_ms);
+  sys.network().set_link_down(1, 0, true);  // silence 1 -> 0 permanently
+  sys.run_for(100_ms);
+  EXPECT_TRUE(fd.suspects(0, 1));
+  EXPECT_FALSE(fd.suspects(1, 0));  // the reverse direction still works
+}
+
+TEST(FaultDetectorTest, SuspicionIsRecordedOnce) {
+  core::system sys(2, lan());
+  fault_detector fd(sys, {10_ms, 25_ms});
+  int events = 0;
+  fd.on_suspect([&](node_id, node_id, time_point) { ++events; });
+  fd.start();
+  sys.run_for(20_ms);
+  sys.crash_node(1);
+  sys.run_for(300_ms);
+  EXPECT_EQ(events, 1);
+  ASSERT_TRUE(fd.suspected_at(0, 1).has_value());
+}
+
+}  // namespace
+}  // namespace hades::svc

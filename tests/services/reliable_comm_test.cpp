@@ -1,0 +1,157 @@
+#include "services/reliable_comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hades::svc {
+namespace {
+
+using namespace hades::literals;
+
+core::system::config lan() {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 60_us;
+  cfg.net.per_byte = 0_ns;
+  return cfg;
+}
+
+TEST(ReliableP2pTest, DeliversOnceDespiteRedundantCopies) {
+  core::system sys(2, lan());
+  reliable_p2p svc(sys, {2, 200_us});
+  std::vector<int> got;
+  svc.on_deliver(1, [&](node_id, const std::any& p) {
+    got.push_back(std::any_cast<int>(p));
+  });
+  svc.send(0, 1, 42);
+  sys.run_for(10_ms);
+  EXPECT_EQ(got, (std::vector<int>{42}));
+  EXPECT_EQ(svc.duplicates_suppressed(), 2u);  // 3 copies, 1 delivery
+}
+
+TEST(ReliableP2pTest, MasksOmissionsUpToDegree) {
+  core::system sys(2, lan());
+  reliable_p2p svc(sys, {2, 200_us});  // k=2: 3 copies
+  int got = 0;
+  svc.on_deliver(1, [&](node_id, const std::any&) { ++got; });
+  sys.network().drop_next(0, 1, 2);  // kill the first two copies
+  svc.send(0, 1, 7);
+  sys.run_for(10_ms);
+  EXPECT_EQ(got, 1);
+}
+
+TEST(ReliableP2pTest, DeliveryWithinBound) {
+  core::system sys(2, lan());
+  reliable_p2p svc(sys, {3, 150_us});
+  std::vector<duration> latencies;
+  time_point sent;
+  svc.on_deliver(1, [&](node_id, const std::any&) {
+    latencies.push_back(sys.now() - sent);
+  });
+  rng r(5);
+  sys.network().set_omission_rate(0.3);
+  for (int i = 0; i < 200; ++i) {
+    sent = sys.now();
+    svc.send(0, 1, i);
+    sys.run_for(2_ms);
+  }
+  EXPECT_GE(latencies.size(), 195u);  // P(4 omissions) ~ 0.8%
+  for (auto l : latencies) EXPECT_LE(l, svc.p2p_bound(64));
+}
+
+TEST(ReliableBroadcastTest, AllNodesDeliver) {
+  core::system sys(4, lan());
+  reliable_broadcast svc(sys, {});
+  std::vector<int> count(4, 0);
+  for (node_id n = 0; n < 4; ++n)
+    svc.on_deliver(n, [&, n](const reliable_broadcast::bcast_msg&) {
+      ++count[n];
+    });
+  svc.broadcast(0, std::string("hello"));
+  sys.run_for(10_ms);
+  EXPECT_EQ(count, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(ReliableBroadcastTest, AgreementDespiteSenderOmissions) {
+  // The sender's copies to nodes 2 and 3 are lost; the relay from node 1
+  // must still deliver everywhere (agreement).
+  core::system sys(4, lan());
+  reliable_broadcast svc(sys, {});
+  sys.network().drop_next(0, 2, 1);
+  sys.network().drop_next(0, 3, 1);
+  svc.broadcast(0, 1);
+  sys.run_for(10_ms);
+  for (node_id n = 0; n < 4; ++n)
+    EXPECT_EQ(svc.delivery_log(n).size(), 1u) << "node " << n;
+  EXPECT_GT(svc.relays(), 0u);
+}
+
+TEST(ReliableBroadcastTest, AgreementDespiteSenderCrashMidBroadcast) {
+  // The network interleaves crash semantics: sender reaches one node, then
+  // crashes. Flooding must still reach everyone alive.
+  core::system sys(4, lan());
+  reliable_broadcast svc(sys, {});
+  sys.network().drop_next(0, 2, 1);
+  sys.network().drop_next(0, 3, 1);
+  svc.broadcast(0, 1);
+  sys.engine().after(5_us, [&] { sys.crash_node(0); });  // before any arrival
+  sys.run_for(10_ms);
+  for (node_id n = 1; n < 4; ++n)
+    EXPECT_EQ(svc.delivery_log(n).size(), 1u) << "node " << n;
+}
+
+TEST(ReliableBroadcastTest, TotalOrderAcrossConcurrentBroadcasts) {
+  core::system sys(3, lan());
+  reliable_broadcast::params p;
+  p.total_order = true;
+  p.stability_delay = 2_ms;  // > 2 * delta_max
+  reliable_broadcast svc(sys, p);
+  // Two broadcasts from different origins, microseconds apart.
+  svc.broadcast(0, 1);
+  sys.engine().after(5_us, [&] { svc.broadcast(2, 2); });
+  sys.run_for(20_ms);
+  const auto& l0 = svc.delivery_log(0);
+  const auto& l1 = svc.delivery_log(1);
+  const auto& l2 = svc.delivery_log(2);
+  ASSERT_EQ(l0.size(), 2u);
+  EXPECT_EQ(l0, l1);
+  EXPECT_EQ(l1, l2);  // identical delivery order everywhere
+}
+
+TEST(ReliableBroadcastTest, ManyBroadcastsSameOrderEverywhere) {
+  core::system sys(4, lan());
+  reliable_broadcast::params p;
+  p.total_order = true;
+  p.stability_delay = 2_ms;
+  reliable_broadcast svc(sys, p);
+  rng r(3);
+  for (int i = 0; i < 30; ++i) {
+    const auto src = static_cast<node_id>(r.uniform_int(0, 3));
+    sys.engine().after(duration::microseconds(r.uniform_int(0, 5000)),
+                       [&svc, src, i] { svc.broadcast(src, i); });
+  }
+  sys.run_for(100_ms);
+  for (node_id n = 1; n < 4; ++n) EXPECT_EQ(svc.delivery_log(0), svc.delivery_log(n));
+  EXPECT_EQ(svc.delivery_log(0).size(), 30u);
+}
+
+TEST(ReliableBroadcastTest, DeliveryBoundIsRespected) {
+  core::system sys(4, lan());
+  reliable_broadcast svc(sys, {});
+  std::vector<duration> lat;
+  for (node_id n = 0; n < 4; ++n)
+    svc.on_deliver(n, [&](const reliable_broadcast::bcast_msg& m) {
+      lat.push_back(sys.now() - m.sent_at);
+    });
+  for (int i = 0; i < 50; ++i) {
+    svc.broadcast(static_cast<node_id>(i % 4), i);
+    sys.run_for(1_ms);
+  }
+  for (auto l : lat) EXPECT_LE(l, svc.delivery_bound(64));
+}
+
+}  // namespace
+}  // namespace hades::svc

@@ -1,0 +1,138 @@
+#include "services/replication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hades::svc {
+namespace {
+
+using namespace hades::literals;
+
+core::system::config lan() {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 60_us;
+  return cfg;
+}
+
+struct rig {
+  explicit rig(replication_style style, std::size_t nodes = 4)
+      : sys(nodes, lan()),
+        fd(sys, {5_ms, 12_ms}),
+        svc(sys, fd, {style, {0, 1, 2}}) {
+    fd.start();
+    svc.on_reply([this](std::uint64_t id, std::int64_t v) {
+      replies.emplace_back(id, v);
+    });
+  }
+  core::system sys;
+  fault_detector fd;
+  replicated_service svc;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> replies;
+};
+
+TEST(ReplicationTest, ActiveAllReplicasExecuteClientSeesOneReply) {
+  rig r(replication_style::active);
+  r.svc.submit(3, 10);
+  r.svc.submit(3, 5);
+  r.sys.run_for(50_ms);
+  ASSERT_EQ(r.replies.size(), 2u);
+  EXPECT_EQ(r.replies[1].second, 15);
+  EXPECT_EQ(r.svc.executions(), 6u);  // 2 requests x 3 replicas
+  for (node_id n : {0, 1, 2})
+    EXPECT_EQ(r.svc.replica_state(n).accumulator, 15);
+}
+
+TEST(ReplicationTest, PassiveOnlyPrimaryExecutesBackupsCheckpoint) {
+  rig r(replication_style::passive);
+  r.svc.submit(3, 7);
+  r.sys.run_for(50_ms);
+  ASSERT_EQ(r.replies.size(), 1u);
+  EXPECT_EQ(r.svc.executions(), 1u);       // primary only
+  EXPECT_EQ(r.svc.checkpoints(), 2u);      // both backups updated
+  EXPECT_EQ(r.svc.replica_state(1).accumulator, 7);  // via checkpoint
+  EXPECT_EQ(r.svc.replica_state(2).accumulator, 7);
+}
+
+TEST(ReplicationTest, SemiActiveFollowersExecuteInLeaderOrder) {
+  rig r(replication_style::semi_active);
+  r.svc.submit(3, 2);
+  r.svc.submit(3, 3);
+  r.sys.run_for(50_ms);
+  EXPECT_EQ(r.replies.size(), 2u);
+  EXPECT_EQ(r.svc.executions(), 6u);  // every replica executes
+  for (node_id n : {0, 1, 2})
+    EXPECT_EQ(r.svc.replica_state(n).accumulator, 5);
+}
+
+TEST(ReplicationTest, ActiveMasksReplicaCrashWithZeroFailover) {
+  rig r(replication_style::active);
+  r.svc.submit(3, 1);
+  r.sys.run_for(20_ms);
+  r.sys.crash_node(0);  // one replica dies; no detector needed
+  r.svc.submit(3, 2);
+  r.sys.run_for(20_ms);
+  ASSERT_EQ(r.replies.size(), 2u);
+  EXPECT_EQ(r.replies[1].second, 3);
+}
+
+TEST(ReplicationTest, PassiveFailoverPromotesBackupWithState) {
+  rig r(replication_style::passive);
+  r.svc.submit(3, 10);
+  r.sys.run_for(20_ms);
+  EXPECT_EQ(r.svc.current_primary(), 0u);
+  r.sys.crash_node(0);
+  r.sys.run_for(30_ms);  // detector timeout 12ms + heartbeat period
+  EXPECT_EQ(r.svc.current_primary(), 1u);
+  r.svc.submit(3, 5);
+  r.sys.run_for(20_ms);
+  ASSERT_EQ(r.replies.size(), 2u);
+  // The promoted backup resumed from the checkpointed accumulator = 10.
+  EXPECT_EQ(r.replies[1].second, 15);
+}
+
+TEST(ReplicationTest, PassiveRequestsDuringFailoverAreRerouted) {
+  rig r(replication_style::passive);
+  r.svc.submit(3, 1);
+  r.sys.run_for(20_ms);
+  r.sys.crash_node(0);
+  // Submit while the crash is undetected/unpromoted.
+  r.svc.submit(3, 2);
+  r.sys.run_for(60_ms);
+  ASSERT_EQ(r.replies.size(), 2u);
+  EXPECT_EQ(r.replies[1].second, 3);
+}
+
+TEST(ReplicationTest, SemiActiveFailoverNeedsNoStateTransfer) {
+  rig r(replication_style::semi_active);
+  r.svc.submit(3, 4);
+  r.svc.submit(3, 6);
+  r.sys.run_for(20_ms);
+  r.sys.crash_node(0);
+  r.sys.run_for(30_ms);
+  EXPECT_EQ(r.svc.current_primary(), 1u);
+  // Follower already holds the full state (it executed everything).
+  EXPECT_EQ(r.svc.replica_state(1).accumulator, 10);
+  r.svc.submit(3, 1);
+  r.sys.run_for(20_ms);
+  ASSERT_EQ(r.replies.size(), 3u);
+  EXPECT_EQ(r.replies[2].second, 11);
+}
+
+TEST(ReplicationTest, CustomApplyFunction) {
+  core::system sys(3, lan());
+  fault_detector fd(sys, {5_ms, 12_ms});
+  replicated_service svc(
+      sys, fd, {replication_style::active, {0, 1}},
+      [](std::int64_t acc, std::int64_t v) { return acc * 2 + v; });
+  std::vector<std::int64_t> out;
+  svc.on_reply([&](std::uint64_t, std::int64_t v) { out.push_back(v); });
+  svc.submit(2, 3);
+  sys.run_for(20_ms);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 3);  // 0*2+3
+}
+
+}  // namespace
+}  // namespace hades::svc

@@ -1,0 +1,158 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hades::sim {
+namespace {
+
+using namespace hades::literals;
+
+TEST(EngineTest, StartsAtZeroAndEmpty) {
+  engine e;
+  EXPECT_EQ(e.now(), time_point::zero());
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(EngineTest, ExecutesInTimeOrder) {
+  engine e;
+  std::vector<int> order;
+  e.after(3_us, [&] { order.push_back(3); });
+  e.after(1_us, [&] { order.push_back(1); });
+  e.after(2_us, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), time_point::at(3_us));
+}
+
+TEST(EngineTest, FifoForSameTimestamp) {
+  engine e;
+  std::vector<int> order;
+  e.after(1_us, [&] { order.push_back(1); });
+  e.after(1_us, [&] { order.push_back(2); });
+  e.after(1_us, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, NowAdvancesDuringStep) {
+  engine e;
+  e.after(5_us, [&] { EXPECT_EQ(e.now(), time_point::at(5_us)); });
+  e.run();
+}
+
+TEST(EngineTest, EventsCanScheduleEvents) {
+  engine e;
+  int fired = 0;
+  e.after(1_us, [&] {
+    e.after(1_us, [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), time_point::at(2_us));
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  engine e;
+  int fired = 0;
+  auto id = e.after(1_us, [&] { ++fired; });
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineTest, CancelIsIdempotentAndSafe) {
+  engine e;
+  int fired = 0;
+  auto id = e.after(1_us, [&] { ++fired; });
+  e.cancel(id);
+  e.cancel(id);
+  e.cancel(invalid_event);
+  e.run();
+  e.cancel(id);  // after the queue drained
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EngineTest, CancelOneOfMany) {
+  engine e;
+  std::vector<int> order;
+  e.after(1_us, [&] { order.push_back(1); });
+  auto id = e.after(2_us, [&] { order.push_back(2); });
+  e.after(3_us, [&] { order.push_back(3); });
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EngineTest, RunUntilStopsAndAdvancesClock) {
+  engine e;
+  std::vector<int> order;
+  e.after(1_us, [&] { order.push_back(1); });
+  e.after(5_us, [&] { order.push_back(5); });
+  const auto n = e.run_until(time_point::at(3_us));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(e.now(), time_point::at(3_us));
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(EngineTest, RunUntilInclusiveOfBoundary) {
+  engine e;
+  int fired = 0;
+  e.after(3_us, [&] { ++fired; });
+  e.run_until(time_point::at(3_us));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineTest, SchedulingInPastThrows) {
+  engine e;
+  e.after(5_us, [] {});
+  e.run();
+  EXPECT_THROW(e.at(time_point::at(1_us), [] {}), invariant_violation);
+}
+
+TEST(EngineTest, SchedulingAtInfinityThrows) {
+  engine e;
+  EXPECT_THROW(e.at(time_point::infinity(), [] {}), invariant_violation);
+}
+
+TEST(EngineTest, AfterInfiniteDurationNeverFires) {
+  engine e;
+  const auto id = e.after(duration::infinity(), [] { FAIL(); });
+  EXPECT_EQ(id, invalid_event);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineTest, PendingCountsLiveEventsOnly) {
+  engine e;
+  auto a = e.after(1_us, [] {});
+  e.after(2_us, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(EngineTest, ExecutedCounter) {
+  engine e;
+  for (int i = 0; i < 5; ++i) e.after(1_us, [] {});
+  e.run();
+  EXPECT_EQ(e.executed(), 5u);
+}
+
+TEST(EngineTest, MaxEventsBoundsRun) {
+  engine e;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) e.after(1_us, [&] { ++fired; });
+  e.run(3);
+  EXPECT_EQ(fired, 3);
+}
+
+}  // namespace
+}  // namespace hades::sim

@@ -1,0 +1,99 @@
+#include "sim/hardware_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace hades::sim {
+namespace {
+
+using namespace hades::literals;
+
+TEST(HardwareClockTest, PerfectClockTracksRealTime) {
+  engine e;
+  hardware_clock c(e, 0.0);
+  e.after(10_ms, [] {});
+  e.run();
+  EXPECT_EQ(c.read(), 10_ms);
+}
+
+TEST(HardwareClockTest, PositiveDriftRunsFast) {
+  engine e;
+  hardware_clock c(e, 1e-3);  // 1000 ppm
+  e.after(1_s, [] {});
+  e.run();
+  EXPECT_EQ(c.read().count(), duration::seconds(1).count() + 1'000'000);
+}
+
+TEST(HardwareClockTest, NegativeDriftRunsSlow) {
+  engine e;
+  hardware_clock c(e, -1e-3);
+  e.after(1_s, [] {});
+  e.run();
+  EXPECT_EQ(c.read().count(), duration::seconds(1).count() - 1'000'000);
+}
+
+TEST(HardwareClockTest, InitialOffset) {
+  engine e;
+  hardware_clock c(e, 0.0, 5_ms);
+  EXPECT_EQ(c.read(), 5_ms);
+}
+
+TEST(HardwareClockTest, AdjustShiftsLogicalClockOnly) {
+  engine e;
+  hardware_clock c(e, 0.0);
+  c.adjust(3_ms);
+  EXPECT_EQ(c.read(), 3_ms);
+  EXPECT_EQ(c.read_hardware(), duration::zero());
+  c.adjust(duration::zero() - 1_ms);
+  EXPECT_EQ(c.read(), 2_ms);
+  EXPECT_EQ(c.adjustment(), 2_ms);
+}
+
+TEST(HardwareClockTest, SetDriftRateKeepsReadingContinuous) {
+  engine e;
+  hardware_clock c(e, 1e-3);
+  e.after(1_s, [] {});
+  e.run();
+  const auto before = c.read();
+  c.set_drift_rate(0.0);
+  EXPECT_EQ(c.read(), before);
+  e.after(1_s, [] {});
+  e.run();
+  EXPECT_EQ(c.read(), before + 1_s);  // no more drift
+}
+
+TEST(HardwareClockTest, ByzantineFaultOverridesReading) {
+  engine e;
+  hardware_clock c(e, 0.0);
+  c.set_fault([](time_point) { return duration::seconds(12345); });
+  EXPECT_TRUE(c.is_faulty());
+  EXPECT_EQ(c.read_hardware(), duration::seconds(12345));
+}
+
+TEST(HardwareClockTest, ClearingFaultResumesContinuously) {
+  engine e;
+  hardware_clock c(e, 0.0);
+  e.after(1_s, [] {});
+  e.run();
+  c.set_fault([](time_point) { return duration::seconds(500); });
+  c.set_fault(nullptr);
+  EXPECT_FALSE(c.is_faulty());
+  EXPECT_EQ(c.read_hardware(), duration::seconds(500));
+  e.after(1_s, [] {});
+  e.run();
+  EXPECT_EQ(c.read_hardware(), duration::seconds(501));
+}
+
+TEST(HardwareClockTest, TwoClocksDiverge) {
+  engine e;
+  hardware_clock a(e, 1e-4);
+  hardware_clock b(e, -1e-4);
+  e.after(10_s, [] {});
+  e.run();
+  const auto skew = a.read() - b.read();
+  EXPECT_EQ(skew.count(), 2'000'000);  // 2 * 1e-4 * 10s = 2 ms
+}
+
+}  // namespace
+}  // namespace hades::sim

@@ -1,0 +1,214 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace hades::sim {
+namespace {
+
+using namespace hades::literals;
+
+network::params tight() {
+  network::params p;
+  p.delta_min = 10_us;
+  p.delta_max = 50_us;
+  p.per_byte = 0_ns;
+  return p;
+}
+
+TEST(NetworkTest, DeliversWithinBounds) {
+  engine e;
+  network net(e, tight());
+  std::vector<time_point> arrivals;
+  net.attach(0, [](const message&) {});
+  net.attach(1, [&](const message&) { arrivals.push_back(e.now()); });
+  for (int i = 0; i < 100; ++i) net.unicast(0, 1, 0, std::string("hi"), 16);
+  e.run();
+  ASSERT_EQ(arrivals.size(), 100u);
+  for (auto t : arrivals) {
+    EXPECT_GE(t - time_point::zero(), 10_us);
+    EXPECT_LE(t - time_point::zero(), 50_us);
+  }
+}
+
+TEST(NetworkTest, PayloadRoundTrips) {
+  engine e;
+  network net(e, tight());
+  std::string got;
+  net.attach(1, [&](const message& m) {
+    got = std::any_cast<std::string>(m.payload);
+  });
+  net.unicast(0, 1, 7, std::string("payload!"), 16);
+  e.run();
+  EXPECT_EQ(got, "payload!");
+}
+
+TEST(NetworkTest, MetadataPropagates) {
+  engine e;
+  network net(e, tight());
+  message seen;
+  net.attach(3, [&](const message& m) { seen = m; });
+  net.unicast(2, 3, 9, 42, 128);
+  e.run();
+  EXPECT_EQ(seen.src, 2u);
+  EXPECT_EQ(seen.dst, 3u);
+  EXPECT_EQ(seen.channel, 9);
+  EXPECT_EQ(seen.size_bytes, 128u);
+  EXPECT_EQ(seen.sent_at, time_point::zero());
+}
+
+TEST(NetworkTest, PerByteCostDelaysLargeMessages) {
+  engine e;
+  network::params p;
+  p.delta_min = p.delta_max = 10_us;
+  p.per_byte = 100_ns;
+  network net(e, p);
+  time_point arrival;
+  net.attach(1, [&](const message&) { arrival = e.now(); });
+  net.unicast(0, 1, 0, 0, 1000);  // 1000 bytes * 100ns = 100us
+  e.run();
+  EXPECT_EQ(arrival, time_point::at(110_us));
+}
+
+TEST(NetworkTest, BroadcastReachesAllButSender) {
+  engine e;
+  network net(e, tight());
+  std::vector<node_id> got;
+  for (node_id n = 0; n < 4; ++n)
+    net.attach(n, [&, n](const message&) { got.push_back(n); });
+  net.broadcast(2, 0, std::string("b"), 8);
+  e.run();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<node_id>{0, 1, 3}));
+}
+
+TEST(NetworkTest, ScriptedDropLosesExactlyK) {
+  engine e;
+  network net(e, tight());
+  int received = 0;
+  net.attach(1, [&](const message&) { ++received; });
+  net.drop_next(0, 1, 2);
+  for (int i = 0; i < 5; ++i) net.unicast(0, 1, 0, i, 8);
+  e.run();
+  EXPECT_EQ(received, 3);
+  EXPECT_EQ(net.stats().dropped, 2u);
+  EXPECT_EQ(net.stats().delivered, 3u);
+}
+
+TEST(NetworkTest, LinkDownDropsEverything) {
+  engine e;
+  network net(e, tight());
+  int received = 0;
+  net.attach(1, [&](const message&) { ++received; });
+  net.set_link_down(0, 1, true);
+  for (int i = 0; i < 5; ++i) net.unicast(0, 1, 0, i, 8);
+  e.run();
+  EXPECT_EQ(received, 0);
+  net.set_link_down(0, 1, false);
+  net.unicast(0, 1, 0, 9, 8);
+  e.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkTest, LinkDownIsDirectional) {
+  engine e;
+  network net(e, tight());
+  int fwd = 0, rev = 0;
+  net.attach(0, [&](const message&) { ++rev; });
+  net.attach(1, [&](const message&) { ++fwd; });
+  net.set_link_down(0, 1, true);
+  net.unicast(0, 1, 0, 1, 8);
+  net.unicast(1, 0, 0, 2, 8);
+  e.run();
+  EXPECT_EQ(fwd, 0);
+  EXPECT_EQ(rev, 1);
+}
+
+TEST(NetworkTest, OmissionRateDropsRoughlyP) {
+  engine e;
+  network net(e, tight(), 7);
+  int received = 0;
+  net.attach(1, [&](const message&) { ++received; });
+  net.set_omission_rate(0.3);
+  for (int i = 0; i < 2000; ++i) net.unicast(0, 1, 0, i, 8);
+  e.run();
+  EXPECT_NEAR(received, 1400, 120);
+}
+
+TEST(NetworkTest, PerformanceFaultAddsDelay) {
+  engine e;
+  network::params p;
+  p.delta_min = p.delta_max = 10_us;
+  p.per_byte = 0_ns;
+  network net(e, p, 7);
+  std::vector<duration> lat;
+  net.attach(1, [&](const message& m) { lat.push_back(e.now() - m.sent_at); });
+  net.set_performance_fault(1.0, 1_ms);
+  net.unicast(0, 1, 0, 0, 8);
+  e.run();
+  ASSERT_EQ(lat.size(), 1u);
+  EXPECT_EQ(lat[0], 10_us + 1_ms);
+  EXPECT_EQ(net.stats().late, 1u);
+}
+
+TEST(NetworkTest, FifoPerLinkEvenWithLateness) {
+  engine e;
+  network::params p;
+  p.delta_min = 10_us;
+  p.delta_max = 10_us;
+  network net(e, p, 7);
+  std::vector<int> order;
+  net.attach(1, [&](const message& m) {
+    order.push_back(std::any_cast<int>(m.payload));
+  });
+  net.set_performance_fault(1.0, 500_us);  // first message very late
+  net.unicast(0, 1, 0, 1, 8);
+  net.set_performance_fault(0.0, duration::zero());
+  net.unicast(0, 1, 0, 2, 8);  // would overtake without FIFO enforcement
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(NetworkTest, DetachedDestinationCountsDropped) {
+  engine e;
+  network net(e, tight());
+  net.attach(1, [](const message&) {});
+  net.unicast(0, 1, 0, 0, 8);
+  net.detach(1);  // crash while in flight
+  e.run();
+  EXPECT_EQ(net.stats().delivered, 0u);
+  EXPECT_EQ(net.stats().dropped, 1u);
+}
+
+TEST(NetworkTest, WorstCaseLatencyBound) {
+  engine e;
+  network net(e, tight(), 11);
+  std::vector<duration> lat;
+  net.attach(1, [&](const message& m) { lat.push_back(e.now() - m.sent_at); });
+  for (int i = 0; i < 500; ++i) net.unicast(0, 1, 0, i, 64);
+  e.run();
+  for (auto l : lat) EXPECT_LE(l, net.worst_case_latency(64));
+}
+
+TEST(NetworkTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    engine e;
+    network net(e, tight(), 99);
+    std::vector<std::int64_t> arrivals;
+    net.attach(1, [&](const message&) {
+      arrivals.push_back(e.now().nanoseconds());
+    });
+    net.set_omission_rate(0.1);
+    for (int i = 0; i < 200; ++i) net.unicast(0, 1, 0, i, 8);
+    e.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace hades::sim

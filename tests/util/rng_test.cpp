@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace hades {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = r.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  rng r(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntEmptyRangeThrows) {
+  rng r(7);
+  EXPECT_THROW(r.uniform_int(3, 2), invariant_violation);
+}
+
+TEST(RngTest, Uniform01Range) {
+  rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  rng r(5);
+  double sum = 0;
+  constexpr int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  rng r(5);
+  EXPECT_THROW(r.exponential(0.0), invariant_violation);
+  EXPECT_THROW(r.exponential(-1.0), invariant_violation);
+}
+
+TEST(RngTest, SplitDecorrelates) {
+  rng parent(99);
+  rng child = parent.split();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(parent.next_u64());
+    seen.insert(child.next_u64());
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+}  // namespace
+}  // namespace hades

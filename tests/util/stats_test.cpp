@@ -1,0 +1,70 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hades {
+namespace {
+
+using namespace hades::literals;
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  running_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanMinMax) {
+  running_stats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, Variance) {
+  running_stats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance
+}
+
+TEST(RunningStatsTest, AcceptsDurations) {
+  running_stats s;
+  s.add(2_us);
+  s.add(4_us);
+  EXPECT_DOUBLE_EQ(s.mean(), 3000.0);
+}
+
+TEST(SampleSetTest, PercentileAndMedian) {
+  sample_set s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSetTest, MeanIgnoresOrder) {
+  sample_set s;
+  for (double v : {5.0, 1.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SampleSetTest, EmptyPercentileThrows) {
+  sample_set s;
+  EXPECT_THROW(static_cast<void>(s.percentile(50)), invariant_violation);
+  EXPECT_THROW(static_cast<void>(s.max()), invariant_violation);
+  EXPECT_THROW(static_cast<void>(s.min()), invariant_violation);
+}
+
+TEST(SampleSetTest, SingleSample) {
+  sample_set s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+}
+
+}  // namespace
+}  // namespace hades

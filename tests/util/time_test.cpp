@@ -1,0 +1,104 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hades {
+namespace {
+
+using namespace hades::literals;
+
+TEST(DurationTest, ConstructionAndCount) {
+  EXPECT_EQ(duration::nanoseconds(5).count(), 5);
+  EXPECT_EQ(duration::microseconds(5).count(), 5'000);
+  EXPECT_EQ(duration::milliseconds(5).count(), 5'000'000);
+  EXPECT_EQ(duration::seconds(5).count(), 5'000'000'000);
+  EXPECT_EQ(duration::zero().count(), 0);
+  EXPECT_TRUE(duration::zero().is_zero());
+}
+
+TEST(DurationTest, Literals) {
+  EXPECT_EQ((3_us).count(), 3'000);
+  EXPECT_EQ((2_ms).count(), 2'000'000);
+  EXPECT_EQ((1_s).count(), 1'000'000'000);
+  EXPECT_EQ((7_ns).count(), 7);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((3_us + 2_us).count(), 5'000);
+  EXPECT_EQ((3_us - 2_us).count(), 1'000);
+  EXPECT_EQ((3_us * 4).count(), 12'000);
+  EXPECT_EQ((8_us / 2).count(), 4'000);
+  EXPECT_TRUE((2_us - 3_us).is_negative());
+}
+
+TEST(DurationTest, Ordering) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_GT(1_ms, 999_us);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_LE(duration::zero(), 0_ns);
+}
+
+TEST(DurationTest, InfinitySaturates) {
+  const auto inf = duration::infinity();
+  EXPECT_TRUE(inf.is_infinite());
+  EXPECT_TRUE((inf + 1_s).is_infinite());
+  EXPECT_TRUE((inf - 1_s).is_infinite());
+  EXPECT_TRUE((1_s + inf).is_infinite());
+  EXPECT_TRUE((inf * 2).is_infinite());
+  EXPECT_GT(inf, duration::seconds(1'000'000));
+}
+
+TEST(DurationTest, SaturatingAddNearMax) {
+  const auto big = duration::nanoseconds(detail::time_infinity - 5);
+  EXPECT_TRUE((big + 10_ns).is_infinite());
+}
+
+TEST(DurationTest, Scaled) {
+  EXPECT_EQ((1000_ns).scaled(1.5).count(), 1500);
+  EXPECT_EQ((1000_ns).scaled(1e-3).count(), 1);
+  EXPECT_EQ((1000_ns).scaled(-0.5).count(), -500);
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_DOUBLE_EQ((1_s).to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ((1500_ns).to_microseconds(), 1.5);
+}
+
+TEST(DurationTest, ToString) {
+  EXPECT_EQ((5_ns).to_string(), "5ns");
+  EXPECT_EQ(duration::infinity().to_string(), "inf");
+  EXPECT_NE((1500_us).to_string().find("ms"), std::string::npos);
+}
+
+TEST(TimePointTest, Basics) {
+  const auto t0 = time_point::zero();
+  const auto t1 = t0 + 5_us;
+  EXPECT_EQ((t1 - t0).count(), 5'000);
+  EXPECT_EQ(t1.nanoseconds(), 5'000);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(time_point::at(5_us), t1);
+}
+
+TEST(TimePointTest, InfinityBehaviour) {
+  const auto inf = time_point::infinity();
+  EXPECT_TRUE(inf.is_infinite());
+  EXPECT_TRUE((inf + 1_s).is_infinite());
+  EXPECT_TRUE((inf - 1_s).is_infinite());
+  EXPECT_TRUE((inf - time_point::zero()).is_infinite());
+  EXPECT_GT(inf, time_point::zero() + duration::seconds(1'000'000'000));
+}
+
+TEST(TimePointTest, PlusInfiniteDurationIsInfinite) {
+  EXPECT_TRUE((time_point::zero() + duration::infinity()).is_infinite());
+}
+
+TEST(TimePointTest, Subtraction) {
+  const auto a = time_point::at(10_us);
+  const auto b = time_point::at(4_us);
+  EXPECT_EQ((a - b), 6_us);
+  EXPECT_EQ((b - a), duration::zero() - 6_us);
+  EXPECT_EQ(a - 4_us, time_point::at(6_us));
+}
+
+}  // namespace
+}  // namespace hades
