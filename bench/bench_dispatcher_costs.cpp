@@ -10,6 +10,7 @@
 
 #include "bench/table.hpp"
 #include "core/system.hpp"
+#include "sim/engine.hpp"
 #include "sched/edf.hpp"
 
 using namespace hades;

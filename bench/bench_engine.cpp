@@ -1,0 +1,233 @@
+// Event-core throughput: pooled engine vs the seed design.
+//
+// `legacy_engine` below reproduces the pre-refactor `sim::engine` exactly:
+// a heap-allocating std::function per event, a std::priority_queue of fat
+// entries, and two unordered_sets tracking pending and cancelled ids. The
+// pooled engine replaces all of that with slab slots, a 4-ary heap of
+// 24-byte records, and generation-counted ids (see DESIGN.md).
+//
+// Workload: schedule/cancel churn — a standing population of armed timeout
+// timers, each op cancelling and re-arming one while simulated time creeps
+// forward so a slice of timers genuinely fires. This is the fingerprint of
+// the dispatcher (latest-start and completion timers torn down on every
+// preemption) and of reliable_comm's retransmission timers.
+//
+// Usage: bench_engine [--smoke] [--require-2x]
+//   --smoke       100k events instead of 1M (CI compile/perf-path check)
+//   --require-2x  exit non-zero unless pooled >= 2x legacy on churn
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+using namespace hades;
+using namespace hades::literals;
+
+namespace {
+
+// --- the seed engine, verbatim semantics ------------------------------------
+
+class legacy_engine {
+ public:
+  using event_fn = std::function<void()>;
+  struct event_id {
+    std::uint64_t value = 0;
+  };
+
+  [[nodiscard]] time_point now() const { return now_; }
+
+  event_id at(time_point t, event_fn fn) {
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(entry{t, seq, std::move(fn)});
+    pending_ids_.insert(seq);
+    return event_id{seq};
+  }
+
+  event_id after(duration d, event_fn fn) {
+    if (d.is_infinite()) return event_id{0};
+    return at(now_ + d, std::move(fn));
+  }
+
+  void cancel(event_id id) {
+    if (id.value == 0) return;
+    if (pending_ids_.erase(id.value) > 0) cancelled_.insert(id.value);
+  }
+
+  bool step() {
+    while (!queue_.empty()) {
+      entry e = queue_.top();
+      queue_.pop();
+      if (cancelled_.erase(e.seq) > 0) continue;
+      pending_ids_.erase(e.seq);
+      now_ = e.t;
+      ++executed_;
+      e.fn();
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t run() {
+    std::size_t n = 0;
+    while (step()) ++n;
+    return n;
+  }
+
+  std::size_t run_until(time_point t) {
+    std::size_t n = 0;
+    for (;;) {
+      if (queue_.empty()) break;
+      const entry& top = queue_.top();
+      if (cancelled_.contains(top.seq)) {
+        cancelled_.erase(top.seq);
+        queue_.pop();
+        continue;
+      }
+      if (top.t > t) break;
+      step();
+      ++n;
+    }
+    if (!t.is_infinite() && t > now_) now_ = t;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct entry {
+    time_point t;
+    std::uint64_t seq;
+    event_fn fn;
+  };
+  struct later {
+    bool operator()(const entry& a, const entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<entry, std::vector<entry>, later> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  time_point now_ = time_point::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+// --- workloads ---------------------------------------------------------------
+
+/// `total` re-arm ops against a standing population of 16k armed timers:
+/// cancel one at random, schedule its replacement 100–1000us out, advance
+/// time a little every 512 ops so untouched timers expire. Returns ops/sec.
+template <typename Engine>
+double churn_rate(Engine& e, std::size_t total) {
+  constexpr std::size_t sessions = 16 * 1024;
+  std::uint64_t fired = 0;
+  std::uint32_t rng = 0x9e3779b9u;
+  const auto next_deadline = [&rng] {
+    rng = rng * 1664525u + 1013904223u;
+    return duration::microseconds(100 + (rng >> 8) % 900);
+  };
+  std::vector<decltype(e.after(1_us, [] {}))> timers;
+  timers.reserve(sessions);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < sessions; ++s)
+    timers.push_back(e.after(next_deadline(), [&fired] { ++fired; }));
+  std::size_t ops = sessions;
+  while (ops < total) {
+    for (int k = 0; k < 512 && ops < total; ++k, ++ops) {
+      rng = rng * 1664525u + 1013904223u;
+      auto& t = timers[rng % sessions];
+      e.cancel(t);
+      t = e.after(next_deadline(), [&fired] { ++fired; });
+    }
+    e.run_until(e.now() + 5_us);  // a slice of surviving timers expires
+  }
+  e.run();  // drain the tail
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  if (fired == 0) std::puts("?");  // keep the callbacks observable
+  return static_cast<double>(ops) / dt.count();
+}
+
+/// 256 periodic timers ticking for `total` combined firings. The legacy
+/// engine re-arms with a fresh closure per tick; the pooled engine uses its
+/// schedule_periodic primitive (one registration, zero steady-state work).
+double legacy_periodic_rate(legacy_engine& e, std::size_t total) {
+  std::uint64_t fired = 0;
+  std::function<void(int)> arm = [&](int k) {
+    e.after(duration::microseconds(1 + k % 17), [&arm, &fired, k] {
+      ++fired;
+      arm(k);
+    });
+  };
+  for (int k = 0; k < 256; ++k) arm(k);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t n = 0;
+  while (n < total && e.step()) ++n;
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(n) / dt.count();
+}
+
+double pooled_periodic_rate(sim::engine& e, std::size_t total) {
+  std::uint64_t fired = 0;
+  for (int k = 0; k < 256; ++k)
+    e.schedule_periodic(e.now() + duration::microseconds(1 + k % 17),
+                        duration::microseconds(1 + k % 17),
+                        [&fired] { ++fired; });
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t n = 0;
+  while (n < total && e.step()) ++n;
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(n) / dt.count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total = 1'000'000;
+  bool require_2x = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) total = 100'000;
+    if (std::strcmp(argv[i], "--require-2x") == 0) require_2x = true;
+  }
+
+  std::printf("event-core throughput, %zu-event schedule/cancel churn\n",
+              total);
+
+  legacy_engine legacy;
+  const double legacy_churn = churn_rate(legacy, total);
+  sim::engine pooled;
+  const double pooled_churn = churn_rate(pooled, total);
+  const double churn_speedup = pooled_churn / legacy_churn;
+  std::printf("  churn     legacy %12.0f ev/s   pooled %12.0f ev/s   %.2fx\n",
+              legacy_churn, pooled_churn, churn_speedup);
+
+  legacy_engine legacy2;
+  const double legacy_periodic = legacy_periodic_rate(legacy2, total);
+  sim::engine pooled2;
+  const double pooled_periodic = pooled_periodic_rate(pooled2, total);
+  std::printf("  periodic  legacy %12.0f ev/s   pooled %12.0f ev/s   %.2fx\n",
+              legacy_periodic, pooled_periodic,
+              pooled_periodic / legacy_periodic);
+
+  const auto pool = pooled.pool();
+  std::printf(
+      "  pooled engine footprint: %zu slab(s), %zu slots, %zu heap records, "
+      "%zu compactions\n",
+      pool.slabs, pool.slots, pool.heap_records, pool.compactions);
+
+  if (require_2x && churn_speedup < 2.0) {
+    std::printf("FAIL: churn speedup %.2fx < 2x\n", churn_speedup);
+    return 1;
+  }
+  return 0;
+}

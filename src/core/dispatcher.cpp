@@ -31,11 +31,11 @@ std::any& execution_context::task_state() { return sys_->task_state(task_); }
 
 // -------------------------------------------------------------- dispatcher --
 
-dispatcher::dispatcher(system& sys, sim::engine& eng, node_id node,
+dispatcher::dispatcher(system& sys, runtime& rt, node_id node,
                        processor& cpu, net_task& net, monitor& mon,
                        const cost_model& costs, sim::trace_recorder* trace)
     : sys_(&sys),
-      eng_(&eng),
+      rt_(&rt),
       node_(node),
       cpu_(&cpu),
       net_(&net),
@@ -61,7 +61,7 @@ dispatcher::~dispatcher() {
 void dispatcher::record_trace(sim::trace_kind k, const std::string& subject,
                               std::string detail) {
   if (trace_ != nullptr)
-    trace_->record(eng_->now(), node_, k, subject, std::move(detail));
+    trace_->record(rt_->now(), node_, k, subject, std::move(detail));
 }
 
 node_id dispatcher::eu_node(const task_graph& g, eu_index i) const {
@@ -166,7 +166,7 @@ void dispatcher::create_shard(const task_graph& g, instance_number k,
     // consumer must start).
     if (!c.attrs.latest_offset.is_infinite()) {
       const time_point latest = at + c.attrs.latest_offset;
-      eu.latest_timer = eng_->at(latest, [this, key, idx] {
+      eu.latest_timer = rt_->at(latest, [this, key, idx] {
         shard* sp = find_shard(key);
         if (sp == nullptr) return;
         auto& e = sp->eus.at(idx);
@@ -175,7 +175,7 @@ void dispatcher::create_shard(const task_graph& g, instance_number k,
         if (cpu_->exists(e.thread) && cpu_->has_started(e.thread)) return;
         monitor_event ev;
         ev.kind = monitor_event_kind::latest_start_violation;
-        ev.at = eng_->now();
+        ev.at = rt_->now();
         ev.node = node_;
         ev.task = key.first;
         ev.instance = key.second;
@@ -188,7 +188,7 @@ void dispatcher::create_shard(const task_graph& g, instance_number k,
           if (eu_node(*sp->graph, p) == node_) continue;
           monitor_event om;
           om.kind = monitor_event_kind::network_omission_suspected;
-          om.at = eng_->now();
+          om.at = rt_->now();
           om.node = node_;
           om.task = key.first;
           om.instance = key.second;
@@ -217,11 +217,11 @@ void dispatcher::create_shard(const task_graph& g, instance_number k,
 
 void dispatcher::cancel_timers(eu_rt& eu) {
   if (eu.earliest_timer != sim::invalid_event) {
-    eng_->cancel(eu.earliest_timer);
+    rt_->cancel(eu.earliest_timer);
     eu.earliest_timer = sim::invalid_event;
   }
   if (eu.latest_timer != sim::invalid_event) {
-    eng_->cancel(eu.latest_timer);
+    rt_->cancel(eu.latest_timer);
     eu.latest_timer = sim::invalid_event;
   }
 }
@@ -250,7 +250,7 @@ void dispatcher::abort_shard(task_id t, instance_number k,
       // CPU on behalf of an instance that no longer exists.
       monitor_event ev;
       ev.kind = monitor_event_kind::orphan_killed;
-      ev.at = eng_->now();
+      ev.at = rt_->now();
       ev.node = node_;
       ev.task = t;
       ev.instance = k;
@@ -405,11 +405,11 @@ void dispatcher::evaluate(shard& s, eu_rt& eu) {
   if (eu.preds_done.size() < eu.preds_total) return;
   if (!conds_satisfied(s, eu)) return;
 
-  if (eu.earliest_abs > eng_->now()) {
+  if (eu.earliest_abs > rt_->now()) {
     if (!eu.earliest_abs.is_infinite() &&
         eu.earliest_timer == sim::invalid_event) {
       const shard_key key{s.graph->id(), s.instance};
-      eu.earliest_timer = eng_->at(eu.earliest_abs, [this, key, i = eu.idx] {
+      eu.earliest_timer = rt_->at(eu.earliest_abs, [this, key, i = eu.idx] {
         shard* sp = find_shard(key);
         if (sp == nullptr) return;
         auto it = sp->eus.find(i);
@@ -492,7 +492,7 @@ void dispatcher::eu_complete(shard_key key, eu_index idx) {
   if (eu.actual < eu.code->wcet) {
     monitor_event ev;
     ev.kind = monitor_event_kind::early_termination;
-    ev.at = eng_->now();
+    ev.at = rt_->now();
     ev.node = node_;
     ev.task = key.first;
     ev.instance = key.second;
@@ -642,7 +642,7 @@ void dispatcher::emit(notification_kind kind, const eu_rt& eu) {
   n.kind = kind;
   n.thread = eu.thread;
   n.info = eu.info;
-  n.at = eng_->now();
+  n.at = rt_->now();
   fifo_.push_back(std::move(n));
   pump_scheduler();
 }
@@ -666,7 +666,7 @@ void dispatcher::scheduler_step() {
 
 // ------------------------------------------------- scheduler_context (API) --
 
-time_point dispatcher::now() const { return eng_->now(); }
+time_point dispatcher::now() const { return rt_->now(); }
 
 void dispatcher::set_priority(kthread_id t, priority p) {
   eu_rt* eu = find_by_thread(t);
@@ -686,7 +686,7 @@ void dispatcher::set_earliest(kthread_id t, time_point earliest) {
   eu->earliest_abs = earliest;
   eu->protocol_held = false;
   if (eu->earliest_timer != sim::invalid_event) {
-    eng_->cancel(eu->earliest_timer);
+    rt_->cancel(eu->earliest_timer);
     eu->earliest_timer = sim::invalid_event;
   }
   auto it = by_thread_.find(t);

@@ -48,7 +48,7 @@
 #include "core/processor.hpp"
 #include "core/scheduling.hpp"
 #include "core/task_model.hpp"
-#include "sim/engine.hpp"
+#include "sim/runtime.hpp"
 #include "sim/trace.hpp"
 
 namespace hades::core {
@@ -105,7 +105,7 @@ class execution_context {
 
 class dispatcher final : public scheduler_context {
  public:
-  dispatcher(system& sys, sim::engine& eng, node_id node, processor& cpu,
+  dispatcher(system& sys, runtime& rt, node_id node, processor& cpu,
              net_task& net, monitor& mon, const cost_model& costs,
              sim::trace_recorder* trace);
   ~dispatcher() override;
@@ -262,7 +262,7 @@ class dispatcher final : public scheduler_context {
   [[nodiscard]] node_id eu_node(const task_graph& g, eu_index i) const;
 
   system* sys_;
-  sim::engine* eng_;
+  runtime* rt_;
   node_id node_;
   processor* cpu_;
   net_task* net_;

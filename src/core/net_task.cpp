@@ -2,9 +2,9 @@
 
 namespace hades::core {
 
-net_task::net_task(sim::engine& eng, processor& cpu, sim::network& net,
+net_task::net_task(runtime& rt, processor& cpu, sim::network& net,
                    node_id node, const cost_model& costs, priority prio)
-    : eng_(&eng), cpu_(&cpu), net_(&net), node_(node), costs_(costs) {
+    : rt_(&rt), cpu_(&cpu), net_(&net), node_(node), costs_(costs) {
   thread_ = cpu_->create("net_mngt@" + std::to_string(node), prio, prio,
                          duration::zero(), [this] { transmit_head(); });
   net_->attach(node_, [this](const sim::message& m) { on_frame(m); });

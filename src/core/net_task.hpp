@@ -30,7 +30,7 @@ class net_task {
  public:
   using channel_handler = std::function<void(const sim::message&)>;
 
-  net_task(sim::engine& eng, processor& cpu, sim::network& net, node_id node,
+  net_task(runtime& rt, processor& cpu, sim::network& net, node_id node,
            const cost_model& costs, priority prio = prio::net_task);
   ~net_task();
   net_task(const net_task&) = delete;
@@ -68,7 +68,7 @@ class net_task {
   void transmit_head();     // thread completion: put the head on the wire
   void on_frame(const sim::message& m);
 
-  sim::engine* eng_;
+  runtime* rt_;
   processor* cpu_;
   sim::network* net_;
   node_id node_;

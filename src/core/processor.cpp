@@ -25,7 +25,7 @@ const processor::thread& processor::get(kthread_id t) const {
 void processor::trace(sim::trace_kind k, const std::string& subject,
                       std::string detail) {
   if (trace_ != nullptr)
-    trace_->record(eng_->now(), node_, k, subject, std::move(detail));
+    trace_->record(rt_->now(), node_, k, subject, std::move(detail));
 }
 
 kthread_id processor::create(std::string name, priority prio, priority pt,
@@ -68,9 +68,9 @@ void processor::pause_running() {
   if (running_ == invalid_kthread) return;
   thread& th = get(running_);
   if (th.completion == sim::invalid_event) return;  // already paused
-  eng_->cancel(th.completion);
+  rt_->cancel(th.completion);
   th.completion = sim::invalid_event;
-  const duration burst = eng_->now() - th.burst_start;
+  const duration burst = rt_->now() - th.burst_start;
   // The first part of a burst is the context-switch overhead; only time past
   // it consumes the thread's own work.
   const duration cs = std::min(burst, th.burst_cs);
@@ -101,16 +101,16 @@ void processor::start_burst(kthread_id t) {
   th.burst_cs = (last_on_cpu_ == t) ? zero : params_.context_switch;
   if (th.burst_cs > zero) ++stats_.context_switches;
   last_on_cpu_ = t;
-  th.burst_start = eng_->now();
+  th.burst_start = rt_->now();
   trace(sim::trace_kind::thread_running, th.name);
-  th.completion = eng_->at(eng_->now() + th.burst_cs + th.remaining,
+  th.completion = rt_->at(rt_->now() + th.burst_cs + th.remaining,
                            [this, t] { complete(t); });
 }
 
 void processor::complete(kthread_id t) {
   thread& th = get(t);
   th.completion = sim::invalid_event;
-  const duration burst = eng_->now() - th.burst_start;
+  const duration burst = rt_->now() - th.burst_start;
   stats_.busy += burst;
   th.total_executed += th.remaining;
   th.remaining = zero;
@@ -142,10 +142,10 @@ void processor::reschedule() {
     if (run.completion == sim::invalid_event) {
       // Paused by an interrupt burst that has now drained: resume.
       run.burst_cs = zero;  // returning from interrupt, no full switch
-      run.burst_start = eng_->now();
+      run.burst_start = rt_->now();
       trace(sim::trace_kind::thread_running, run.name);
       run.completion =
-          eng_->at(eng_->now() + run.remaining, [this, t = running_] { complete(t); });
+          rt_->at(rt_->now() + run.remaining, [this, t = running_] { complete(t); });
     }
     return;
   }
@@ -205,9 +205,9 @@ void processor::add_work(kthread_id t, duration extra) {
     th.remaining += extra;
     th.st = state::running;  // pause_running does not change state
     th.burst_cs = zero;
-    th.burst_start = eng_->now();
+    th.burst_start = rt_->now();
     th.completion =
-        eng_->at(eng_->now() + th.remaining, [this, t] { complete(t); });
+        rt_->at(rt_->now() + th.remaining, [this, t] { complete(t); });
     return;
   }
   th.remaining += extra;
@@ -219,7 +219,7 @@ void processor::post_interrupt(std::string name, duration wcet,
   require(!wcet.is_negative() && !wcet.is_infinite(),
           "processor::post_interrupt: bad handler WCET");
   if (!irq_active()) {
-    irq_busy_until_ = eng_->now();
+    irq_busy_until_ = rt_->now();
     pause_running();  // the incumbent resumes after the burst drains
   }
   irq_busy_until_ += wcet;
@@ -228,7 +228,7 @@ void processor::post_interrupt(std::string name, duration wcet,
   stats_.busy += wcet;
   trace(sim::trace_kind::custom, name, "interrupt");
 
-  eng_->at(irq_busy_until_, [this, body = std::move(body)] {
+  rt_->at(irq_busy_until_, [this, body = std::move(body)] {
     if (body) body();
     if (!irq_active()) reschedule();
   });
@@ -244,14 +244,14 @@ bool processor::has_started(kthread_id t) const {
   if (th.total_executed > zero || th.st == state::done) return true;
   if (th.st != state::running) return false;
   // Running: started once past the context-switch part of the burst.
-  return eng_->now() - th.burst_start > th.burst_cs;
+  return rt_->now() - th.burst_start > th.burst_cs;
 }
 
 duration processor::executed(kthread_id t) const {
   const thread& th = get(t);
   duration total = th.total_executed;
   if (th.st == state::running && th.completion != sim::invalid_event) {
-    const duration burst = eng_->now() - th.burst_start;
+    const duration burst = rt_->now() - th.burst_start;
     total += std::max(zero, burst - th.burst_cs);
   }
   return total;
@@ -261,7 +261,7 @@ duration processor::remaining(kthread_id t) const {
   const thread& th = get(t);
   duration rem = th.remaining;
   if (th.st == state::running && th.completion != sim::invalid_event) {
-    const duration burst = eng_->now() - th.burst_start;
+    const duration burst = rt_->now() - th.burst_start;
     rem = std::max(zero, rem - std::max(zero, burst - th.burst_cs));
   }
   return rem;

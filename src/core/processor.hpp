@@ -22,7 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "sim/engine.hpp"
+#include "sim/runtime.hpp"
 #include "sim/trace.hpp"
 #include "util/error.hpp"
 #include "util/time.hpp"
@@ -38,9 +38,9 @@ class processor {
  public:
   using completion_fn = std::function<void()>;
 
-  processor(sim::engine& eng, node_id node, kernel_params params,
+  processor(runtime& rt, node_id node, kernel_params params,
             sim::trace_recorder* trace = nullptr)
-      : eng_(&eng), node_(node), params_(params), trace_(trace) {}
+      : rt_(&rt), node_(node), params_(params), trace_(trace) {}
   processor(const processor&) = delete;
   processor& operator=(const processor&) = delete;
 
@@ -136,10 +136,10 @@ class processor {
   void trace(sim::trace_kind k, const std::string& subject,
              std::string detail = {});
   [[nodiscard]] bool irq_active() const {
-    return eng_->now() < irq_busy_until_;
+    return rt_->now() < irq_busy_until_;
   }
 
-  sim::engine* eng_;
+  runtime* rt_;
   node_id node_;
   kernel_params params_;
   sim::trace_recorder* trace_;

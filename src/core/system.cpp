@@ -10,21 +10,21 @@ system::system(std::size_t node_count) : system(node_count, config{}) {}
 system::system(std::size_t node_count, config cfg) : cfg_(std::move(cfg)) {
   validate(node_count > 0, "system: need at least one node");
   trace_.enable(cfg_.tracing);
-  net_ = std::make_unique<sim::network>(eng_, cfg_.net, cfg_.seed);
+  net_ = std::make_unique<sim::network>(*rt_, cfg_.net, cfg_.seed);
 
   kernel_params kp;
   kp.context_switch = cfg_.costs.context_switch;
 
   for (std::size_t n = 0; n < node_count; ++n) {
     auto ctx = std::make_unique<node_ctx>();
-    ctx->cpu = std::make_unique<processor>(eng_, static_cast<node_id>(n), kp,
+    ctx->cpu = std::make_unique<processor>(*rt_, static_cast<node_id>(n), kp,
                                            &trace_);
     const double drift =
         n < cfg_.clock_drift.size() ? cfg_.clock_drift[n] : 0.0;
-    ctx->clock = std::make_unique<sim::hardware_clock>(eng_, drift);
-    ctx->net = std::make_unique<net_task>(eng_, *ctx->cpu, *net_,
+    ctx->clock = std::make_unique<sim::hardware_clock>(*rt_, drift);
+    ctx->net = std::make_unique<net_task>(*rt_, *ctx->cpu, *net_,
                                           static_cast<node_id>(n), cfg_.costs);
-    ctx->disp = std::make_unique<dispatcher>(*this, eng_,
+    ctx->disp = std::make_unique<dispatcher>(*this, *rt_,
                                              static_cast<node_id>(n),
                                              *ctx->cpu, *ctx->net, monitor_,
                                              cfg_.costs, &trace_);
@@ -38,11 +38,9 @@ system::~system() = default;
 void system::arm_clock_interrupts(node_id n) {
   if (!cfg_.kernel_background) return;
   if (cfg_.costs.w_clk.is_zero() || cfg_.costs.p_clk.is_infinite()) return;
-  eng_.after(cfg_.costs.p_clk, [this, n] {
-    if (crashed(n)) return;  // a dead node's oscillator interrupts no one
+  nodes_[n]->clk_timer = rt_->every(cfg_.costs.p_clk, [this, n] {
     cpu(n).post_interrupt("clk@" + std::to_string(n), cfg_.costs.w_clk,
                           nullptr);
-    arm_clock_interrupts(n);
   });
 }
 
@@ -96,22 +94,14 @@ void system::attach_policy_everywhere(std::shared_ptr<policy> p) {
 
 void system::arm_periodic(task_id t) {
   const auto& g = *graphs_.at(t);
-  const time_point first = time_point::zero() + g.law().offset;
-  eng_.at(std::max(first, eng_.now()), [this, t] {
+  const time_point first =
+      std::max(time_point::zero() + g.law().offset, rt_->now());
+  // One periodic registration drives every activation, drift-free.
+  rt_->schedule_periodic(first, g.law().period, [this, t] {
     activation_origin origin;
     origin.k = activation_origin::kind::timer;
     activate_internal(t, origin);
-    // Re-arm for the next period regardless of acceptance.
-    const auto& graph = *graphs_.at(t);
-    eng_.after(graph.law().period, [this, t] { rearm_periodic(t); });
   });
-}
-
-void system::rearm_periodic(task_id t) {
-  activation_origin origin;
-  origin.k = activation_origin::kind::timer;
-  activate_internal(t, origin);
-  eng_.after(graphs_.at(t)->law().period, [this, t] { rearm_periodic(t); });
 }
 
 bool system::activate(task_id t) {
@@ -121,7 +111,7 @@ bool system::activate(task_id t) {
 }
 
 void system::activate_at(task_id t, time_point at) {
-  eng_.at(at, [this, t] { activate(t); });
+  rt_->at(at, [this, t] { activate(t); });
 }
 
 std::optional<instance_number> system::activate_internal(
@@ -133,7 +123,7 @@ std::optional<instance_number> system::activate_internal(
   if (disp(home).halted()) return std::nullopt;
 
   auto& st = task_stats_[t];
-  const time_point now = eng_.now();
+  const time_point now = rt_->now();
 
   // Arrival-law supervision (paper 3.2.1 event ii).
   if (ever_activated_[t]) {
@@ -174,7 +164,7 @@ std::optional<instance_number> system::activate_internal(
   // after a+D so that same-instant completion events are processed first.
   if (!g.deadline().is_infinite())
     rec.deadline_timer =
-        eng_.at(now + g.deadline() + duration::nanoseconds(1),
+        rt_->at(now + g.deadline() + duration::nanoseconds(1),
                 [this, t, k] { on_deadline(t, k); });
   instances_.emplace(std::make_pair(t, k), std::move(rec));
   ++st.activations;
@@ -204,7 +194,7 @@ void system::on_deadline(task_id t, instance_number k) {
   const task_graph& g = *graphs_.at(t);
   monitor_event ev;
   ev.kind = monitor_event_kind::deadline_miss;
-  ev.at = eng_.now();
+  ev.at = rt_->now();
   ev.node = g.home_node();
   ev.task = t;
   ev.instance = k;
@@ -227,13 +217,13 @@ void system::finish_instance(task_id t, instance_number k) {
   instance_record rec = std::move(it->second);
   instances_.erase(it);
   if (rec.deadline_timer != sim::invalid_event)
-    eng_.cancel(rec.deadline_timer);
+    rt_->cancel(rec.deadline_timer);
 
   const task_graph& g = *graphs_.at(t);
   auto& st = task_stats_[t];
   ++st.completions;
-  st.response_times.add(eng_.now() - rec.activation);
-  trace_.record(eng_.now(), g.home_node(), sim::trace_kind::instance_completed,
+  st.response_times.add(rt_->now() - rec.activation);
+  trace_.record(rt_->now(), g.home_node(), sim::trace_kind::instance_completed,
                 g.name() + "#" + std::to_string(k));
 
   // c_inv_end in kernel context on the home node; a synchronous invoker (if
@@ -268,7 +258,7 @@ void system::abort_instance(task_id t, instance_number k,
   auto it = instances_.find({t, k});
   if (it == instances_.end()) return;
   if (it->second.deadline_timer != sim::invalid_event)
-    eng_.cancel(it->second.deadline_timer);
+    rt_->cancel(it->second.deadline_timer);
   instances_.erase(it);
 
   const task_graph& g = *graphs_.at(t);
@@ -282,7 +272,7 @@ void system::abort_instance(task_id t, instance_number k,
     ++st.rejections;
     monitor_event ev;
     ev.kind = monitor_event_kind::instance_rejected;
-    ev.at = eng_.now();
+    ev.at = rt_->now();
     ev.node = g.home_node();
     ev.task = t;
     ev.instance = k;
@@ -313,9 +303,12 @@ bool system::condition(condition_id c) const {
 
 void system::crash_node(node_id n) {
   if (crashed(n)) return;
+  // A dead node's oscillator interrupts no one.
+  rt_->cancel(nodes_[n]->clk_timer);
+  nodes_[n]->clk_timer = sim::invalid_event;
   monitor_event ev;
   ev.kind = monitor_event_kind::node_crash;
-  ev.at = eng_.now();
+  ev.at = rt_->now();
   ev.node = n;
   ev.subject = "node" + std::to_string(n);
   monitor_.record(ev);
@@ -415,7 +408,7 @@ std::size_t system::detect_deadlocks() {
     const auto& w = all[i].w;
     monitor_event ev;
     ev.kind = monitor_event_kind::deadlock_suspected;
-    ev.at = eng_.now();
+    ev.at = rt_->now();
     ev.node = all[i].node;
     ev.task = w.task;
     ev.instance = w.instance;
@@ -427,10 +420,7 @@ std::size_t system::detect_deadlocks() {
 }
 
 void system::arm_deadlock_scan(duration period) {
-  eng_.after(period, [this, period] {
-    detect_deadlocks();
-    arm_deadlock_scan(period);
-  });
+  rt_->every(period, [this] { detect_deadlocks(); });
 }
 
 }  // namespace hades::core

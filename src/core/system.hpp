@@ -26,9 +26,9 @@
 #include "core/processor.hpp"
 #include "core/scheduling.hpp"
 #include "core/task_model.hpp"
-#include "sim/engine.hpp"
 #include "sim/hardware_clock.hpp"
 #include "sim/network.hpp"
+#include "sim/runtime.hpp"
 #include "sim/trace.hpp"
 #include "util/stats.hpp"
 
@@ -54,7 +54,9 @@ class system {
 
   // --- composition access ---------------------------------------------------
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
-  [[nodiscard]] sim::engine& engine() { return eng_; }
+  /// The event runtime every component schedules against. The backend is
+  /// the discrete-event engine today; nothing outside src/sim may assume so.
+  [[nodiscard]] hades::runtime& engine() { return *rt_; }
   [[nodiscard]] sim::network& network() { return *net_; }
   [[nodiscard]] sim::trace_recorder& trace() { return trace_; }
   [[nodiscard]] monitor& mon() { return monitor_; }
@@ -96,9 +98,9 @@ class system {
   [[nodiscard]] bool condition(condition_id c) const;
 
   // --- execution -------------------------------------------------------------
-  void run_until(time_point t) { eng_.run_until(t); }
-  void run_for(duration d) { eng_.run_until(eng_.now() + d); }
-  [[nodiscard]] time_point now() const { return eng_.now(); }
+  void run_until(time_point t) { rt_->run_until(t); }
+  void run_for(duration d) { rt_->run_until(rt_->now() + d); }
+  [[nodiscard]] time_point now() const { return rt_->now(); }
 
   // --- fault injection --------------------------------------------------------
   /// Crash a node: its threads stop, its NIC detaches; only message loss
@@ -151,6 +153,7 @@ class system {
     std::unique_ptr<net_task> net;
     std::unique_ptr<dispatcher> disp;
     std::unique_ptr<sim::hardware_clock> clock;
+    sim::event_id clk_timer = sim::invalid_event;  // periodic clock interrupt
   };
 
   struct instance_record {
@@ -161,14 +164,13 @@ class system {
   };
 
   void arm_periodic(task_id t);
-  void rearm_periodic(task_id t);
   void arm_clock_interrupts(node_id n);
   void on_deadline(task_id t, instance_number k);
   void finish_instance(task_id t, instance_number k);
   void deliver_sync_return(node_id from, const activation_origin& origin);
 
   config cfg_;
-  sim::engine eng_;
+  std::unique_ptr<hades::runtime> rt_ = sim::make_engine();
   sim::trace_recorder trace_;
   monitor monitor_;
   std::unique_ptr<sim::network> net_;

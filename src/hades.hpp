@@ -12,8 +12,10 @@
 #include "util/types.hpp"
 
 #include "sim/engine.hpp"
+#include "sim/event.hpp"
 #include "sim/hardware_clock.hpp"
 #include "sim/network.hpp"
+#include "sim/runtime.hpp"
 #include "sim/trace.hpp"
 
 #include "core/cost_model.hpp"

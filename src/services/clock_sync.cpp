@@ -25,14 +25,11 @@ clock_sync_service::clock_sync_service(core::system& sys, params p)
 }
 
 void clock_sync_service::start() {
-  for (node_id n = 0; n < sys_->node_count(); ++n) arm_round(n);
-}
-
-void clock_sync_service::arm_round(node_id n) {
-  sys_->engine().after(params_.resync_period, [this, n] {
-    if (!sys_->crashed(n)) begin_round(n);
-    arm_round(n);
-  });
+  for (node_id n = 0; n < sys_->node_count(); ++n) {
+    sys_->engine().every(params_.resync_period, [this, n] {
+      if (!sys_->crashed(n)) begin_round(n);
+    });
+  }
 }
 
 void clock_sync_service::begin_round(node_id n) {

@@ -50,7 +50,6 @@ class clock_sync_service {
     time_point received_at;
   };
 
-  void arm_round(node_id n);
   void begin_round(node_id n);
   void conclude_round(node_id n, std::uint64_t round);
   void on_message(node_id n, const sim::message& m);

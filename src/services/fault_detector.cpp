@@ -16,18 +16,14 @@ fault_detector::fault_detector(core::system& sys, params p)
 }
 
 void fault_detector::start() {
-  for (node_id n = 0; n < sys_->node_count(); ++n) arm(n);
-}
-
-void fault_detector::arm(node_id n) {
-  sys_->engine().after(params_.heartbeat_period, [this, n] {
-    if (!sys_->crashed(n)) {
+  for (node_id n = 0; n < sys_->node_count(); ++n) {
+    sys_->engine().every(params_.heartbeat_period, [this, n] {
+      if (sys_->crashed(n)) return;
       sys_->net(n).send_all(ch_heartbeat, std::uint64_t{0}, 32);
       ++sent_;
       check(n);
-    }
-    arm(n);
-  });
+    });
+  }
 }
 
 void fault_detector::check(node_id n) {

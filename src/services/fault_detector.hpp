@@ -47,7 +47,6 @@ class fault_detector {
   [[nodiscard]] std::uint64_t heartbeats_sent() const { return sent_; }
 
  private:
-  void arm(node_id n);
   void check(node_id n);
 
   core::system* sys_;

@@ -1,58 +1,313 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 namespace hades::sim {
+
+// --- pool ------------------------------------------------------------------
+
+std::uint32_t engine::alloc_slot() {
+  if (free_head_ == npos) {
+    require(slabs_.size() < npos / slab_size, "engine: event pool exhausted");
+    if (alloc_hook_ != nullptr)
+      alloc_hook_(slab_size * sizeof(slot), alloc_user_);
+    auto slab = std::make_unique<slot[]>(slab_size);
+    const auto base = static_cast<std::uint32_t>(slabs_.size() * slab_size);
+    for (std::size_t k = slab_size; k-- > 0;) {
+      slab[k].next = free_head_;
+      free_head_ = base + static_cast<std::uint32_t>(k);
+    }
+    slabs_.push_back(std::move(slab));
+  }
+  const std::uint32_t i = free_head_;
+  slot& s = slot_at(i);
+  free_head_ = s.next;
+  s.next = npos;
+  return i;
+}
+
+void engine::free_slot(std::uint32_t i) {
+  slot& s = slot_at(i);
+  s.fn.reset();
+  ++s.gen;
+  s.kind = slot_kind::free_slot;
+  s.live = false;
+  s.counted = false;
+  s.period = duration::zero();
+  s.next = free_head_;
+  free_head_ = i;
+}
+
+// --- 4-ary ready heap ------------------------------------------------------
+
+void engine::push_rec(time_point t, std::uint32_t slot, std::uint32_t gen) {
+  if (heap_.size() == heap_.capacity() && alloc_hook_ != nullptr) {
+    const std::size_t next_cap =
+        heap_.capacity() == 0 ? 16 : heap_.capacity() * 2;
+    alloc_hook_(next_cap * sizeof(heap_rec), alloc_user_);
+  }
+  heap_.push_back(heap_rec{t, next_seq_++, slot, gen});
+  sift_up(heap_.size() - 1);
+}
+
+void engine::pop_rec() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void engine::sift_up(std::size_t i) {
+  const heap_rec tmp = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!sooner(tmp, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = tmp;
+}
+
+void engine::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const heap_rec tmp = heap_[i];
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last; ++c)
+      if (sooner(heap_[c], heap_[best])) best = c;
+    if (!sooner(heap_[best], tmp)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = tmp;
+}
+
+void engine::compact() {
+  std::size_t out = 0;
+  for (const heap_rec& r : heap_)
+    if (slot_at(r.slot).gen == r.gen) heap_[out++] = r;
+  heap_.resize(out);
+  stale_ = 0;
+  ++compactions_;
+  if (heap_.size() >= 2)
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+}
+
+const engine::heap_rec* engine::peek_valid() {
+  while (!heap_.empty()) {
+    const heap_rec& top = heap_[0];
+    if (slot_at(top.slot).gen == top.gen) return &heap_[0];
+    pop_rec();
+    if (stale_ > 0) --stale_;  // saturate: stale_ is a compaction heuristic
+  }
+  return nullptr;
+}
+
+// --- scheduling ------------------------------------------------------------
 
 event_id engine::at(time_point t, event_fn fn) {
   require(!t.is_infinite(), "engine::at: cannot schedule at infinity");
   require(t >= now_, "engine::at: cannot schedule in the past");
   require(static_cast<bool>(fn), "engine::at: empty event function");
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(entry{t, seq, std::move(fn)});
-  pending_ids_.insert(seq);
-  return event_id{seq};
+  const std::uint32_t s = alloc_slot();
+  slot& sl = slot_at(s);
+  sl.fn = std::move(fn);
+  sl.kind = slot_kind::single;
+  sl.live = true;
+  sl.counted = true;
+  push_rec(t, s, sl.gen);
+  ++live_;
+  return id_of(s, sl.gen);
+}
+
+event_id engine::schedule_periodic(time_point first, duration period,
+                                   event_fn fn) {
+  // Same convention as after(): an infinite date never fires. Services use
+  // an infinite period to mean "this timer is disabled".
+  if (first.is_infinite() || period.is_infinite()) return invalid_event;
+  require(first >= now_, "engine::schedule_periodic: start in the past");
+  require(period > duration::zero(),
+          "engine::schedule_periodic: period must be positive");
+  require(static_cast<bool>(fn),
+          "engine::schedule_periodic: empty event function");
+  const std::uint32_t s = alloc_slot();
+  slot& sl = slot_at(s);
+  sl.fn = std::move(fn);
+  sl.kind = slot_kind::periodic;
+  sl.period = period;
+  sl.live = true;
+  sl.counted = true;
+  push_rec(first, s, sl.gen);
+  ++live_;
+  return id_of(s, sl.gen);
 }
 
 void engine::cancel(event_id id) {
   if (id.value == 0) return;
-  if (pending_ids_.erase(id.value) > 0) cancelled_.insert(id.value);
+  const auto slot_idx = static_cast<std::uint32_t>((id.value >> 32) - 1);
+  const auto gen = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
+  if (slot_idx >= slabs_.size() * slab_size) return;
+  slot& s = slot_at(slot_idx);
+  if (!s.live || s.gen != gen) return;
+  switch (s.kind) {
+    case slot_kind::single:
+    case slot_kind::periodic: {
+      // A periodic event cancelling itself from inside its own callback has
+      // no outstanding heap record (it was popped to fire), so it must not
+      // count as stale.
+      const bool has_record = slot_idx != firing_slot_;
+      free_slot(slot_idx);
+      --live_;
+      if (has_record) {
+        ++stale_;
+        if (stale_ > 64 && stale_ * 2 > heap_.size()) compact();
+      }
+      break;
+    }
+    case slot_kind::member:
+      // The batch chain still routes through this slot's `next`, so it is
+      // only reclaimed when its anchor fires.
+      s.fn.reset();
+      s.live = false;
+      ++s.gen;
+      if (s.counted) --live_;  // staged members only count from commit
+      s.counted = false;
+      break;
+    default:
+      break;
+  }
 }
 
-bool engine::pop_next(entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the closure must be copied out. Closures
-    // in HADES are small (pointer/id captures), so the copy is cheap.
-    entry e = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(e.seq) > 0) continue;
-    pending_ids_.erase(e.seq);
-    out = std::move(e);
-    return true;
+// --- batching --------------------------------------------------------------
+
+event_batch engine::open_batch(time_point t) {
+  require(!t.is_infinite(), "engine::open_batch: cannot schedule at infinity");
+  require(t >= now_, "engine::open_batch: cannot schedule in the past");
+  event_batch b;
+  b.t = t;
+  return b;
+}
+
+event_id engine::batch_add(event_batch& b, event_fn fn) {
+  require(!b.committed, "engine::batch_add: batch already committed");
+  require(static_cast<bool>(fn), "engine::batch_add: empty event function");
+  const std::uint32_t s = alloc_slot();
+  slot& sl = slot_at(s);
+  sl.fn = std::move(fn);
+  sl.kind = slot_kind::member;
+  sl.live = true;
+  sl.counted = false;  // staged: enters pending()/empty() at commit
+  if (b.head == npos) {
+    b.head = s;
+  } else {
+    slot_at(b.tail).next = s;
   }
-  return false;
+  b.tail = s;
+  ++b.count;
+  return id_of(s, sl.gen);
+}
+
+void engine::commit(event_batch& b) {
+  if (b.committed) return;
+  b.committed = true;
+  if (b.count == 0) return;
+  require(b.t >= now_, "engine::commit: batch instant is in the past");
+  // Members only count as pending from here: an opened-but-never-committed
+  // batch parks its slots (reclaimed at engine destruction) without wedging
+  // empty()/pending(), so drain loops cannot spin on unreachable events.
+  for (std::uint32_t cur = b.head; cur != npos; cur = slot_at(cur).next) {
+    slot& m = slot_at(cur);
+    if (m.live) {
+      m.counted = true;
+      ++live_;
+    }
+  }
+  const std::uint32_t a = alloc_slot();
+  slot& sl = slot_at(a);
+  sl.kind = slot_kind::anchor;
+  sl.next = b.head;
+  push_rec(b.t, a, sl.gen);
+}
+
+// --- execution -------------------------------------------------------------
+
+void engine::fire(const heap_rec& rec) {
+  slot& sl = slot_at(rec.slot);
+  switch (sl.kind) {
+    case slot_kind::single: {
+      event_fn fn = std::move(sl.fn);
+      free_slot(rec.slot);
+      --live_;
+      ++executed_;
+      fn();
+      break;
+    }
+    case slot_kind::periodic: {
+      // The closure is moved out for the call so that a self-cancel inside
+      // it (which frees and possibly recycles the slot) stays safe; it is
+      // moved back and re-armed only if the registration survived.
+      event_fn fn = std::move(sl.fn);
+      const std::uint32_t gen = sl.gen;
+      const duration period = sl.period;
+      ++executed_;
+      const std::uint32_t prev_firing = firing_slot_;
+      firing_slot_ = rec.slot;
+      fn();
+      firing_slot_ = prev_firing;
+      slot& again = slot_at(rec.slot);
+      if (again.live && again.gen == gen) {
+        again.fn = std::move(fn);
+        push_rec(rec.t + period, rec.slot, gen);
+      }
+      break;
+    }
+    case slot_kind::anchor: {
+      std::uint32_t cur = sl.next;
+      free_slot(rec.slot);
+      while (cur != npos) {
+        slot& m = slot_at(cur);
+        const std::uint32_t nxt = m.next;
+        if (m.live) {
+          event_fn fn = std::move(m.fn);
+          free_slot(cur);
+          --live_;
+          ++executed_;
+          fn();
+        } else {
+          free_slot(cur);  // cancelled member: reclaim now
+        }
+        cur = nxt;
+      }
+      break;
+    }
+    default:
+      break;  // unreachable: stale records never reach fire()
+  }
 }
 
 bool engine::step() {
-  entry e;
-  if (!pop_next(e)) return false;
-  now_ = e.t;
-  ++executed_;
-  e.fn();
+  const heap_rec* top = peek_valid();
+  if (top == nullptr) return false;
+  const heap_rec rec = *top;
+  pop_rec();
+  now_ = rec.t;
+  fire(rec);
   return true;
 }
 
 std::size_t engine::run_until(time_point t) {
   std::size_t n = 0;
   for (;;) {
-    if (queue_.empty()) break;
-    const entry& top = queue_.top();
-    if (cancelled_.contains(top.seq)) {
-      cancelled_.erase(top.seq);
-      queue_.pop();
-      continue;
-    }
-    if (top.t > t) break;
-    step();
-    ++n;
+    const heap_rec* top = peek_valid();
+    if (top == nullptr || top->t > t) break;
+    const heap_rec rec = *top;
+    pop_rec();
+    now_ = rec.t;
+    const std::uint64_t before = executed_;
+    fire(rec);
+    n += executed_ - before;
   }
   if (!t.is_infinite() && t > now_) now_ = t;
   return n;
@@ -60,8 +315,25 @@ std::size_t engine::run_until(time_point t) {
 
 std::size_t engine::run(std::size_t max_events) {
   std::size_t n = 0;
-  while (n < max_events && step()) ++n;
+  while (n < max_events) {
+    const std::uint64_t before = executed_;
+    if (!step()) break;
+    n += executed_ - before;
+  }
   return n;
 }
+
+engine::pool_stats engine::pool() const {
+  pool_stats st;
+  st.slabs = slabs_.size();
+  st.slots = slabs_.size() * slab_size;
+  st.live_events = live_;
+  st.heap_records = heap_.size();
+  st.stale_records = stale_;
+  st.compactions = compactions_;
+  return st;
+}
+
+std::unique_ptr<runtime> make_engine() { return std::make_unique<engine>(); }
 
 }  // namespace hades::sim

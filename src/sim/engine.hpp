@@ -1,90 +1,149 @@
-// Discrete-event simulation engine.
+// Discrete-event simulation engine: the pooled backend of hades::runtime.
 //
 // This is the substrate that replaces the paper's Pentium/ATM testbed (see
 // DESIGN.md, substitution table). It provides a deterministic, totally
 // ordered event timeline: events scheduled at the same instant fire in the
 // order they were scheduled, so every run of a HADES experiment is exactly
 // reproducible.
+//
+// Storage design (DESIGN.md, "Event pool"):
+//   * events live in slab-allocated pool slots reached through a free list
+//     — after warm-up, scheduling allocates nothing;
+//   * the ready structure is a 4-ary min-heap of 24-byte
+//     {time, seq, slot, gen} records — no closures move during sift;
+//   * cancellation bumps the slot's generation and frees it immediately
+//     (O(1), no tombstone sets); the heap record becomes stale and is
+//     dropped lazily on pop, with a compaction pass once stale records
+//     outnumber live ones so long cancel-heavy runs stay bounded.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "sim/runtime.hpp"
 #include "util/error.hpp"
 #include "util/time.hpp"
 
 namespace hades::sim {
 
-using event_fn = std::function<void()>;
-
-/// Opaque handle allowing cancellation of a scheduled event.
-struct event_id {
-  std::uint64_t value = 0;
-  friend constexpr bool operator==(event_id, event_id) = default;
-};
-
-inline constexpr event_id invalid_event{0};
-
-class engine {
+class engine final : public runtime {
  public:
   engine() = default;
-  engine(const engine&) = delete;
-  engine& operator=(const engine&) = delete;
 
-  /// Current simulated time. Monotonically non-decreasing.
-  [[nodiscard]] time_point now() const { return now_; }
+  // --- runtime interface ---------------------------------------------------
+  [[nodiscard]] time_point now() const override { return now_; }
+  event_id at(time_point t, event_fn fn) override;
+  event_id schedule_periodic(time_point first, duration period,
+                             event_fn fn) override;
+  void cancel(event_id id) override;
 
-  /// Schedule `fn` to run at absolute time `t` (must be >= now()).
-  event_id at(time_point t, event_fn fn);
+  event_batch open_batch(time_point t) override;
+  event_id batch_add(event_batch& b, event_fn fn) override;
+  void commit(event_batch& b) override;
 
-  /// Schedule `fn` to run after `d` has elapsed. An infinite delay never fires.
-  event_id after(duration d, event_fn fn) {
-    if (d.is_infinite()) return invalid_event;
-    return at(now_ + d, std::move(fn));
+  bool step() override;
+  std::size_t run_until(time_point t) override;
+  std::size_t run(std::size_t max_events = 100'000'000) override;
+
+  [[nodiscard]] bool empty() const override { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const override { return live_; }
+  [[nodiscard]] std::uint64_t executed() const override { return executed_; }
+
+  // --- pool observability ---------------------------------------------------
+  struct pool_stats {
+    std::size_t slabs = 0;          // slabs ever allocated
+    std::size_t slots = 0;          // total pooled slots
+    std::size_t live_events = 0;    // scheduled, not cancelled/fired
+    std::size_t heap_records = 0;   // ready-heap entries, stale included
+    std::size_t stale_records = 0;  // entries awaiting lazy purge
+    std::size_t compactions = 0;    // stale-purge passes performed
+  };
+  [[nodiscard]] pool_stats pool() const;
+
+  /// Counting allocator hook: invoked with the byte size of every backing
+  /// allocation the engine makes (new slab, ready-heap growth). Tests use it
+  /// to prove the steady state allocates nothing.
+  using alloc_hook = void (*)(std::size_t bytes, void* user);
+  void set_alloc_hook(alloc_hook h, void* user) {
+    alloc_hook_ = h;
+    alloc_user_ = user;
   }
 
-  /// Cancel a previously scheduled event. Safe with invalid_event, with an
-  /// already-fired id, and when called twice.
-  void cancel(event_id id);
-
-  /// Run the next pending event, if any. Returns false when idle.
-  bool step();
-
-  /// Run all events with timestamp <= t; afterwards now() == t.
-  /// Returns the number of events executed.
-  std::size_t run_until(time_point t);
-
-  /// Run until the event queue drains (or `max_events` executed).
-  std::size_t run(std::size_t max_events = 100'000'000);
-
-  [[nodiscard]] bool empty() const { return pending_ids_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return pending_ids_.size(); }
-  [[nodiscard]] std::uint64_t executed() const { return executed_; }
-
  private:
-  struct entry {
+  static constexpr std::uint32_t npos = 0xFFFFFFFFu;
+  static constexpr std::size_t slab_size = 256;
+
+  enum class slot_kind : std::uint8_t {
+    free_slot,
+    single,
+    periodic,
+    member,  // batch member, chained through `next`
+    anchor,  // batch head; owns the chain, carries the heap record
+  };
+
+  struct slot {
+    event_fn fn;
+    duration period = duration::zero();
+    std::uint32_t gen = 1;
+    std::uint32_t next = npos;  // free-list link / batch chain link
+    slot_kind kind = slot_kind::free_slot;
+    bool live = false;
+    bool counted = false;  // contributes to live_ (batch members: at commit)
+  };
+
+  // Ready-heap record. Closures never move during sift — only these 24-byte
+  // records do.
+  struct heap_rec {
     time_point t;
     std::uint64_t seq;
-    event_fn fn;
-  };
-  struct later {
-    bool operator()(const entry& a, const entry& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
-  bool pop_next(entry& out);
+  static bool sooner(const heap_rec& a, const heap_rec& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<entry, std::vector<entry>, later> queue_;
-  std::unordered_set<std::uint64_t> pending_ids_;    // scheduled, not cancelled
-  std::unordered_set<std::uint64_t> cancelled_;      // cancelled, still queued
+  [[nodiscard]] slot& slot_at(std::uint32_t i) {
+    return slabs_[i / slab_size][i % slab_size];
+  }
+  [[nodiscard]] const slot& slot_at(std::uint32_t i) const {
+    return slabs_[i / slab_size][i % slab_size];
+  }
+
+  static event_id id_of(std::uint32_t slot, std::uint32_t gen) {
+    return event_id{(static_cast<std::uint64_t>(slot) + 1) << 32 | gen};
+  }
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t i);
+
+  void push_rec(time_point t, std::uint32_t slot, std::uint32_t gen);
+  void pop_rec();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void compact();
+
+  /// Drop stale records off the top; return the next live record, or null.
+  const heap_rec* peek_valid();
+
+  /// Execute the event(s) of a just-popped valid record.
+  void fire(const heap_rec& rec);
+
+  std::vector<std::unique_ptr<slot[]>> slabs_;
+  std::vector<heap_rec> heap_;
+  std::uint32_t free_head_ = npos;
+  std::uint32_t firing_slot_ = npos;  // periodic slot mid-callback, if any
+  std::size_t live_ = 0;
+  std::size_t stale_ = 0;
+  std::size_t compactions_ = 0;
   time_point now_ = time_point::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  alloc_hook alloc_hook_ = nullptr;
+  void* alloc_user_ = nullptr;
 };
 
 }  // namespace hades::sim

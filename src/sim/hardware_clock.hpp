@@ -10,7 +10,7 @@
 
 #include <functional>
 
-#include "sim/engine.hpp"
+#include "sim/runtime.hpp"
 #include "util/time.hpp"
 
 namespace hades::sim {
@@ -18,14 +18,14 @@ namespace hades::sim {
 class hardware_clock {
  public:
   /// `drift_rate` is rho (e.g. 1e-5 = 10 ppm). May be negative.
-  explicit hardware_clock(const engine& eng, double drift_rate = 0.0,
+  explicit hardware_clock(const runtime& rt, double drift_rate = 0.0,
                           duration initial_offset = duration::zero())
-      : eng_(&eng), drift_(drift_rate), base_local_(initial_offset) {}
+      : rt_(&rt), drift_(drift_rate), base_local_(initial_offset) {}
 
   /// Raw hardware clock reading (local elapsed time since simulation start).
   [[nodiscard]] duration read_hardware() const {
-    if (fault_) return fault_(eng_->now());
-    const duration real = eng_->now() - base_real_;
+    if (fault_) return fault_(rt_->now());
+    const duration real = rt_->now() - base_real_;
     return base_local_ + real + real.scaled(drift_);
   }
 
@@ -56,10 +56,10 @@ class hardware_clock {
  private:
   void rebase() {
     base_local_ = read_hardware();
-    base_real_ = eng_->now();
+    base_real_ = rt_->now();
   }
 
-  const engine* eng_;
+  const runtime* rt_;
   double drift_;
   time_point base_real_ = time_point::zero();
   duration base_local_;

@@ -48,7 +48,7 @@ std::uint64_t network::unicast(node_id src, node_id dst, int channel,
   m.payload = std::move(payload);
   m.size_bytes = size_bytes;
   m.id = next_id_++;
-  m.sent_at = eng_->now();
+  m.sent_at = rt_->now();
   ++stats_.sent;
 
   if (should_drop(src, dst)) {
@@ -60,14 +60,14 @@ std::uint64_t network::unicast(node_id src, node_id dst, int channel,
   const duration lat = sample_latency(size_bytes, late);
   if (late) ++stats_.late;
 
-  time_point deliver_at = eng_->now() + lat;
+  time_point deliver_at = rt_->now() + lat;
   // ATM virtual circuits are FIFO: never deliver before an earlier frame on
   // the same link.
   auto& last = last_delivery_[{src, dst}];
   if (deliver_at < last) deliver_at = last;
   last = deliver_at;
 
-  eng_->at(deliver_at, [this, m = std::move(m)]() {
+  rt_->at(deliver_at, [this, m = std::move(m)]() {
     auto it = handlers_.find(m.dst);
     if (it == handlers_.end() || !it->second) {
       ++stats_.dropped;  // destination crashed in flight

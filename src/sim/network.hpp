@@ -17,7 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "sim/engine.hpp"
+#include "sim/runtime.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -45,8 +46,8 @@ class network {
 
   using handler = std::function<void(const message&)>;
 
-  network(engine& eng, params p, std::uint64_t seed = 42)
-      : eng_(&eng), params_(p), rng_(seed) {
+  network(runtime& rt, params p, std::uint64_t seed = 42)
+      : rt_(&rt), params_(p), rng_(seed) {
     validate(p.delta_min <= p.delta_max, "network: delta_min > delta_max");
     validate(!p.delta_max.is_infinite(), "network: delta_max must be finite");
   }
@@ -111,7 +112,7 @@ class network {
   duration sample_latency(std::size_t size_bytes, bool& late);
   bool should_drop(node_id src, node_id dst);
 
-  engine* eng_;
+  runtime* rt_;
   params params_;
   rng rng_;
   std::unordered_map<node_id, handler> handlers_;

@@ -1,0 +1,106 @@
+// The HADES runtime abstraction (see DESIGN.md, "Runtime layer").
+//
+// Every component that schedules work — dispatchers, processors, the
+// net_mngt task, the simulated LAN, and the timer-driven services — programs
+// against this interface instead of a concrete event engine. The discrete-
+// event simulation backend (`sim::engine`) is one implementation; a
+// real-clock backend or a sharded multi-engine backend can be slotted in
+// without touching src/core or src/services. Those layers must include this
+// header only, never `sim/engine.hpp` (enforced by CI and by the
+// `runtime_layer_include_hygiene` ctest; the interface contract itself is
+// covered by tests/sim/runtime_test.cpp).
+//
+// Semantics every backend must honour:
+//   * time is monotonically non-decreasing and starts at zero,
+//   * events at the same instant fire in scheduling (FIFO) order,
+//   * `cancel` is O(1), idempotent, and safe on fired or invalid ids,
+//   * `schedule_periodic` fires at first, first+p, first+2p, ... without
+//     accumulating drift, until cancelled,
+//   * a committed batch fires its members FIFO at one instant and costs a
+//     single scheduler operation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/event.hpp"
+#include "util/time.hpp"
+
+namespace hades {
+
+class runtime {
+ public:
+  virtual ~runtime() = default;
+  runtime(const runtime&) = delete;
+  runtime& operator=(const runtime&) = delete;
+
+  /// Current time. Monotonically non-decreasing.
+  [[nodiscard]] virtual time_point now() const = 0;
+
+  /// Schedule `fn` to run at absolute time `t` (must be >= now()).
+  virtual sim::event_id at(time_point t, sim::event_fn fn) = 0;
+
+  /// Schedule `fn` to run after `d` has elapsed. An infinite delay never
+  /// fires.
+  sim::event_id after(duration d, sim::event_fn fn) {
+    if (d.is_infinite()) return sim::invalid_event;
+    return at(now() + d, std::move(fn));
+  }
+
+  /// Arm a drift-free periodic event: fires at `first`, then every `period`
+  /// until cancelled. The returned id stays valid across firings. An
+  /// infinite first date or period never fires (a disabled timer), matching
+  /// `after`.
+  virtual sim::event_id schedule_periodic(time_point first, duration period,
+                                          sim::event_fn fn) = 0;
+
+  /// `schedule_periodic` anchored one period from now.
+  sim::event_id every(duration period, sim::event_fn fn) {
+    if (period.is_infinite()) return sim::invalid_event;
+    return schedule_periodic(now() + period, period, std::move(fn));
+  }
+
+  /// Cancel a previously scheduled event. Safe with invalid_event, with an
+  /// already-fired id, and when called twice.
+  virtual void cancel(sim::event_id id) = 0;
+
+  // --- same-instant batching ------------------------------------------------
+  /// Open a burst anchored at absolute time `t` (must be >= now()).
+  virtual sim::event_batch open_batch(time_point t) = 0;
+  /// Append one event to the burst; the id is individually cancellable.
+  /// Members are staged: they appear in pending()/empty() only once the
+  /// batch is committed.
+  virtual sim::event_id batch_add(sim::event_batch& b, sim::event_fn fn) = 0;
+  /// Arm the burst with a single scheduler operation. FIFO order is the add
+  /// order; the batch's position among same-instant events is its commit
+  /// point. No-op for an empty batch.
+  virtual void commit(sim::event_batch& b) = 0;
+
+  // --- execution control ----------------------------------------------------
+  /// Run the next pending event, if any. Returns false when idle.
+  virtual bool step() = 0;
+
+  /// Run all events with timestamp <= t; afterwards now() == t.
+  /// Returns the number of events executed.
+  virtual std::size_t run_until(time_point t) = 0;
+
+  /// Run until the event queue drains (or `max_events` executed).
+  virtual std::size_t run(std::size_t max_events = 100'000'000) = 0;
+
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::size_t pending() const = 0;
+  [[nodiscard]] virtual std::uint64_t executed() const = 0;
+
+ protected:
+  runtime() = default;
+};
+
+namespace sim {
+/// Factory for the discrete-event simulation backend (`sim::engine`),
+/// usable without including sim/engine.hpp.
+std::unique_ptr<runtime> make_engine();
+}  // namespace sim
+
+}  // namespace hades

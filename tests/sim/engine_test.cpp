@@ -154,5 +154,275 @@ TEST(EngineTest, MaxEventsBoundsRun) {
   EXPECT_EQ(fired, 3);
 }
 
+TEST(EngineTest, CancelAfterFireIsSafe) {
+  engine e;
+  int fired = 0;
+  auto id = e.after(1_us, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  e.cancel(id);  // already fired: no-op
+  e.cancel(id);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineTest, StaleIdCannotCancelRecycledSlot) {
+  engine e;
+  int first = 0;
+  int second = 0;
+  auto id1 = e.after(1_us, [&] { ++first; });
+  e.run();
+  // The freed slot is recycled for the next event; the stale id carries the
+  // old generation and must not touch it.
+  auto id2 = e.after(1_us, [&] { ++second; });
+  e.cancel(id1);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+  e.cancel(id2);
+}
+
+TEST(EngineTest, GarbageIdIsIgnored) {
+  engine e;
+  e.cancel(event_id{0xDEADBEEFCAFEBABEull});  // out-of-range slot
+  int fired = 0;
+  e.after(1_us, [&] { ++fired; });
+  e.cancel(event_id{0xDEADBEEFCAFEBABEull});
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// --- periodic events --------------------------------------------------------
+
+TEST(EnginePeriodicTest, FiresDriftFree) {
+  engine e;
+  std::vector<std::int64_t> fire_us;
+  auto id = e.schedule_periodic(time_point::at(5_us), 3_us, [&] {
+    fire_us.push_back(e.now().since_epoch().count() / 1000);
+  });
+  e.run_until(time_point::at(14_us));
+  EXPECT_EQ(fire_us, (std::vector<std::int64_t>{5, 8, 11, 14}));
+  EXPECT_EQ(e.pending(), 1u);  // still armed
+  e.cancel(id);
+  EXPECT_TRUE(e.empty());
+  e.run_until(time_point::at(50_us));
+  EXPECT_EQ(fire_us.size(), 4u);
+}
+
+TEST(EnginePeriodicTest, IdStaysValidAcrossFirings) {
+  engine e;
+  int count = 0;
+  auto id = e.schedule_periodic(time_point::at(1_us), 1_us, [&] { ++count; });
+  e.run_until(time_point::at(10_us));
+  EXPECT_EQ(count, 10);
+  e.cancel(id);  // the handle from registration still cancels it
+  e.run_until(time_point::at(20_us));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EnginePeriodicTest, SelfCancelStopsRescheduling) {
+  engine e;
+  int count = 0;
+  event_id id = invalid_event;
+  id = e.schedule_periodic(time_point::at(1_us), 1_us, [&] {
+    if (++count == 3) e.cancel(id);
+  });
+  e.run();  // would never drain if the registration survived
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EnginePeriodicTest, EveryAnchorsOnePeriodFromNow) {
+  engine e;
+  e.after(2_us, [] {});
+  e.run();
+  ASSERT_EQ(e.now(), time_point::at(2_us));
+  std::vector<std::int64_t> fire_us;
+  auto id = e.every(3_us, [&] {
+    fire_us.push_back(e.now().since_epoch().count() / 1000);
+  });
+  e.run_until(time_point::at(11_us));
+  EXPECT_EQ(fire_us, (std::vector<std::int64_t>{5, 8, 11}));
+  e.cancel(id);
+}
+
+TEST(EnginePeriodicTest, RejectsBadPeriods) {
+  engine e;
+  EXPECT_THROW(e.schedule_periodic(time_point::at(1_us), duration::zero(),
+                                   [] {}),
+               invariant_violation);
+}
+
+TEST(EnginePeriodicTest, InfinitePeriodMeansDisabled) {
+  // Services pass an infinite period to mean "this timer is off" — same
+  // convention as after(duration::infinity(), ...).
+  engine e;
+  EXPECT_EQ(e.schedule_periodic(time_point::at(1_us), duration::infinity(),
+                                [] { FAIL(); }),
+            invalid_event);
+  EXPECT_EQ(e.schedule_periodic(time_point::infinity(), 1_us, [] { FAIL(); }),
+            invalid_event);
+  EXPECT_EQ(e.every(duration::infinity(), [] { FAIL(); }), invalid_event);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EnginePeriodicTest, SelfCancelLeavesNoPhantomStale) {
+  // Cancelling a periodic event from inside its own callback must not count
+  // a stale heap record (the firing's record was already popped); phantom
+  // stale counts would trigger needless compaction passes forever after.
+  engine e;
+  for (int k = 0; k < 200; ++k) {
+    event_id id = invalid_event;
+    id = e.schedule_periodic(e.now() + 1_us, 1_us, [&e, &id] { e.cancel(id); });
+    e.run();
+  }
+  EXPECT_EQ(e.pool().stale_records, 0u);
+  EXPECT_EQ(e.pool().compactions, 0u);
+}
+
+// --- batching ---------------------------------------------------------------
+
+TEST(EngineBatchTest, FiresFifoAtOneInstant) {
+  engine e;
+  std::vector<int> order;
+  e.after(3_us, [&] { order.push_back(99); });
+  auto b = e.open_batch(time_point::at(2_us));
+  for (int i = 0; i < 4; ++i)
+    e.batch_add(b, [&order, i] { order.push_back(i); });
+  EXPECT_EQ(e.pending(), 1u);  // staged members count only from commit
+  e.commit(b);
+  EXPECT_EQ(e.pending(), 5u);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 99}));
+  EXPECT_EQ(e.executed(), 5u);
+}
+
+TEST(EngineBatchTest, MembersAreIndividuallyCancellable) {
+  engine e;
+  std::vector<int> order;
+  auto b = e.open_batch(time_point::at(1_us));
+  e.batch_add(b, [&] { order.push_back(0); });
+  auto skip = e.batch_add(b, [&] { order.push_back(1); });
+  e.batch_add(b, [&] { order.push_back(2); });
+  e.commit(b);
+  e.cancel(skip);
+  e.cancel(skip);  // double-cancel of a member is a no-op
+  EXPECT_EQ(e.pending(), 2u);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(EngineBatchTest, EmptyCommitIsNoop) {
+  engine e;
+  auto b = e.open_batch(time_point::at(1_us));
+  e.commit(b);
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(EngineBatchTest, AbandonedBatchDoesNotWedgeTheEngine) {
+  // A populated batch that is never committed must not leave empty() false
+  // forever — drain loops of the form `while (!e.empty()) e.step()` would
+  // spin on events that can never fire.
+  engine e;
+  int fired = 0;
+  {
+    auto b = e.open_batch(time_point::at(1_us));
+    e.batch_add(b, [&] { ++fired; });
+    e.batch_add(b, [&] { ++fired; });
+    // abandoned: no commit
+  }
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.pending(), 0u);
+  while (!e.empty()) e.step();  // must not spin
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EngineBatchTest, PreCommitMemberCancel) {
+  engine e;
+  std::vector<int> order;
+  auto b = e.open_batch(time_point::at(1_us));
+  auto skip = e.batch_add(b, [&] { order.push_back(0); });
+  e.batch_add(b, [&] { order.push_back(1); });
+  e.cancel(skip);  // cancelled while still staged
+  e.commit(b);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineBatchTest, AddAfterCommitThrows) {
+  engine e;
+  auto b = e.open_batch(time_point::at(1_us));
+  e.batch_add(b, [] {});
+  e.commit(b);
+  EXPECT_THROW(e.batch_add(b, [] {}), invariant_violation);
+  e.run();
+}
+
+// --- pool behaviour ---------------------------------------------------------
+
+namespace {
+void churn(engine& e, int rounds, int events_per_round) {
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<event_id> ids;
+    ids.reserve(static_cast<std::size_t>(events_per_round));
+    for (int i = 0; i < events_per_round; ++i)
+      ids.push_back(e.after(duration::microseconds(1 + i % 7), [] {}));
+    for (std::size_t i = 0; i < ids.size(); i += 2) e.cancel(ids[i]);
+    e.run();
+  }
+}
+}  // namespace
+
+TEST(EnginePoolTest, SteadyStateAllocatesNothing) {
+  engine e;
+  std::size_t backing_allocs = 0;
+  e.set_alloc_hook(
+      [](std::size_t, void* user) { ++*static_cast<std::size_t*>(user); },
+      &backing_allocs);
+
+  churn(e, 4, 512);  // warm-up sizes the slab pool and the ready heap
+  const std::size_t after_warmup = backing_allocs;
+  EXPECT_GT(after_warmup, 0u);
+  const std::uint64_t cb_heap_before = event_callback::heap_allocations();
+
+  churn(e, 64, 512);  // steady state: pure pool reuse
+  EXPECT_EQ(backing_allocs, after_warmup);
+  EXPECT_EQ(event_callback::heap_allocations(), cb_heap_before);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EnginePoolTest, SmallClosuresNeverTouchTheHeap) {
+  const std::uint64_t before = event_callback::heap_allocations();
+  engine e;
+  int sink = 0;
+  for (int i = 0; i < 1000; ++i) e.after(1_us, [&sink, i] { sink += i; });
+  e.run();
+  EXPECT_EQ(event_callback::heap_allocations(), before);
+  EXPECT_EQ(sink, 999 * 1000 / 2);
+}
+
+// Seed regression: cancelled ids used to pile up in a tombstone set (and
+// pending-id set) until their queue entries drained, so long periodic runs
+// grew without bound. Stale heap records are now compacted.
+TEST(EnginePoolTest, CancelledFarFutureEventsDoNotAccumulate) {
+  engine e;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<event_id> ids;
+    ids.reserve(100);
+    for (int i = 0; i < 100; ++i)
+      ids.push_back(e.after(duration::seconds(1000 + i), [] {}));
+    for (event_id id : ids) e.cancel(id);
+  }
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.pending(), 0u);
+  const auto pool = e.pool();
+  EXPECT_GT(pool.compactions, 0u);
+  EXPECT_LT(pool.heap_records, 1000u);  // 20k cancels leave bounded residue
+  EXPECT_LE(pool.slabs, 2u);            // slots recycled, not accreted
+}
+
 }  // namespace
 }  // namespace hades::sim
