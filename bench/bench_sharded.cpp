@@ -1,0 +1,184 @@
+// Sharded multi-engine backend throughput: 1/2/4/8 shards on a
+// low-coupling multi-group workload (DESIGN.md, "Sharded backend").
+//
+// Workload: 64 nodes in `shards` groups. Every node runs a self-
+// rescheduling handler that burns a few hundred nanoseconds of CPU (the
+// stand-in for dispatcher/service work) and re-arms 2-25us out; every 32nd
+// firing sends a cross-group event at lookahead-plus-jitter delay (~3%
+// cross traffic). Handlers touch only their own node's padded state, so
+// worker threads may advance shards concurrently — the regime the backend
+// is built for.
+//
+// Reported per configuration: wall-clock events/sec, speedup vs the
+// 1-shard serial baseline, per-shard load balance, and the critical-path
+// speedup (total/max per-shard events) an ideal machine would reach. The
+// workload checksum must be identical across every configuration — the
+// determinism guarantee, checked here on every run.
+//
+// Usage: bench_sharded [--smoke] [--require-2x]
+//   --smoke       ~20x fewer events (CI compile/perf-path check)
+//   --require-2x  exit non-zero unless 4-shard wall speedup >= 2x
+//                 (needs >= 4 hardware threads)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "sim/sharded_engine.hpp"
+
+using namespace hades;
+using namespace hades::literals;
+
+namespace {
+
+// A generous lookahead keeps the conservative rounds coarse: ~60 events
+// per shard per round at 8 shards, so the per-round synchronization cost
+// stays well below the handler work it fences.
+constexpr std::size_t kNodes = 64;
+constexpr duration kLookahead = duration::microseconds(100);
+
+struct alignas(64) node_state {
+  std::uint64_t fired = 0;
+  std::uint64_t hash = 0x9E3779B97F4A7C15ull;
+};
+
+struct bench_result {
+  double wall_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t checksum = 0;
+  double balance = 1.0;        // max/mean per-shard events
+  double critical_path = 1.0;  // total/max per-shard events
+};
+
+// Roughly a microsecond of real work, the handler-cost stand-in.
+inline std::uint64_t spin(std::uint64_t h) {
+  for (int i = 0; i < 400; ++i) h = (h ^ (h >> 29)) * 0xBF58476D1CE4E5B9ull;
+  return h;
+}
+
+struct node_driver {
+  runtime* rt = nullptr;
+  node_state* st = nullptr;
+  std::vector<node_state>* all = nullptr;
+  node_id n = 0;
+
+  void fire() {
+    ++st->fired;
+    st->hash = spin(st->hash + rt->now().since_epoch().count());
+    if (st->fired % 32 == 0) {
+      // Cross-group hop: the destination's handler mixes into the
+      // destination's own state, on the destination's shard.
+      const auto dst = static_cast<node_id>((n + kNodes / 2 + 1) % kNodes);
+      const duration delay =
+          kLookahead + duration::nanoseconds(
+                           static_cast<std::int64_t>(st->hash % 5000));
+      node_state* ds = &(*all)[dst];
+      rt->at_node(dst, rt->now() + delay, [rt = rt, ds] {
+        ++ds->fired;
+        ds->hash = spin(ds->hash ^ rt->now().since_epoch().count());
+      });
+    }
+    const duration next = duration::nanoseconds(
+        2000 + static_cast<std::int64_t>(st->hash % 23000));
+    rt->at_node(n, rt->now() + next, [this] { fire(); });
+  }
+};
+
+bench_result run_config(std::size_t shards, std::size_t workers,
+                        duration horizon) {
+  sim::sharded_params p;
+  p.shards = shards;
+  p.workers = workers;
+  p.lookahead = kLookahead;
+  p.node_shard.resize(kNodes);
+  for (std::size_t n = 0; n < kNodes; ++n)
+    p.node_shard[n] = static_cast<std::uint32_t>(n * shards / kNodes);
+  sim::sharded_engine eng(p);
+
+  std::vector<node_state> state(kNodes);
+  std::vector<node_driver> drivers(kNodes);
+  for (node_id n = 0; n < kNodes; ++n) {
+    drivers[n] = node_driver{&eng, &state[n], &state, n};
+    eng.at_node(n, time_point::at(duration::nanoseconds(137 * (n + 1))),
+                [d = &drivers[n]] { d->fire(); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.run_until(time_point::at(horizon));
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+
+  bench_result r;
+  r.wall_s = dt.count();
+  r.events = eng.executed();
+  for (const node_state& s : state) r.checksum ^= s.hash + s.fired;
+  const auto st = eng.stats();
+  std::uint64_t mx = 0, total = 0;
+  for (std::uint64_t e : st.executed_per_shard) {
+    mx = std::max(mx, e);
+    total += e;
+  }
+  if (mx > 0) {
+    r.balance = static_cast<double>(mx) * static_cast<double>(shards) /
+                static_cast<double>(total);
+    r.critical_path = static_cast<double>(total) / static_cast<double>(mx);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  duration horizon = duration::milliseconds(400);
+  bool require_2x = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      horizon = duration::milliseconds(20);
+    if (std::strcmp(argv[i], "--require-2x") == 0) require_2x = true;
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "sharded-engine throughput, %zu nodes, ~3%% cross-shard traffic, "
+      "%u hardware thread(s)\n",
+      kNodes, hw);
+
+  const std::size_t configs[] = {1, 2, 4, 8};
+  bench_result base;
+  double speedup_at_4 = 0.0;
+  for (std::size_t shards : configs) {
+    // 1 shard runs serial on the caller (the best single-core baseline);
+    // N shards get N workers.
+    const std::size_t workers = shards == 1 ? 0 : shards;
+    const bench_result r = run_config(shards, workers, horizon);
+    if (shards == 1) base = r;
+    const double speedup =
+        base.wall_s > 0 ? (static_cast<double>(r.events) / r.wall_s) /
+                              (static_cast<double>(base.events) / base.wall_s)
+                        : 0.0;
+    if (shards == 4) speedup_at_4 = speedup;
+    std::printf(
+        "  %zu shard(s) %zu worker(s): %9.0f ev/s  (%7llu events, %.3fs)  "
+        "wall speedup %.2fx  balance %.2f  critical-path %.2fx\n",
+        shards, workers, static_cast<double>(r.events) / r.wall_s,
+        static_cast<unsigned long long>(r.events), r.wall_s, speedup,
+        r.balance, r.critical_path);
+    if (r.checksum != base.checksum) {
+      std::printf("FAIL: checksum mismatch at %zu shards — determinism "
+                  "broken (%llx vs %llx)\n",
+                  shards, static_cast<unsigned long long>(r.checksum),
+                  static_cast<unsigned long long>(base.checksum));
+      return 1;
+    }
+  }
+  std::printf("  checksums identical across all configurations\n");
+
+  if (require_2x && speedup_at_4 < 2.0) {
+    std::printf("FAIL: 4-shard wall speedup %.2fx < 2x (hw threads: %u)\n",
+                speedup_at_4, hw);
+    return 1;
+  }
+  return 0;
+}

@@ -7,8 +7,26 @@ namespace hades::core {
 
 system::system(std::size_t node_count) : system(node_count, config{}) {}
 
+std::unique_ptr<hades::runtime> system::make_backend(const config& cfg,
+                                                     std::size_t node_count) {
+  if (cfg.shards == 0) return sim::make_engine();
+  validate(cfg.net.delta_min > duration::zero(),
+           "system: the sharded backend needs net.delta_min > 0 (lookahead)");
+  sim::sharded_params sp;
+  sp.shards = std::min(cfg.shards, node_count);
+  sp.workers = 0;  // system handlers share state across nodes: serial rounds
+  sp.lookahead = cfg.net.delta_min;  // every cross-node event rides the LAN
+  // Contiguous balanced node groups: applications place tightly coupled
+  // tasks on neighbouring node ids, so blocks minimize cross-shard traffic.
+  sp.node_shard.resize(node_count);
+  for (std::size_t n = 0; n < node_count; ++n)
+    sp.node_shard[n] = static_cast<std::uint32_t>(n * sp.shards / node_count);
+  return sim::make_sharded_engine(std::move(sp));
+}
+
 system::system(std::size_t node_count, config cfg) : cfg_(std::move(cfg)) {
   validate(node_count > 0, "system: need at least one node");
+  rt_ = make_backend(cfg_, node_count);
   trace_.enable(cfg_.tracing);
   net_ = std::make_unique<sim::network>(*rt_, cfg_.net, cfg_.seed);
 

@@ -44,6 +44,15 @@ class system {
     bool reject_arrival_violations = true;
     std::uint64_t seed = 42;
     bool tracing = true;
+    /// Runtime backend selection (DESIGN.md, "Sharded backend"). 0 = the
+    /// single pooled event engine. >0 = the sharded multi-engine backend
+    /// with this many node groups (contiguous blocks of nodes), conservative
+    /// lookahead = net.delta_min (which must then be > 0). `system` always
+    /// runs the sharded backend in serial deterministic rounds: its own
+    /// event handlers touch cross-node state (monitor, instance
+    /// bookkeeping), so worker threads are only for workloads with
+    /// shard-confined handlers driving `sim::sharded_engine` directly.
+    std::size_t shards = 0;
   };
 
   explicit system(std::size_t node_count);
@@ -169,8 +178,11 @@ class system {
   void finish_instance(task_id t, instance_number k);
   void deliver_sync_return(node_id from, const activation_origin& origin);
 
+  static std::unique_ptr<hades::runtime> make_backend(const config& cfg,
+                                                      std::size_t node_count);
+
   config cfg_;
-  std::unique_ptr<hades::runtime> rt_ = sim::make_engine();
+  std::unique_ptr<hades::runtime> rt_;
   sim::trace_recorder trace_;
   monitor monitor_;
   std::unique_ptr<sim::network> net_;

@@ -1,5 +1,7 @@
 #include "services/reliable_comm.hpp"
 
+#include <algorithm>
+
 namespace hades::svc {
 
 // ------------------------------------------------------------ reliable_p2p
@@ -15,7 +17,9 @@ reliable_p2p::reliable_p2p(core::system& sys, params p)
 
 void reliable_p2p::send(node_id src, node_id dst, std::any payload,
                         std::size_t size_bytes) {
-  const std::uint64_t seq = next_seq_++;
+  // Per-link sequences keep each receiver's stream contiguous, which is
+  // what lets the dedup state collapse to a watermark.
+  const std::uint64_t seq = ++next_seq_[{src, dst}];
   const frame f{seq, std::move(payload)};
   for (int copy = 0; copy <= params_.omission_degree; ++copy) {
     const duration delay = params_.retry_spacing * copy;
@@ -29,18 +33,27 @@ void reliable_p2p::send(node_id src, node_id dst, std::any payload,
 void reliable_p2p::on_message(node_id n, const sim::message& m) {
   const auto* f = std::any_cast<frame>(&m.payload);
   if (f == nullptr) return;
-  if (!seen_[n][m.src].insert(f->seq).second) {
+  auto [it, created] = seen_.try_emplace({n, m.src});
+  if (!it->second.insert(f->seq)) {
     ++dups_;
     return;
   }
   ++delivered_;
-  auto it = handlers_.find(n);
-  if (it != handlers_.end() && it->second) it->second(m.src, f->payload);
+  auto hit = handlers_.find(n);
+  if (hit != handlers_.end() && hit->second) hit->second(m.src, f->payload);
 }
 
 duration reliable_p2p::p2p_bound(std::size_t size_bytes) const {
   return params_.retry_spacing * params_.omission_degree +
          sys_->network().worst_case_latency(size_bytes);
+}
+
+std::size_t reliable_p2p::state_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, w] : seen_) bytes += sizeof(key) + w.state_bytes();
+  bytes += next_seq_.size() * (sizeof(std::pair<node_id, node_id>) +
+                               sizeof(std::uint64_t));
+  return bytes;
 }
 
 // ------------------------------------------------------- reliable_broadcast
@@ -58,10 +71,13 @@ reliable_broadcast::reliable_broadcast(core::system& sys, params p)
 
 void reliable_broadcast::broadcast(node_id src, std::any payload,
                                    std::size_t size_bytes) {
+  require(!params_.total_order || size_bytes <= params_.max_message_bytes,
+          "reliable_broadcast: total-order payload exceeds max_message_bytes");
   bcast_msg msg;
   msg.origin = src;
-  msg.seq = next_seq_++;
+  msg.seq = ++next_seq_[src];
   msg.sent_at = sys_->now();
+  msg.size_bytes = size_bytes;
   msg.payload = std::move(payload);
   // Local delivery first (the sender is a destination too), then diffusion.
   accept(src, msg);
@@ -74,39 +90,89 @@ void reliable_broadcast::on_message(node_id n, const sim::message& m) {
   accept(n, *msg);
 }
 
+time_point reliable_broadcast::release_time(const bcast_msg& msg) const {
+  // A message may only be released once no earlier-keyed message can still
+  // arrive: Delta, stretched to the worst-case diffusion path (direct hop
+  // plus relay hop) of the LARGEST admitted payload when that is longer.
+  // Using the message's own size here would release a later small message
+  // while an earlier large one is still legitimately in flight.
+  const duration diffusion =
+      sys_->network().worst_case_latency(params_.max_message_bytes) * 2;
+  return msg.sent_at + std::max(params_.stability_delay, diffusion);
+}
+
 void reliable_broadcast::accept(node_id n, const bcast_msg& msg) {
-  if (!seen_[n].insert({msg.origin, msg.seq}).second) return;  // duplicate
-  // Relay on first receipt: this is what makes the primitive tolerate a
-  // sender crash after a partial send (agreement).
+  auto [sit, created] = seen_.try_emplace({n, msg.origin});
+  if (!sit->second.insert(msg.seq)) return;  // duplicate
+  // Relay on first receipt, at the message's true size (a relayed 4KB frame
+  // costs 4KB on the wire): this is what makes the primitive tolerate a
+  // sender crash after a partial send (agreement) without undercutting the
+  // per-byte latency model.
   if (n != msg.origin) {
     ++relays_;
-    sys_->net(n).send_all(ch_reliable_bcast, msg, 64);
+    sys_->net(n).send_all(ch_reliable_bcast, msg, msg.size_bytes);
   }
   if (!params_.total_order) {
     deliver(n, msg);
     return;
   }
-  // Delta-delivery: deliver at sent_at + Delta; the engine's deterministic
-  // tie-break plus the (timestamp, origin, seq) key yields a total order
-  // across nodes.
-  const time_point due = msg.sent_at + params_.stability_delay;
-  const time_point at = std::max(due, sys_->now());
-  sys_->engine().at(at, [this, n, msg] {
-    if (!sys_->crashed(n)) deliver(n, msg);
-  });
+  // Delta-delivery: hold back until release_time, then release strictly in
+  // (sent_at, origin, seq) order — identical on every node.
+  const time_point due = release_time(msg);
+  holdback_[n].emplace(order_key{msg.sent_at, msg.origin, msg.seq}, msg);
+  if (sys_->now() >= due) {
+    // Arrival at the release date is the legal worst case; strictly past it
+    // only a performance-faulty network gets here. Release immediately
+    // either way (agreement over order).
+    if (sys_->now() > due) ++order_faults_;
+    flush(n);
+  } else {
+    sys_->engine().at(due, [this, n] {
+      if (!sys_->crashed(n)) flush(n);
+    });
+  }
+}
+
+void reliable_broadcast::flush(node_id n) {
+  auto& held = holdback_[n];
+  while (!held.empty()) {
+    auto it = held.begin();
+    if (sys_->now() < release_time(it->second)) break;
+    const bcast_msg msg = std::move(it->second);
+    held.erase(it);
+    deliver(n, msg);
+  }
 }
 
 void reliable_broadcast::deliver(node_id n, const bcast_msg& msg) {
-  logs_[n].emplace_back(msg.origin, msg.seq);
+  if (params_.record_deliveries) logs_[n].emplace_back(msg.origin, msg.seq);
   ++delivered_;
   auto it = handlers_.find(n);
   if (it != handlers_.end() && it->second) it->second(msg);
 }
 
 duration reliable_broadcast::delivery_bound(std::size_t size_bytes) const {
-  const duration hop = sys_->network().worst_case_latency(size_bytes);
-  const duration base = hop * 2;  // direct + one relay hop
-  return params_.total_order ? std::max(base, params_.stability_delay) : base;
+  if (!params_.total_order)
+    return sys_->network().worst_case_latency(size_bytes) * 2;
+  // Delta-delivery releases every message at sent_at + max(Delta, diffusion
+  // of the largest admitted payload): when the relay path exceeds
+  // stability_delay, the relay path is the bound — for every size.
+  const duration diffusion =
+      sys_->network().worst_case_latency(params_.max_message_bytes) * 2;
+  return std::max(params_.stability_delay, diffusion);
+}
+
+std::size_t reliable_broadcast::state_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, w] : seen_) bytes += sizeof(key) + w.state_bytes();
+  for (const auto& [n, held] : holdback_)
+    bytes += held.size() * (sizeof(order_key) + sizeof(bcast_msg) + 32);
+  bytes += next_seq_.size() * (sizeof(node_id) + sizeof(std::uint64_t));
+  // The opt-in delivery logs are unbounded by design (one entry per
+  // delivery) — charge them while enabled so soak assertions see them.
+  for (const auto& [n, log] : logs_)
+    bytes += log.size() * sizeof(std::pair<node_id, std::uint64_t>);
+  return bytes;
 }
 
 }  // namespace hades::svc

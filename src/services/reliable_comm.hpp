@@ -3,21 +3,36 @@
 // multicast/broadcast — "Rel. Bcast" / "Rel. Mcast" of Figure 1).
 //
 // Point-to-point: omission failures of degree k are masked by sending k+1
-// copies spaced by `retry_spacing`; receivers deduplicate on (src, seq).
-// Worst-case delivery latency is therefore
+// copies spaced by `retry_spacing`; receivers deduplicate on (src, seq),
+// with sequence numbers counted per (src, dst) link so the dedup state can
+// be kept as a contiguous-prefix watermark plus a bounded out-of-order
+// window (`dedup_window`) instead of an ever-growing set. Worst-case
+// delivery latency is
 //     k * retry_spacing + delta_max + per-byte cost
 // which `p2p_bound()` exposes for feasibility integration.
 //
 // Broadcast: flooding diffusion — on first receipt every node relays the
-// message once, so if any correct node delivers, every correct node
-// delivers even when the sender crashes mid-broadcast (agreement).
-// Optional Delta-delivery imposes total order: messages are held back and
-// delivered at send_time + stability_delay in (timestamp, sender) order.
+// message once (at the message's true size: relays pay the same wire cost
+// as the original copy), so if any correct node delivers, every correct
+// node delivers even when the sender crashes mid-broadcast (agreement).
+// The worst-case diffusion path is one direct hop plus one relay hop at the
+// message's size.
+//
+// Optional Delta-delivery imposes total order with a per-node hold-back
+// queue: a message becomes releasable at
+//     sent_at + max(stability_delay, worst-case diffusion for its size)
+// and messages are released strictly in (sent_at, origin, seq) order. The
+// max() term is what keeps the order total when the relay path exceeds
+// stability_delay (a relay arriving after sent_at + Delta used to be
+// delivered at arrival, interleaving behind younger messages);
+// `delivery_bound()` reports the same max, so the advertised bound and the
+// release rule agree. Only a performance-faulty network (delivery beyond
+// delta_max) can breach the hold-back; such stragglers are delivered
+// immediately and counted in `order_faults()`.
 #pragma once
 
 #include <any>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <set>
@@ -27,6 +42,46 @@
 #include "services/channels.hpp"
 
 namespace hades::svc {
+
+/// Bounded duplicate-suppression state for one (receiver, source) stream:
+/// the highest sequence number below which everything was seen, plus a
+/// bounded out-of-order window above it. When the window overflows (more
+/// than `max_window` gaps outstanding — message loss beyond the masked
+/// omission degree), the oldest gap is declared lost and the watermark
+/// advances, so state stays bounded under unbounded traffic.
+class dedup_window {
+ public:
+  explicit dedup_window(std::size_t max_window = 1024)
+      : max_window_(max_window) {}
+
+  /// Returns true iff `seq` was never seen before (and records it).
+  bool insert(std::uint64_t seq) {
+    if (seq <= contiguous_) return false;
+    if (!pending_.insert(seq).second) return false;
+    while (!pending_.empty() && *pending_.begin() == contiguous_ + 1) {
+      ++contiguous_;
+      pending_.erase(pending_.begin());
+    }
+    while (pending_.size() > max_window_) {
+      contiguous_ = *pending_.begin();
+      pending_.erase(pending_.begin());
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t watermark() const { return contiguous_; }
+  [[nodiscard]] std::size_t window_size() const { return pending_.size(); }
+  [[nodiscard]] std::size_t state_bytes() const {
+    // The set's per-node overhead (3 pointers + colour, rounded up) plus
+    // the key — an estimate, for growth assertions rather than accounting.
+    return sizeof(*this) + pending_.size() * (sizeof(std::uint64_t) + 32);
+  }
+
+ private:
+  std::size_t max_window_;
+  std::uint64_t contiguous_ = 0;  // every seq <= contiguous_ was seen
+  std::set<std::uint64_t> pending_;  // seen, above the contiguous prefix
+};
 
 class reliable_p2p {
  public:
@@ -48,6 +103,9 @@ class reliable_p2p {
 
   [[nodiscard]] std::uint64_t duplicates_suppressed() const { return dups_; }
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  /// Approximate bytes of dedup state held — bounded under sustained
+  /// traffic (watermark + window per active (receiver, src) pair).
+  [[nodiscard]] std::size_t state_bytes() const;
 
  private:
   struct frame {
@@ -59,8 +117,8 @@ class reliable_p2p {
   core::system* sys_;
   params params_;
   std::map<node_id, deliver_fn> handlers_;
-  std::uint64_t next_seq_ = 1;
-  std::map<node_id, std::map<node_id, std::set<std::uint64_t>>> seen_;
+  std::map<std::pair<node_id, node_id>, std::uint64_t> next_seq_;  // per link
+  std::map<std::pair<node_id, node_id>, dedup_window> seen_;  // (recv, src)
   std::uint64_t dups_ = 0;
   std::uint64_t delivered_ = 0;
 };
@@ -70,12 +128,24 @@ class reliable_broadcast {
   struct params {
     bool total_order = false;
     duration stability_delay = duration::milliseconds(2);  // Delta
+    /// Largest payload admitted under Delta-delivery. The hold-back release
+    /// date must outwait the worst-case diffusion of ANY message that could
+    /// carry an earlier key — a later small message must not be released
+    /// while an earlier large one is still legitimately in flight — so the
+    /// horizon is computed from this bound, and `broadcast` rejects larger
+    /// total-order payloads.
+    std::size_t max_message_bytes = 64;
+    /// Keep per-node (origin, seq) delivery logs for test assertions.
+    /// Unbounded by design (one entry per delivery) — disable for long
+    /// soaks; `state_bytes()` accounts for it while enabled.
+    bool record_deliveries = true;
   };
 
   struct bcast_msg {
     node_id origin = invalid_node;
-    std::uint64_t seq = 0;
+    std::uint64_t seq = 0;  // per-origin, starting at 1
     time_point sent_at;
+    std::size_t size_bytes = 64;  // carried so relays pay the true wire cost
     std::any payload;
   };
 
@@ -86,31 +156,54 @@ class reliable_broadcast {
   void on_deliver(node_id n, deliver_fn fn) { handlers_[n] = std::move(fn); }
   void broadcast(node_id src, std::any payload, std::size_t size_bytes = 64);
 
-  /// Agreement bound: one hop to every node plus one relay hop.
+  /// Worst-case delivery bound for `size` bytes: the diffusion path (one
+  /// direct hop plus one relay hop, both at `size`), and under Delta-
+  /// delivery the release date max(stability_delay, diffusion) — the relay
+  /// path dominates the bound whenever it exceeds stability_delay.
   [[nodiscard]] duration delivery_bound(std::size_t size_bytes) const;
 
   [[nodiscard]] std::uint64_t relays() const { return relays_; }
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  /// Messages that arrived after their release date (performance-faulty
+  /// network): delivered immediately, possibly breaching total order.
+  [[nodiscard]] std::uint64_t order_faults() const { return order_faults_; }
+  /// Approximate bytes of dedup + hold-back state held — bounded under
+  /// sustained traffic.
+  [[nodiscard]] std::size_t state_bytes() const;
   /// Per-node sequence of delivered (origin, seq) pairs — for
-  /// agreement/total-order assertions in tests.
+  /// agreement/total-order assertions in tests. Empty when
+  /// `params::record_deliveries` is off.
   [[nodiscard]] const std::vector<std::pair<node_id, std::uint64_t>>&
   delivery_log(node_id n) const {
     return logs_.at(n);
   }
 
  private:
+  /// Total-order release key: (sent_at, origin, seq), identical on every
+  /// node.
+  struct order_key {
+    time_point sent_at;
+    node_id origin = invalid_node;
+    std::uint64_t seq = 0;
+    friend auto operator<=>(const order_key&, const order_key&) = default;
+  };
+
   void on_message(node_id n, const sim::message& m);
   void accept(node_id n, const bcast_msg& msg);
   void deliver(node_id n, const bcast_msg& msg);
+  void flush(node_id n);
+  [[nodiscard]] time_point release_time(const bcast_msg& msg) const;
 
   core::system* sys_;
   params params_;
   std::map<node_id, deliver_fn> handlers_;
-  std::map<node_id, std::set<std::pair<node_id, std::uint64_t>>> seen_;
+  std::map<std::pair<node_id, node_id>, dedup_window> seen_;  // (node, origin)
+  std::map<node_id, std::map<order_key, bcast_msg>> holdback_;
   std::map<node_id, std::vector<std::pair<node_id, std::uint64_t>>> logs_;
-  std::uint64_t next_seq_ = 1;
+  std::map<node_id, std::uint64_t> next_seq_;  // per origin
   std::uint64_t relays_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t order_faults_ = 0;
 };
 
 }  // namespace hades::svc

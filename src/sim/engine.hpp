@@ -50,6 +50,14 @@ class engine final : public runtime {
   [[nodiscard]] std::size_t pending() const override { return live_; }
   [[nodiscard]] std::uint64_t executed() const override { return executed_; }
 
+  /// Timestamp of the next pending event, or infinity when idle. Skims any
+  /// stale (cancelled) records off the heap top as a side effect — used by
+  /// the sharded backend to compute the conservative horizon.
+  [[nodiscard]] time_point peek_time() {
+    const heap_rec* top = peek_valid();
+    return top != nullptr ? top->t : time_point::infinity();
+  }
+
   // --- pool observability ---------------------------------------------------
   struct pool_stats {
     std::size_t slabs = 0;          // slabs ever allocated

@@ -157,6 +157,7 @@ struct event_batch {
   std::uint32_t head = 0xFFFFFFFFu;  // slot chain, backend-internal
   std::uint32_t tail = 0xFFFFFFFFu;
   std::uint32_t count = 0;
+  std::uint32_t owner = 0;  // owning shard, backend-internal (sharded engine)
   bool committed = false;
 };
 

@@ -12,6 +12,16 @@ std::vector<node_id> network::attached_nodes() const {
   return out;
 }
 
+rng& network::stream(node_id src) {
+  auto it = streams_.find(src);
+  if (it == streams_.end())
+    it = streams_
+             .emplace(src, rng(seed_ ^ (0x9E3779B97F4A7C15ull *
+                                        (static_cast<std::uint64_t>(src) + 1))))
+             .first;
+  return it->second;
+}
+
 bool network::should_drop(node_id src, node_id dst) {
   if (auto it = link_down_.find({src, dst}); it != link_down_.end() && it->second)
     return true;
@@ -23,18 +33,19 @@ bool network::should_drop(node_id src, node_id dst) {
   double p = omission_rate_;
   if (auto it = link_omission_.find({src, dst}); it != link_omission_.end())
     p = it->second;
-  return p > 0.0 && rng_.chance(p);
+  return p > 0.0 && stream(src).chance(p);
 }
 
-duration network::sample_latency(std::size_t size_bytes, bool& late) {
+duration network::sample_latency(node_id src, std::size_t size_bytes,
+                                 bool& late) {
   const std::int64_t jitter_span =
       (params_.delta_max - params_.delta_min).count();
-  duration lat = params_.delta_min +
-                 duration::nanoseconds(jitter_span > 0
-                                           ? rng_.uniform_int(0, jitter_span)
-                                           : 0) +
-                 params_.per_byte * static_cast<std::int64_t>(size_bytes);
-  late = late_rate_ > 0.0 && rng_.chance(late_rate_);
+  duration lat =
+      params_.delta_min +
+      duration::nanoseconds(
+          jitter_span > 0 ? stream(src).uniform_int(0, jitter_span) : 0) +
+      params_.per_byte * static_cast<std::int64_t>(size_bytes);
+  late = late_rate_ > 0.0 && stream(src).chance(late_rate_);
   if (late) lat += late_extra_;
   return lat;
 }
@@ -57,7 +68,7 @@ std::uint64_t network::unicast(node_id src, node_id dst, int channel,
   }
 
   bool late = false;
-  const duration lat = sample_latency(size_bytes, late);
+  const duration lat = sample_latency(src, size_bytes, late);
   if (late) ++stats_.late;
 
   time_point deliver_at = rt_->now() + lat;
@@ -67,7 +78,7 @@ std::uint64_t network::unicast(node_id src, node_id dst, int channel,
   if (deliver_at < last) deliver_at = last;
   last = deliver_at;
 
-  rt_->at(deliver_at, [this, m = std::move(m)]() {
+  rt_->at_node(dst, deliver_at, [this, m = std::move(m)]() {
     auto it = handlers_.find(m.dst);
     if (it == handlers_.end() || !it->second) {
       ++stats_.dropped;  // destination crashed in flight

@@ -7,6 +7,14 @@
 // transfer cost; faults can be injected probabilistically per link or
 // scripted deterministically ("drop the next k messages from a to b").
 // Per-link FIFO order is preserved, as on an ATM virtual circuit.
+//
+// Every stochastic draw (latency jitter, omission, lateness) comes from a
+// per-source-node stream derived from the seed, never from a shared global
+// stream: a node's wire behaviour depends only on its own send history, so
+// the same workload produces bit-identical deliveries on the single-engine
+// and sharded runtime backends (DESIGN.md, "Sharded backend"). Deliveries
+// are scheduled with `runtime::at_node(dst, ...)` so the sharded backend
+// can route each one to the shard owning the destination.
 #pragma once
 
 #include <any>
@@ -47,7 +55,7 @@ class network {
   using handler = std::function<void(const message&)>;
 
   network(runtime& rt, params p, std::uint64_t seed = 42)
-      : rt_(&rt), params_(p), rng_(seed) {
+      : rt_(&rt), params_(p), seed_(seed) {
     validate(p.delta_min <= p.delta_max, "network: delta_min > delta_max");
     validate(!p.delta_max.is_infinite(), "network: delta_max must be finite");
   }
@@ -109,12 +117,14 @@ class network {
   }
 
  private:
-  duration sample_latency(std::size_t size_bytes, bool& late);
+  duration sample_latency(node_id src, std::size_t size_bytes, bool& late);
   bool should_drop(node_id src, node_id dst);
+  rng& stream(node_id src);
 
   runtime* rt_;
   params params_;
-  rng rng_;
+  std::uint64_t seed_;
+  std::map<node_id, rng> streams_;  // per-source-node draw streams
   std::unordered_map<node_id, handler> handlers_;
   std::map<std::pair<node_id, node_id>, double> link_omission_;
   std::map<std::pair<node_id, node_id>, int> scripted_drops_;

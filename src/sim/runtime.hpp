@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "sim/event.hpp"
 #include "util/time.hpp"
+#include "util/types.hpp"
 
 namespace hades {
 
@@ -41,6 +43,18 @@ class runtime {
 
   /// Schedule `fn` to run at absolute time `t` (must be >= now()).
   virtual sim::event_id at(time_point t, sim::event_fn fn) = 0;
+
+  /// `at` with a placement hint: the event belongs to node `dst` (it will
+  /// read or mutate that node's state when it fires). The single-engine
+  /// backend ignores the hint; the sharded backend routes the event to the
+  /// shard owning `dst`, enqueuing it at the shard boundary when the caller
+  /// is executing on a different shard. Cross-shard events must respect the
+  /// backend's lookahead (`t >= now() + lookahead`) and are fire-and-forget:
+  /// the returned id may be `invalid_event` (not individually cancellable).
+  virtual sim::event_id at_node(node_id dst, time_point t, sim::event_fn fn) {
+    (void)dst;
+    return at(t, std::move(fn));
+  }
 
   /// Schedule `fn` to run after `d` has elapsed. An infinite delay never
   /// fires.
@@ -101,6 +115,28 @@ namespace sim {
 /// Factory for the discrete-event simulation backend (`sim::engine`),
 /// usable without including sim/engine.hpp.
 std::unique_ptr<runtime> make_engine();
+
+/// Configuration for the sharded multi-engine backend (see DESIGN.md,
+/// "Sharded backend"): nodes are partitioned into `shards` groups, each
+/// group owning its own pooled event core, advanced under conservative
+/// synchronization — a shard may only run ahead to the global horizon
+/// `min(next pending event) + lookahead`, so `lookahead` must be a lower
+/// bound on every cross-shard scheduling delay (the network's minimum link
+/// delay, delta_min).
+struct sharded_params {
+  std::size_t shards = 2;  // node groups, each with its own event core (<= 64)
+  /// Worker threads advancing shards concurrently. 0 = serial deterministic
+  /// rounds on the calling thread — the only mode safe for event handlers
+  /// that touch state shared across shards (core::system uses 0).
+  std::size_t workers = 0;
+  duration lookahead = duration::microseconds(10);  // must be >= 1ns
+  /// node -> shard. Nodes past the end of the vector map to `node % shards`.
+  std::vector<std::uint32_t> node_shard;
+};
+
+/// Factory for the sharded multi-engine backend (`sim::sharded_engine`),
+/// usable without including sim/sharded_engine.hpp.
+std::unique_ptr<runtime> make_sharded_engine(sharded_params p);
 }  // namespace sim
 
 }  // namespace hades

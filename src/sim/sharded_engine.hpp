@@ -1,0 +1,135 @@
+// Sharded multi-engine backend of hades::runtime (DESIGN.md, "Sharded
+// backend"): the scale-out counterpart of the single pooled `sim::engine`.
+//
+// Nodes are partitioned into shards, each shard owning its own pooled event
+// core (`sim::engine` slabs + 4-ary heap). Time advances in conservative
+// rounds: with `m` the earliest pending event anywhere and `L` the
+// configured lookahead (a lower bound on every cross-shard scheduling
+// delay — the network's minimum link delay), every event strictly below the
+// horizon `m + L` is independent across shards and safe to run, because any
+// event it creates on another shard lands at or beyond the horizon. Within
+// a round, shards advance either serially on the calling thread
+// (`workers == 0`, always safe) or concurrently on a worker pool
+// (`workers > 0`, requires shard-confined event handlers).
+//
+// Cross-shard events (`at_node` targeting a foreign shard) are enqueued in
+// the target's inbox and injected at the next round boundary, ordered by
+// the deterministic key {time, origin shard, origin sequence} — so the
+// merged execution trace is independent of thread interleaving and, for
+// workloads whose same-instant events are shard-local, identical to the
+// single-engine run (see DESIGN.md for the exact determinism argument).
+//
+// Contract deviations from the single engine, all confined to cross-shard
+// use: `at_node` across shards requires `t >= now() + lookahead`, returns
+// `invalid_event` (fire-and-forget), and `cancel` of a foreign shard's id
+// is only safe between rounds (i.e. from outside event execution) when
+// workers are enabled.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/runtime.hpp"
+
+namespace hades::sim {
+
+class sharded_engine final : public runtime {
+ public:
+  explicit sharded_engine(sharded_params p);
+  ~sharded_engine() override;
+
+  // --- runtime interface ---------------------------------------------------
+  [[nodiscard]] time_point now() const override;
+  event_id at(time_point t, event_fn fn) override;
+  event_id at_node(node_id dst, time_point t, event_fn fn) override;
+  event_id schedule_periodic(time_point first, duration period,
+                             event_fn fn) override;
+  void cancel(event_id id) override;
+
+  event_batch open_batch(time_point t) override;
+  event_id batch_add(event_batch& b, event_fn fn) override;
+  void commit(event_batch& b) override;
+
+  bool step() override;
+  std::size_t run_until(time_point t) override;
+  std::size_t run(std::size_t max_events = 100'000'000) override;
+
+  [[nodiscard]] bool empty() const override;
+  [[nodiscard]] std::size_t pending() const override;
+  [[nodiscard]] std::uint64_t executed() const override;
+
+  // --- shard observability ---------------------------------------------------
+  [[nodiscard]] std::uint32_t shard_of(node_id n) const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] duration lookahead() const { return lookahead_; }
+
+  struct shard_stats {
+    std::uint64_t rounds = 0;        // conservative synchronization windows
+    std::uint64_t cross_events = 0;  // events routed through an inbox
+    /// Events executed per shard — the max/mean ratio is the load balance,
+    /// and sum/max bounds the achievable parallel speedup (critical path).
+    std::vector<std::uint64_t> executed_per_shard;
+  };
+  [[nodiscard]] shard_stats stats() const;
+
+ private:
+  // Events crossing a shard boundary carry a deterministic merge key:
+  // inboxes are drained sorted by {t, origin shard, origin seq}, so the
+  // injection order — and hence the target core's FIFO tie-break — never
+  // depends on thread interleaving.
+  struct cross_event {
+    time_point t;
+    std::uint32_t origin_shard;
+    std::uint64_t origin_seq;
+    event_fn fn;
+  };
+
+  struct shard {
+    engine core;
+    std::uint64_t xmit_seq = 0;  // outgoing cross-event counter (owner-only)
+    std::uint64_t ran = 0;       // events executed (owner-only during rounds)
+    mutable std::mutex inbox_mu;
+    std::vector<cross_event> inbox;
+  };
+
+  // Shard ids are the inner engine's {slot+1, gen} id tagged with the shard
+  // index in the top bits. 6 tag bits cap the backend at 64 shards and each
+  // shard at 2^26 pooled slots (~67M concurrently pending events).
+  static constexpr int shard_shift = 58;
+  static event_id tag(std::uint32_t s, event_id inner);
+  [[nodiscard]] std::uint32_t current_shard() const;
+  [[nodiscard]] bool in_callback() const;
+
+  void drain_inboxes();
+  [[nodiscard]] time_point next_time_all();
+  std::size_t run_shard(std::uint32_t s, time_point bound);
+  std::size_t round(time_point bound);  // serial or parallel per `workers_`
+  std::size_t run_rounds(time_point limit, std::size_t max_events);
+  void worker_main();
+
+  duration lookahead_;
+  std::vector<std::uint32_t> node_shard_;
+  std::vector<std::unique_ptr<shard>> shards_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t cross_events_ = 0;
+
+  // Worker pool (empty in serial mode). Rounds are dispatched by ticket:
+  // workers claim shard indices until the round is exhausted, the last
+  // completion wakes the coordinator.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t round_ticket_ = 0;
+  time_point round_bound_;
+  std::size_t next_claim_ = 0;
+  std::size_t unfinished_ = 0;
+  std::size_t round_executed_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hades::sim
