@@ -291,11 +291,25 @@ void dispatcher::halt() {
   cond_waiters_.clear();
   resources_.clear();
   fifo_.clear();
+  // A scheduler notification in flight dies with the thread; clear the
+  // busy latch or a restarted node could never schedule again.
+  sched_busy_ = false;
   if (sched_thread_ != invalid_kthread && cpu_->exists(sched_thread_)) {
     cpu_->destroy(sched_thread_);
     sched_thread_ = invalid_kthread;
   }
   net_->halt();
+}
+
+void dispatcher::restart() {
+  if (!halted_) return;
+  halted_ = false;
+  net_->resume();
+  if (policy_ != nullptr && sched_thread_ == invalid_kthread)
+    sched_thread_ =
+        cpu_->create("sched:" + policy_->name() + "@" + std::to_string(node_),
+                     prio::scheduler, prio::scheduler, duration::zero(),
+                     [this] { scheduler_step(); });
 }
 
 // ------------------------------------------------------- readiness machinery

@@ -141,6 +141,10 @@ class dispatcher final : public scheduler_context {
   /// Node crash: stop everything silently (the rest of the system only
   /// observes it through missing messages and missed deadlines).
   void halt();
+  /// Undo `halt` (node recovery, driven by system::recover_node): the
+  /// dispatcher accepts new shards again. State lost in the crash stays
+  /// lost — pre-crash shards were destroyed and are not resurrected.
+  void restart();
   [[nodiscard]] bool halted() const { return halted_; }
 
   // --- scheduler_context (the dispatcher primitive) ------------------------

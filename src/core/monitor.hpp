@@ -32,6 +32,7 @@ enum class monitor_event_kind {
   deadlock_suspected,
   instance_rejected,
   node_crash,
+  node_recover,
 };
 
 [[nodiscard]] constexpr const char* to_string(monitor_event_kind k) {
@@ -45,6 +46,7 @@ enum class monitor_event_kind {
     case monitor_event_kind::deadlock_suspected: return "deadlock-suspected";
     case monitor_event_kind::instance_rejected: return "instance-rejected";
     case monitor_event_kind::node_crash: return "node-crash";
+    case monitor_event_kind::node_recover: return "node-recover";
   }
   return "?";
 }

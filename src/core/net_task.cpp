@@ -68,8 +68,21 @@ void net_task::on_frame(const sim::message& m) {
 void net_task::halt() {
   halted_ = true;
   queue_.clear();
-  net_->detach(node_);
+  thread_busy_ = false;
+  // Stay attached to the LAN: the wire-level node-down state
+  // (network::set_node_down, driven by system::crash_node) is what silences
+  // the node in both directions, and it is time-indexed so in-flight frames
+  // are judged against the node state at their own delivery date. The
+  // halted_ flag is the belt to that suspender for inbound frames.
   if (cpu_->exists(thread_)) cpu_->suspend(thread_);
+}
+
+void net_task::resume() {
+  if (!halted_) return;
+  halted_ = false;
+  thread_busy_ = false;
+  if (!net_->attached(node_))
+    net_->attach(node_, [this](const sim::message& m) { on_frame(m); });
 }
 
 }  // namespace hades::core

@@ -50,6 +50,9 @@ class net_task {
   /// Stop processing (node crash): pending messages are dropped and inbound
   /// frames ignored.
   void halt();
+  /// Undo `halt` (node recovery): the NIC listens again and the protocol
+  /// thread accepts new outbound messages. The pre-crash queue stays lost.
+  void resume();
   [[nodiscard]] bool halted() const { return halted_; }
 
   [[nodiscard]] node_id node() const { return node_; }

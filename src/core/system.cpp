@@ -324,6 +324,10 @@ void system::crash_node(node_id n) {
   // A dead node's oscillator interrupts no one.
   rt_->cancel(nodes_[n]->clk_timer);
   nodes_[n]->clk_timer = sim::invalid_event;
+  // Symmetric wire silence: outbound frames from stale timers die at submit
+  // time, inbound frames at delivery time (regression: sim/network_test
+  // NodeDownSilencesOutbound).
+  net_->set_node_down(n, true);
   monitor_event ev;
   ev.kind = monitor_event_kind::node_crash;
   ev.at = rt_->now();
@@ -331,6 +335,19 @@ void system::crash_node(node_id n) {
   ev.subject = "node" + std::to_string(n);
   monitor_.record(ev);
   disp(n).halt();
+}
+
+void system::recover_node(node_id n) {
+  if (!crashed(n)) return;
+  disp(n).restart();
+  net_->set_node_down(n, false);
+  arm_clock_interrupts(n);
+  monitor_event ev;
+  ev.kind = monitor_event_kind::node_recover;
+  ev.at = rt_->now();
+  ev.node = n;
+  ev.subject = "node" + std::to_string(n);
+  monitor_.record(ev);
 }
 
 // -------------------------------------------------------- deadlock detection --

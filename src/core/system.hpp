@@ -112,9 +112,15 @@ class system {
   [[nodiscard]] time_point now() const { return rt_->now(); }
 
   // --- fault injection --------------------------------------------------------
-  /// Crash a node: its threads stop, its NIC detaches; only message loss
-  /// and missed deadlines are observable from outside.
+  /// Crash a node: its threads stop and the wire goes symmetric-silent
+  /// (network node-down drops both outbound and inbound frames); only
+  /// message loss and missed deadlines are observable from outside.
   void crash_node(node_id n);
+  /// Recover a crashed node: the dispatcher accepts work again, the NIC
+  /// listens, kernel clock interrupts re-arm. Pre-crash state stays lost
+  /// (shards, queued frames); timer-driven services that guard their ticks
+  /// with `crashed()` resume on their next tick.
+  void recover_node(node_id n);
   [[nodiscard]] bool crashed(node_id n) const {
     return nodes_.at(n)->disp->halted();
   }

@@ -1,0 +1,362 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/system.hpp"
+#include "sched/edf.hpp"
+#include "services/clock_sync.hpp"
+
+namespace hades::scenario {
+
+using namespace hades::literals;
+
+namespace {
+
+// ------------------------------------------------------------ checksum --
+
+/// FNV-1a, fed field-by-field. Every input is either per-node state (whose
+/// internal order is deterministic) or a list sorted on a deterministic key
+/// before hashing, so the digest is identical across runtime backends.
+class digest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xFF;
+      h_ *= 0x100000001B3ull;
+    }
+  }
+  void mix(time_point t) { mix(static_cast<std::uint64_t>(t.nanoseconds())); }
+  void mix(duration d) { mix(static_cast<std::uint64_t>(d.count())); }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+// ------------------------------------------------------------- workload --
+
+/// Per-node application traffic: a node-anchored periodic broadcast (all
+/// of a node's sends must execute on the shard owning the node — the
+/// determinism rule of DESIGN.md, "Scenario layer"). Periods are
+/// coprime-ish per node so the traffic pattern exercises interleavings.
+struct bcast_driver {
+  core::system* sys = nullptr;
+  svc::reliable_broadcast* bcast = nullptr;
+  std::vector<std::vector<time_point>>* sent_at = nullptr;
+  time_point stop;
+
+  void arm(node_id n, time_point first, duration period) {
+    sys->engine().periodic_at_node(
+        n, first, period,
+        [this, n] {
+          if (!sys->crashed(n)) {
+            (*sent_at)[n].push_back(sys->now());
+            bcast->broadcast(n, static_cast<int>((*sent_at)[n].size()));
+          }
+        },
+        stop);
+  }
+};
+
+void sort_suspicions(std::vector<observation::suspicion>& v) {
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return std::tuple(a.at, a.observer, a.subject) <
+           std::tuple(b.at, b.observer, b.subject);
+  });
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ run_cell --
+
+cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
+                     std::size_t shards) {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 60_us;
+  cfg.net.per_byte = 0_ns;
+  cfg.seed = seed;
+  cfg.tracing = false;
+  cfg.shards = shards > 1 ? shards : 0;
+  core::system sys(spec.nodes, cfg);
+
+  svc::fault_detector fd(sys, spec.fd);
+  svc::reliable_broadcast bcast(sys, spec.bcast);
+  svc::mode_manager modes(sys, spec.thresholds);
+  std::unique_ptr<svc::clock_sync_service> sync;
+  if (spec.with_clock_sync) {
+    svc::clock_sync_service::params sp;
+    sp.resync_period = 100_ms;
+    sp.collect_window = 2_ms;
+    sp.max_faulty = 0;
+    sync = std::make_unique<svc::clock_sync_service>(sys, sp);
+  }
+
+  cell_result cell;
+  cell.scenario = spec.name;
+  cell.seed = seed;
+  cell.shards = shards;
+  observation& obs = cell.obs;
+  obs.nodes = spec.nodes;
+  obs.horizon = time_point::at(spec.horizon);
+  obs.detect_bound =
+      spec.fd.timeout + spec.fd.heartbeat_period + cfg.net.delta_max + 1_ms;
+  obs.recover_bound = spec.fd.heartbeat_period + cfg.net.delta_max + 1_ms;
+  obs.delivery_bound = bcast.delivery_bound(64) + 1_ms;
+  obs.skew_bound = spec.skew_bound;
+
+  fd.on_suspect([&obs](node_id o, node_id s, time_point at) {
+    obs.suspicions.push_back({o, s, at});
+  });
+  fd.on_recover([&obs](node_id o, node_id s, time_point at) {
+    obs.recoveries.push_back({o, s, at});
+  });
+  modes.on_switch([&obs](svc::op_mode from, svc::op_mode to, time_point at) {
+    obs.mode_switches.push_back({from, to, at});
+  });
+
+  if (spec.with_task_load) {
+    core::task_builder overload("overload");
+    overload.deadline(5_ms).law(
+        core::arrival_law::periodic(20_ms, 600_ms + 171_us));
+    overload.add_code_eu("burn", 0, 9_ms);
+    sys.register_task(overload.build());
+    sys.attach_policy(0, std::make_shared<sched::edf_policy>());
+  }
+
+  obs.sent_at.assign(spec.nodes, {});
+  bcast_driver driver{&sys, &bcast, &obs.sent_at,
+                      obs.horizon - obs.delivery_bound - 5_ms};
+  for (node_id n = 0; n < spec.nodes; ++n)
+    driver.arm(n, time_point::at(20_ms + 413_us * n + 7_us),
+               4700_us + 613_us * static_cast<std::int64_t>(n));
+
+  fd.start();
+  if (sync) sync->start();
+  apply(sys, spec.p);
+  sys.run_until(obs.horizon);
+
+  // ------------------------------------------------- collect observation --
+  sort_suspicions(obs.suspicions);
+  sort_suspicions(obs.recoveries);
+  for (node_id n = 0; n < spec.nodes; ++n)
+    obs.delivery_logs.push_back(bcast.delivery_log(n));
+  obs.order_faults = bcast.order_faults();
+  obs.final_mode = modes.mode();
+  obs.deadline_misses =
+      sys.mon().count(core::monitor_event_kind::deadline_miss);
+  for (const auto& e : sys.mon().events())
+    if (e.kind == core::monitor_event_kind::deadline_miss ||
+        e.kind == core::monitor_event_kind::node_crash ||
+        e.kind == core::monitor_event_kind::node_recover)
+      obs.trigger_events.push_back(e.at);
+  std::sort(obs.trigger_events.begin(), obs.trigger_events.end());
+  if (sync) {
+    obs.skew_checked = true;
+    std::vector<node_id> correct;
+    for (node_id n = 0; n < spec.nodes; ++n)
+      if (spec.p.correct_throughout(n)) correct.push_back(n);
+    obs.max_skew = sync->max_skew(correct);
+  }
+
+  // ----------------------------------------------------------- checkers --
+  for (auto& c : check_detector(spec.p, obs)) cell.checks.push_back(c);
+  for (auto& c : check_broadcast(spec.p, obs, spec.expect_order_faults))
+    cell.checks.push_back(c);
+  for (auto& c :
+       check_modes(spec.p, obs, spec.modes.final_mode, spec.modes.switch_latency))
+    cell.checks.push_back(c);
+  for (auto& c : check_clocks(obs)) cell.checks.push_back(c);
+  cell.passed = std::all_of(cell.checks.begin(), cell.checks.end(),
+                            [](const check_result& c) { return c.passed; });
+
+  // ----------------------------------------------------------- checksum --
+  digest d;
+  for (node_id n = 0; n < spec.nodes; ++n) {
+    d.mix(obs.delivery_logs[n].size());
+    for (const auto& [origin, s] : obs.delivery_logs[n]) {
+      d.mix(origin);
+      d.mix(s);
+    }
+    d.mix(obs.sent_at[n].size());
+    for (time_point t : obs.sent_at[n]) d.mix(t);
+    for (node_id m = 0; m < spec.nodes; ++m)
+      d.mix(static_cast<std::uint64_t>(fd.suspects(n, m)));
+    d.mix(sys.clock(n).read());
+  }
+  for (const auto& s : obs.suspicions) {
+    d.mix(s.observer);
+    d.mix(s.subject);
+    d.mix(s.at);
+  }
+  for (const auto& r : obs.recoveries) {
+    d.mix(r.observer);
+    d.mix(r.subject);
+    d.mix(r.at);
+  }
+  for (const auto& sw : obs.mode_switches) {
+    d.mix(static_cast<std::uint64_t>(sw.to));
+    d.mix(sw.at);
+  }
+  d.mix(static_cast<std::uint64_t>(obs.final_mode));
+  d.mix(obs.deadline_misses);
+  d.mix(obs.order_faults);
+  d.mix(bcast.delivered());
+  d.mix(bcast.relays());
+  d.mix(fd.heartbeats_sent());
+  d.mix(fd.recoveries_observed());
+  const auto& ns = sys.network().stats();
+  d.mix(ns.sent);
+  d.mix(ns.delivered);
+  d.mix(ns.dropped);
+  d.mix(ns.late);
+  if (obs.skew_checked) d.mix(obs.max_skew);
+  cell.checksum = d.value();
+  cell.events = sys.engine().executed();
+  return cell;
+}
+
+// ----------------------------------------------------------------- JSON --
+
+std::string render_verdict_json(const cell_result& c) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"scenario\": \"" << json_escape(c.scenario) << "\",\n"
+     << "  \"seed\": " << c.seed << ",\n"
+     << "  \"shards\": " << c.shards << ",\n"
+     << "  \"horizon_ns\": " << c.obs.horizon.nanoseconds() << ",\n"
+     << "  \"events\": " << c.events << ",\n"
+     << "  \"checksum\": \"0x" << std::hex << c.checksum << std::dec
+     << "\",\n"
+     << "  \"passed\": " << (c.passed ? "true" : "false") << ",\n"
+     << "  \"stats\": {\n"
+     << "    \"suspicions\": " << c.obs.suspicions.size() << ",\n"
+     << "    \"recoveries\": " << c.obs.recoveries.size() << ",\n"
+     << "    \"mode_switches\": " << c.obs.mode_switches.size() << ",\n"
+     << "    \"deadline_misses\": " << c.obs.deadline_misses << ",\n"
+     << "    \"order_faults\": " << c.obs.order_faults << ",\n"
+     << "    \"final_mode\": \"" << to_string(c.obs.final_mode) << "\"";
+  if (c.obs.skew_checked)
+    os << ",\n    \"max_skew_ns\": " << c.obs.max_skew.count();
+  os << "\n  },\n  \"checks\": [\n";
+  for (std::size_t i = 0; i < c.checks.size(); ++i) {
+    const check_result& ck = c.checks[i];
+    os << "    {\"name\": \"" << json_escape(ck.name) << "\", \"passed\": "
+       << (ck.passed ? "true" : "false");
+    if (!ck.detail.empty())
+      os << ", \"detail\": \"" << json_escape(ck.detail) << "\"";
+    os << "}" << (i + 1 < c.checks.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string campaign_result::summary_json() const {
+  std::ostringstream os;
+  os << "{\n  \"passed\": " << (passed ? "true" : "false") << ",\n"
+     << "  \"cells\": " << cells.size() << ",\n  \"failures\": [\n";
+  for (std::size_t i = 0; i < failures.size(); ++i)
+    os << "    \"" << json_escape(failures[i]) << "\""
+       << (i + 1 < failures.size() ? "," : "") << "\n";
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+// ------------------------------------------------------------- campaign --
+
+campaign_result run_campaign(const campaign_options& opt) {
+  campaign_result result;
+  std::vector<scenario_spec> specs;
+  if (opt.scenarios.empty()) {
+    specs = all_scenarios();
+  } else {
+    for (const std::string& name : opt.scenarios)
+      specs.push_back(find_scenario(name));
+  }
+
+  if (!opt.out_dir.empty())
+    std::filesystem::create_directories(opt.out_dir);
+
+  for (const scenario_spec& spec : specs) {
+    for (std::uint64_t seed : opt.seeds) {
+      std::uint64_t reference_checksum = 0;
+      bool have_reference = false;
+      for (std::size_t shards : opt.shard_counts) {
+        cell_result cell = run_cell(spec, seed, shards);
+        // The determinism gate is a checker like any other, so a
+        // mismatching cell's own verdict JSON reports the failure instead
+        // of only the summary.
+        check_result sum{"campaign.checksum_match", true, ""};
+        if (!have_reference) {
+          reference_checksum = cell.checksum;
+          have_reference = true;
+          sum.detail = "reference cell";
+        } else if (cell.checksum != reference_checksum) {
+          sum.passed = false;
+          std::ostringstream os;
+          os << "checksum 0x" << std::hex << cell.checksum << " at "
+             << std::dec << shards << " shards != reference 0x" << std::hex
+             << reference_checksum;
+          sum.detail = os.str();
+        }
+        cell.checks.push_back(std::move(sum));
+        cell.passed = cell.passed && cell.checks.back().passed;
+        for (const check_result& c : cell.checks)
+          if (!c.passed)
+            result.failures.push_back(spec.name + "/seed" +
+                                      std::to_string(seed) + "/shards" +
+                                      std::to_string(shards) + ": " + c.name +
+                                      " — " + c.detail);
+        if (opt.verbose)
+          std::printf("%-18s seed=%llu shards=%zu  %s  checksum=0x%016llx  "
+                      "events=%llu\n",
+                      spec.name.c_str(),
+                      static_cast<unsigned long long>(seed), shards,
+                      cell.passed ? "PASS" : "FAIL",
+                      static_cast<unsigned long long>(cell.checksum),
+                      static_cast<unsigned long long>(cell.events));
+        if (!opt.out_dir.empty()) {
+          std::ostringstream name;
+          name << spec.name << "_seed" << seed << "_shards" << shards
+               << ".json";
+          std::ofstream f(std::filesystem::path(opt.out_dir) / name.str());
+          f << render_verdict_json(cell);
+        }
+        result.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  // An empty sweep must not read as a green gate.
+  if (result.cells.empty())
+    result.failures.push_back("campaign ran zero cells (empty scenario/seed/"
+                              "shard selection)");
+  result.passed = result.failures.empty();
+  if (!opt.out_dir.empty()) {
+    std::ofstream f(std::filesystem::path(opt.out_dir) / "summary.json");
+    f << result.summary_json();
+  }
+  return result;
+}
+
+}  // namespace hades::scenario

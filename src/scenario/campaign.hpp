@@ -1,0 +1,58 @@
+// Campaign runner (DESIGN.md, "Scenario layer").
+//
+// A campaign sweeps scenario × seed × shard-count cells. Every cell builds
+// a fresh 8-node HADES deployment (fault detector, Delta-ordered reliable
+// broadcast, mode manager, optionally clock sync and an EDF task load),
+// applies the scenario's fault plan, runs to the horizon, grades the
+// property checkers, and folds every observable into an order-independent
+// FNV checksum. The campaign then asserts that each (scenario, seed)
+// produced *bit-identical* checksums across shard counts {1, 2, 4} — the
+// cross-backend determinism gate — and emits one machine-readable JSON
+// verdict per cell plus a summary. `hades_campaign` is the CLI; CI runs
+// `hades_campaign --smoke` as a required step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/checkers.hpp"
+#include "scenario/scenarios.hpp"
+
+namespace hades::scenario {
+
+struct cell_result {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t shards = 1;
+  std::uint64_t checksum = 0;
+  std::uint64_t events = 0;  // informational; excluded from the checksum
+  bool passed = false;       // every checker green
+  std::vector<check_result> checks;
+  observation obs;
+};
+
+/// One verdict JSON document (schema in DESIGN.md, "Scenario layer").
+[[nodiscard]] std::string render_verdict_json(const cell_result& c);
+
+struct campaign_options {
+  std::vector<std::string> scenarios;  // empty = every registered scenario
+  std::vector<std::uint64_t> seeds{1, 2};
+  std::vector<std::size_t> shard_counts{1, 2, 4};
+  std::string out_dir;   // when set, write per-cell verdicts + summary.json
+  bool verbose = false;  // one progress line per cell on stdout
+};
+
+struct campaign_result {
+  std::vector<cell_result> cells;
+  /// Gate violations: failed checkers and cross-shard checksum mismatches.
+  std::vector<std::string> failures;
+  bool passed = false;
+  [[nodiscard]] std::string summary_json() const;
+};
+
+cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
+                     std::size_t shards);
+campaign_result run_campaign(const campaign_options& opt);
+
+}  // namespace hades::scenario

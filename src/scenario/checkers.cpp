@@ -1,0 +1,294 @@
+#include "scenario/checkers.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hades::scenario {
+
+namespace {
+
+std::string node_pair(node_id o, node_id s) {
+  std::ostringstream os;
+  os << "observer " << o << " / subject " << s;
+  return os.str();
+}
+
+/// Unreachability windows with sub-heartbeat gaps glued shut: when the
+/// subject was reachable for less than `min_gap` (one heartbeat period plus
+/// delivery, the time observers need to actually hear it again), observers
+/// may legitimately hold one continuous suspicion across both windows — no
+/// fresh suspect/recover events exist to grade separately.
+std::vector<window> glued_unreachable(const plan& p, node_id o, node_id s,
+                                      time_point horizon, duration min_gap) {
+  std::vector<window> ws = p.unreachable_windows(o, s, horizon);
+  std::vector<window> out;
+  for (const window& w : ws) {
+    if (!out.empty() && w.from - out.back().to < min_gap)
+      out.back().to = std::max(out.back().to, w.to);
+    else
+      out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- detector --
+
+std::vector<check_result> check_detector(const plan& p, const observation& o) {
+  std::vector<check_result> out;
+
+  // (1) No false suspicion: every suspicion (obs, sub, t) must fall inside
+  // [w.from, w.to + detect_bound) of some window during which `sub` was
+  // unreachable from `obs`, or of a disturbance window (a probabilistic
+  // omission/performance storm may exceed the omission degree the
+  // perfection bound assumes) — outside those, the detector is perfect.
+  check_result no_false{"detector.no_false_suspicion", true, ""};
+  for (const auto& s : o.suspicions) {
+    bool justified = false;
+    for (const window& w :
+         p.unreachable_windows(s.observer, s.subject, o.horizon))
+      if (w.from <= s.at && s.at < w.to + o.detect_bound) {
+        justified = true;
+        break;
+      }
+    for (const window& w : p.disturbed_windows(o.horizon))
+      if (w.from <= s.at && s.at < w.to + o.detect_bound) {
+        justified = true;
+        break;
+      }
+    if (!justified) {
+      no_false.passed = false;
+      no_false.detail = node_pair(s.observer, s.subject) + " suspected at " +
+                        s.at.to_string() + " with no fault in force";
+      break;
+    }
+  }
+  out.push_back(std::move(no_false));
+
+  // (2) Completeness: every unreachability window longer than detect_bound
+  // is suspected by every observer that was itself up for the whole of
+  // [w.from, w.from + detect_bound).
+  check_result detects{"detector.crash_detected_within_bound", true, ""};
+  for (node_id sub = 0; sub < o.nodes && detects.passed; ++sub) {
+    for (node_id obs = 0; obs < o.nodes && detects.passed; ++obs) {
+      if (obs == sub) continue;
+      for (const window& w :
+           glued_unreachable(p, obs, sub, o.horizon, o.recover_bound)) {
+        const time_point deadline = w.from + o.detect_bound;
+        // Detection is only guaranteed when the fault outlives the bound and
+        // the bound fits before the horizon; shorter windows may or may not
+        // be noticed (check (1) covers any suspicion they do cause).
+        if (deadline > w.to || deadline >= o.horizon) continue;
+        bool observer_up = true;
+        for (const window& d : p.down_windows(obs, o.horizon))
+          if (d.overlaps(w.from, deadline)) observer_up = false;
+        if (!observer_up) continue;
+        const bool found = std::any_of(
+            o.suspicions.begin(), o.suspicions.end(), [&](const auto& s) {
+              return s.observer == obs && s.subject == sub && w.from <= s.at &&
+                     s.at < deadline;
+            });
+        if (!found) {
+          detects.passed = false;
+          detects.detail = node_pair(obs, sub) + " not suspected within " +
+                           o.detect_bound.to_string() + " of fault at " +
+                           w.from.to_string();
+        }
+      }
+    }
+  }
+  out.push_back(std::move(detects));
+
+  // (3) Recovery: when an unreachability window ends with margin before the
+  // horizon, every observer that suspected during it hears the subject
+  // again within recover_bound (observers down at the window end exempt).
+  check_result recovers{"detector.recovery_observed_within_bound", true, ""};
+  for (const auto& s : o.suspicions) {
+    if (!recovers.passed) break;
+    for (const window& w : glued_unreachable(p, s.observer, s.subject,
+                                             o.horizon, o.recover_bound)) {
+      if (!(w.from <= s.at && s.at < w.to + o.detect_bound)) continue;
+      const time_point deadline = w.to + o.recover_bound;
+      if (w.to >= o.horizon || deadline >= o.horizon) continue;
+      if (p.down_at(s.observer, w.to) || p.down_at(s.subject, w.to)) continue;
+      const bool found = std::any_of(
+          o.recoveries.begin(), o.recoveries.end(), [&](const auto& r) {
+            return r.observer == s.observer && r.subject == s.subject &&
+                   w.to <= r.at && r.at < deadline;
+          });
+      if (!found) {
+        recovers.passed = false;
+        recovers.detail = node_pair(s.observer, s.subject) +
+                          " not un-suspected within " +
+                          o.recover_bound.to_string() + " of recovery at " +
+                          w.to.to_string();
+        break;
+      }
+    }
+  }
+  out.push_back(std::move(recovers));
+  return out;
+}
+
+// ------------------------------------------------------------ broadcast --
+
+std::vector<check_result> check_broadcast(const plan& p, const observation& o,
+                                          bool expect_order_faults) {
+  std::vector<check_result> out;
+
+  std::vector<node_id> correct;
+  for (node_id n = 0; n < o.nodes; ++n)
+    if (p.correct_throughout(n)) correct.push_back(n);
+
+  using msg_key = std::pair<node_id, std::uint64_t>;
+  auto sent_date = [&](const msg_key& m) -> time_point {
+    const auto& per_origin = o.sent_at[m.first];
+    return per_origin[static_cast<std::size_t>(m.second - 1)];
+  };
+  // A message is gradeable when it was sent in quiet time by a then-up
+  // origin, with enough margin before the horizon for worst-case delivery.
+  auto gradeable = [&](const msg_key& m) {
+    const time_point t = sent_date(m);
+    return p.quiet(t, o.delivery_bound, o.horizon) &&
+           !p.down_at(m.first, t) &&
+           t + o.delivery_bound < o.horizon;
+  };
+
+  std::map<msg_key, std::set<node_id>> delivered_by;
+  for (node_id n : correct)
+    for (const msg_key& m : o.delivery_logs[n]) delivered_by[m].insert(n);
+
+  // (1) Validity + agreement over gradeable messages: any gradeable message
+  // delivered by one correct node is delivered by every correct node, and a
+  // gradeable message from a correct-throughout origin is delivered, full
+  // stop (flood diffusion masks scripted bursts deterministically).
+  check_result agree{"broadcast.agreement", true, ""};
+  for (const auto& [m, nodes] : delivered_by) {
+    if (!gradeable(m)) continue;
+    if (nodes.size() != correct.size()) {
+      agree.passed = false;
+      std::ostringstream os;
+      os << "message (" << m.first << ", " << m.second << ") delivered by "
+         << nodes.size() << "/" << correct.size() << " correct nodes";
+      agree.detail = os.str();
+      break;
+    }
+  }
+  out.push_back(std::move(agree));
+
+  check_result valid{"broadcast.validity", true, ""};
+  for (node_id origin = 0; origin < o.nodes && valid.passed; ++origin) {
+    if (!p.correct_throughout(origin)) continue;
+    for (std::size_t i = 0; i < o.sent_at[origin].size(); ++i) {
+      const msg_key m{origin, i + 1};
+      if (!gradeable(m)) continue;
+      if (delivered_by.find(m) == delivered_by.end() ||
+          delivered_by[m].size() != correct.size()) {
+        valid.passed = false;
+        std::ostringstream os;
+        os << "quiet message (" << origin << ", " << i + 1
+           << ") not delivered everywhere";
+        valid.detail = os.str();
+        break;
+      }
+    }
+  }
+  out.push_back(std::move(valid));
+
+  // (2) Total order: over every pair of correct nodes, the common messages
+  // appear in the same relative order (Delta-delivery), except when the
+  // scenario deliberately breaches the hold-back with performance faults.
+  if (!expect_order_faults) {
+    check_result order{"broadcast.total_order", true, ""};
+    for (std::size_t i = 0; i < correct.size() && order.passed; ++i) {
+      for (std::size_t j = i + 1; j < correct.size(); ++j) {
+        const auto& la = o.delivery_logs[correct[i]];
+        const auto& lb = o.delivery_logs[correct[j]];
+        std::map<msg_key, std::size_t> pos;
+        for (std::size_t k = 0; k < lb.size(); ++k) pos[lb[k]] = k;
+        std::size_t last = 0;
+        bool first = true;
+        for (const msg_key& m : la) {
+          auto it = pos.find(m);
+          if (it == pos.end()) continue;
+          if (!first && it->second < last) {
+            order.passed = false;
+            std::ostringstream os;
+            os << "nodes " << correct[i] << " and " << correct[j]
+               << " deliver (" << m.first << ", " << m.second
+               << ") in different relative order";
+            order.detail = os.str();
+            break;
+          }
+          last = it->second;
+          first = false;
+        }
+        if (!order.passed) break;
+      }
+    }
+    out.push_back(std::move(order));
+
+    check_result no_breach{"broadcast.no_order_faults", o.order_faults == 0,
+                           ""};
+    if (!no_breach.passed)
+      no_breach.detail =
+          std::to_string(o.order_faults) +
+          " hold-back breaches on a network without performance faults";
+    out.push_back(std::move(no_breach));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- modes --
+
+std::vector<check_result> check_modes(const plan& p, const observation& o,
+                                      svc::op_mode expected_final,
+                                      duration switch_latency) {
+  (void)p;
+  std::vector<check_result> out;
+
+  check_result final_mode{"modes.final_mode", o.final_mode == expected_final,
+                          ""};
+  if (!final_mode.passed)
+    final_mode.detail = std::string("expected ") + to_string(expected_final) +
+                        ", ended in " + to_string(o.final_mode);
+  out.push_back(std::move(final_mode));
+
+  // Every switch must be explained by a monitor trigger within the latency
+  // bound — mode management reacts to the monitor stream, it does not act
+  // spontaneously, and it must not lag the trigger.
+  check_result latency{"modes.switch_latency", true, ""};
+  for (const auto& sw : o.mode_switches) {
+    const bool triggered = std::any_of(
+        o.trigger_events.begin(), o.trigger_events.end(), [&](time_point t) {
+          return t <= sw.at && sw.at - t <= switch_latency;
+        });
+    if (!triggered) {
+      latency.passed = false;
+      latency.detail = std::string("switch to ") + to_string(sw.to) + " at " +
+                       sw.at.to_string() + " has no trigger within " +
+                       switch_latency.to_string();
+      break;
+    }
+  }
+  out.push_back(std::move(latency));
+  return out;
+}
+
+// --------------------------------------------------------------- clocks --
+
+std::vector<check_result> check_clocks(const observation& o) {
+  std::vector<check_result> out;
+  if (!o.skew_checked) return out;
+  check_result skew{"clocks.skew_within_bound", o.max_skew <= o.skew_bound,
+                    ""};
+  skew.detail = "max skew " + o.max_skew.to_string() + " (bound " +
+                o.skew_bound.to_string() + ")";
+  out.push_back(std::move(skew));
+  return out;
+}
+
+}  // namespace hades::scenario

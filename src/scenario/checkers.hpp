@@ -1,0 +1,90 @@
+// Property checkers for scenario runs (DESIGN.md, "Scenario layer").
+//
+// Each checker grades one of the paper's guarantees against the observed
+// run, using the plan as ground truth for when faults were in force:
+//
+//  * perfect detector — no correct node is ever suspected outside an
+//    unreachability window, every sufficiently long unreachability window
+//    is detected within timeout + period + delta_max, and reachability
+//    restored is noticed within period + delta_max;
+//  * reliable broadcast — validity (a message broadcast by a correct node
+//    in quiet time reaches every correct node), agreement (all-or-nothing
+//    among correct nodes for quiet messages), and Delta-delivery total
+//    order (pairwise-consistent delivery order over common messages);
+//  * mode management — the manager lands in the expected final mode and
+//    every switch is explained by a monitor trigger (deadline miss, crash,
+//    recovery) within a bounded latency;
+//  * clock synchronization — the maximum pairwise logical-clock skew over
+//    correct nodes stays under the configured bound despite drift/step
+//    faults.
+//
+// Checkers are pure functions over (plan, observation) so the campaign can
+// evaluate identical semantics on every backend and compare the verdicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/plan.hpp"
+#include "services/mode_manager.hpp"
+
+namespace hades::scenario {
+
+struct check_result {
+  std::string name;
+  bool passed = true;
+  std::string detail;  // human-readable; empty when passed with nothing to say
+};
+
+/// Everything the checkers need from one finished run, collected by the
+/// campaign driver. All containers are in deterministic order.
+struct observation {
+  std::size_t nodes = 0;
+  time_point horizon;
+
+  // Fault detector.
+  struct suspicion {
+    node_id observer = invalid_node;
+    node_id subject = invalid_node;
+    time_point at;
+  };
+  std::vector<suspicion> suspicions;   // sorted by (at, observer, subject)
+  std::vector<suspicion> recoveries;   // sorted by (at, observer, subject)
+  duration detect_bound = duration::zero();   // timeout + period + delta_max (+slack)
+  duration recover_bound = duration::zero();  // period + delta_max (+slack)
+
+  // Reliable broadcast. sent_at[origin][i] is the send date of the
+  // (i+1)-th broadcast from `origin` (service seq numbers start at 1).
+  std::vector<std::vector<std::pair<node_id, std::uint64_t>>> delivery_logs;
+  std::vector<std::vector<time_point>> sent_at;
+  duration delivery_bound = duration::zero();  // worst-case Delta-delivery
+  std::uint64_t order_faults = 0;
+
+  // Mode manager + monitor.
+  svc::op_mode final_mode = svc::op_mode::normal;
+  struct mode_switch {
+    svc::op_mode from = svc::op_mode::normal;
+    svc::op_mode to = svc::op_mode::normal;
+    time_point at;
+  };
+  std::vector<mode_switch> mode_switches;
+  std::vector<time_point> trigger_events;  // misses, crashes, recoveries
+  std::size_t deadline_misses = 0;
+
+  // Clocks (only when the scenario runs clock_sync).
+  bool skew_checked = false;
+  duration max_skew = duration::zero();
+  duration skew_bound = duration::zero();
+};
+
+std::vector<check_result> check_detector(const plan& p, const observation& o);
+std::vector<check_result> check_broadcast(const plan& p, const observation& o,
+                                          bool expect_order_faults);
+std::vector<check_result> check_modes(const plan& p, const observation& o,
+                                      svc::op_mode expected_final,
+                                      duration switch_latency);
+std::vector<check_result> check_clocks(const observation& o);
+
+}  // namespace hades::scenario

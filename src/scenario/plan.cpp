@@ -1,0 +1,305 @@
+#include "scenario/plan.hpp"
+
+#include <algorithm>
+
+#include "core/system.hpp"
+
+namespace hades::scenario {
+
+const char* to_string(action_kind k) {
+  switch (k) {
+    case action_kind::crash_node: return "crash-node";
+    case action_kind::recover_node: return "recover-node";
+    case action_kind::partition: return "partition";
+    case action_kind::heal_partition: return "heal-partition";
+    case action_kind::omission_burst: return "omission-burst";
+    case action_kind::omission_rate: return "omission-rate";
+    case action_kind::perf_fault: return "perf-fault";
+    case action_kind::clock_drift: return "clock-drift";
+    case action_kind::clock_step: return "clock-step";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- builders --
+
+plan& plan::crash(time_point at, node_id n) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::crash_node;
+  a.a = n;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+plan& plan::recover(time_point at, node_id n) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::recover_node;
+  a.a = n;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+plan& plan::split(time_point at, std::vector<std::vector<node_id>> groups) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::partition;
+  a.groups = std::move(groups);
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+plan& plan::heal(time_point at) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::heal_partition;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+plan& plan::omission_burst(time_point at, node_id src, node_id dst, int count,
+                           int channel) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::omission_burst;
+  a.a = src;
+  a.b = dst;
+  a.count = count;
+  a.channel = channel;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+plan& plan::omission_rate(time_point at, double rate) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::omission_rate;
+  a.rate = rate;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+plan& plan::perf_fault(time_point at, double rate, duration extra) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::perf_fault;
+  a.rate = rate;
+  a.extra = extra;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+plan& plan::clock_drift(time_point at, node_id n, double rho) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::clock_drift;
+  a.a = n;
+  a.rate = rho;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+plan& plan::clock_step(time_point at, node_id n, duration step) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::clock_step;
+  a.a = n;
+  a.extra = step;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+// ------------------------------------------------------ ground truth -----
+
+namespace {
+
+std::vector<action> sorted_by_date(const std::vector<action>& in) {
+  std::vector<action> out = in;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const action& x, const action& y) { return x.at < y.at; });
+  return out;
+}
+
+std::vector<window> merge(std::vector<window> ws) {
+  std::sort(ws.begin(), ws.end(),
+            [](const window& x, const window& y) { return x.from < y.from; });
+  std::vector<window> out;
+  for (const window& w : ws) {
+    if (!out.empty() && w.from <= out.back().to)
+      out.back().to = std::max(out.back().to, w.to);
+    else
+      out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<window> plan::down_windows(node_id n, time_point horizon) const {
+  std::vector<window> out;
+  bool down = false;
+  time_point since;
+  for (const action& a : sorted_by_date(actions)) {
+    if (a.a != n) continue;
+    if (a.kind == action_kind::crash_node && !down) {
+      down = true;
+      since = a.at;
+    } else if (a.kind == action_kind::recover_node && down) {
+      down = false;
+      out.push_back({since, a.at});
+    }
+  }
+  if (down) out.push_back({since, horizon});
+  return out;
+}
+
+bool plan::down_at(node_id n, time_point t) const {
+  for (const window& w : down_windows(n, time_point::infinity()))
+    if (w.contains(t)) return true;
+  return false;
+}
+
+bool plan::ever_down(node_id n) const {
+  for (const action& a : actions)
+    if (a.kind == action_kind::crash_node && a.a == n) return true;
+  return false;
+}
+
+std::vector<window> plan::separated_windows(node_id a, node_id b,
+                                            time_point horizon) const {
+  auto group_of = [](const std::vector<std::vector<node_id>>& groups,
+                     node_id n) -> int {
+    for (std::size_t g = 0; g < groups.size(); ++g)
+      for (node_id m : groups[g])
+        if (m == n) return static_cast<int>(g);
+    return -1;  // unlisted: connected to everyone
+  };
+  std::vector<window> out;
+  bool apart = false;
+  time_point since;
+  for (const action& act : sorted_by_date(actions)) {
+    bool now_apart = apart;
+    if (act.kind == action_kind::partition) {
+      const int ga = group_of(act.groups, a);
+      const int gb = group_of(act.groups, b);
+      now_apart = ga >= 0 && gb >= 0 && ga != gb;
+    } else if (act.kind == action_kind::heal_partition) {
+      now_apart = false;
+    } else {
+      continue;
+    }
+    if (now_apart && !apart) since = act.at;
+    if (!now_apart && apart) out.push_back({since, act.at});
+    apart = now_apart;
+  }
+  if (apart) out.push_back({since, horizon});
+  return out;
+}
+
+std::vector<window> plan::unreachable_windows(node_id o, node_id s,
+                                              time_point horizon) const {
+  std::vector<window> ws = down_windows(s, horizon);
+  const std::vector<window> sep = separated_windows(o, s, horizon);
+  ws.insert(ws.end(), sep.begin(), sep.end());
+  return merge(std::move(ws));
+}
+
+std::vector<window> plan::disturbed_windows(time_point horizon) const {
+  std::vector<window> out;
+  bool rate_on = false, perf_on = false, part_on = false;
+  time_point rate_since, perf_since, part_since;
+  for (const action& a : sorted_by_date(actions)) {
+    switch (a.kind) {
+      case action_kind::omission_rate:
+        if (a.rate > 0.0 && !rate_on) {
+          rate_on = true;
+          rate_since = a.at;
+        } else if (a.rate <= 0.0 && rate_on) {
+          rate_on = false;
+          out.push_back({rate_since, a.at});
+        }
+        break;
+      case action_kind::perf_fault:
+        if (a.rate > 0.0 && !perf_on) {
+          perf_on = true;
+          perf_since = a.at;
+        } else if (a.rate <= 0.0 && perf_on) {
+          perf_on = false;
+          out.push_back({perf_since, a.at});
+        }
+        break;
+      case action_kind::partition:
+        if (!part_on) {
+          part_on = true;
+          part_since = a.at;
+        }
+        break;
+      case action_kind::heal_partition:
+        if (part_on) {
+          part_on = false;
+          out.push_back({part_since, a.at});
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (rate_on) out.push_back({rate_since, horizon});
+  if (perf_on) out.push_back({perf_since, horizon});
+  if (part_on) out.push_back({part_since, horizon});
+  return merge(std::move(out));
+}
+
+bool plan::quiet(time_point t, duration pad, time_point horizon) const {
+  for (const window& w : disturbed_windows(horizon))
+    if (w.overlaps(t, t + pad)) return false;
+  return true;
+}
+
+// ---------------------------------------------------------- injector -----
+
+void apply(core::system& sys, const plan& p) {
+  for (const action& a : p.actions) {
+    // Node- and link-scoped actions are anchored on the node whose state
+    // (or whose send stream, for bursts) they touch, so the sharded backend
+    // executes them on the owning shard in date order with that node's
+    // other events. Globally-read actions (partition, rates) mutate
+    // time-indexed network state, so their anchor is irrelevant — node 0 by
+    // convention.
+    const node_id anchor = a.a != invalid_node ? a.a : 0;
+    sys.engine().at_node(anchor, a.at, [&sys, a] {
+      switch (a.kind) {
+        case action_kind::crash_node:
+          sys.crash_node(a.a);
+          break;
+        case action_kind::recover_node:
+          sys.recover_node(a.a);
+          break;
+        case action_kind::partition:
+          sys.network().partition(a.groups);
+          break;
+        case action_kind::heal_partition:
+          sys.network().heal_partition();
+          break;
+        case action_kind::omission_burst:
+          sys.network().drop_next(a.a, a.b, a.count, a.channel);
+          break;
+        case action_kind::omission_rate:
+          sys.network().set_omission_rate(a.rate);
+          break;
+        case action_kind::perf_fault:
+          sys.network().set_performance_fault(a.rate, a.extra);
+          break;
+        case action_kind::clock_drift:
+          sys.clock(a.a).set_drift_rate(a.rate);
+          break;
+        case action_kind::clock_step:
+          sys.clock(a.a).adjust(a.extra);
+          break;
+      }
+    });
+  }
+}
+
+}  // namespace hades::scenario

@@ -1,0 +1,116 @@
+// Declarative fault plans (DESIGN.md, "Scenario layer").
+//
+// A `plan` is a timeline of typed fault actions — node crash/recover, link
+// partition/heal, scripted omission bursts, performance faults, clock
+// drift/step — that the injector (`apply`) schedules onto a running
+// `core::system`. Actions are *data*: the same plan replays bit-identically
+// on the single-engine and sharded backends because the injector anchors
+// every action on the node it touches (`runtime::at_node`) and the network
+// fault state it drives is time-indexed (sim/network.hpp).
+//
+// The plan doubles as the ground truth for the property checkers
+// (scenario/checkers.hpp): they query it for when a node was down, when two
+// nodes were separated by a partition, and which periods were "quiet"
+// (free of probabilistic network faults), and grade the observed run
+// against the paper's guarantees for exactly those windows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace hades::core {
+class system;
+}
+
+namespace hades::scenario {
+
+enum class action_kind {
+  crash_node,      // node `a` halts (symmetric wire silence)
+  recover_node,    // node `a` comes back
+  partition,       // LAN splits into `groups`
+  heal_partition,  // all groups reconnect
+  omission_burst,  // drop `count` consecutive frames a -> b on `channel`
+  omission_rate,   // global omission probability `rate` from this date on
+  perf_fault,      // performance failures: probability `rate`, delay `extra`
+  clock_drift,     // node `a`'s crystal drifts at `rate` (rho) from here
+  clock_step,      // node `a`'s logical clock jumps by `extra`
+};
+
+[[nodiscard]] const char* to_string(action_kind k);
+
+struct action {
+  time_point at;
+  action_kind kind = action_kind::crash_node;
+  node_id a = invalid_node;
+  node_id b = invalid_node;
+  int channel = -1;  // omission_burst: restrict to this channel (-1 = any)
+  int count = 0;
+  double rate = 0.0;
+  duration extra = duration::zero();
+  std::vector<std::vector<node_id>> groups;
+};
+
+/// Closed-open interval of simulated time.
+struct window {
+  time_point from;
+  time_point to;
+  [[nodiscard]] bool contains(time_point t) const { return from <= t && t < to; }
+  [[nodiscard]] bool overlaps(time_point lo, time_point hi) const {
+    return from < hi && lo < to;
+  }
+};
+
+struct plan {
+  std::string name;
+  std::vector<action> actions;
+
+  // --- builders (chainable) ---------------------------------------------
+  plan& crash(time_point at, node_id n);
+  plan& recover(time_point at, node_id n);
+  plan& split(time_point at, std::vector<std::vector<node_id>> groups);
+  plan& heal(time_point at);
+  plan& omission_burst(time_point at, node_id src, node_id dst, int count,
+                       int channel = -1);
+  plan& omission_rate(time_point at, double rate);
+  plan& perf_fault(time_point at, double rate, duration extra);
+  plan& clock_drift(time_point at, node_id n, double rho);
+  plan& clock_step(time_point at, node_id n, duration step);
+
+  // --- ground-truth queries for checkers --------------------------------
+  /// Intervals during which node n was crashed (clipped to [0, horizon)).
+  [[nodiscard]] std::vector<window> down_windows(node_id n,
+                                                 time_point horizon) const;
+  [[nodiscard]] bool down_at(node_id n, time_point t) const;
+  [[nodiscard]] bool ever_down(node_id n) const;
+  [[nodiscard]] bool correct_throughout(node_id n) const {
+    return !ever_down(n);
+  }
+
+  /// Intervals during which a partition separated nodes a and b.
+  [[nodiscard]] std::vector<window> separated_windows(
+      node_id a, node_id b, time_point horizon) const;
+
+  /// Intervals during which node s was unreachable from observer o: s down
+  /// or an (o, s) partition in force. Overlapping intervals are merged.
+  [[nodiscard]] std::vector<window> unreachable_windows(
+      node_id o, node_id s, time_point horizon) const;
+
+  /// Intervals during which probabilistic network faults (global omission
+  /// rate, performance faults) or a partition were in force. Scripted
+  /// bursts are NOT disturbances: the reliable primitives mask them
+  /// deterministically.
+  [[nodiscard]] std::vector<window> disturbed_windows(
+      time_point horizon) const;
+  /// True when no disturbance overlaps [t, t + pad).
+  [[nodiscard]] bool quiet(time_point t, duration pad,
+                           time_point horizon) const;
+};
+
+/// Schedule every action of the plan onto the system's runtime. Call once,
+/// before (or during) the run; dates must not be in the past.
+void apply(core::system& sys, const plan& p);
+
+}  // namespace hades::scenario

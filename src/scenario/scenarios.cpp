@@ -1,0 +1,168 @@
+#include "scenario/scenarios.hpp"
+
+#include "services/channels.hpp"
+#include "util/error.hpp"
+
+namespace hades::scenario {
+
+using namespace hades::literals;
+
+namespace {
+
+// Action dates deliberately sit at odd sub-millisecond offsets: never on a
+// service tick (multiples of the 10ms heartbeat / 100ms resync periods) and
+// never within a sharded-round lookahead (the 20us minimum link delay) of
+// one, so an action and an unrelated same-date event can never race for
+// their relative order across shard counts.
+
+scenario_spec base(std::string name, std::string description) {
+  scenario_spec s;
+  s.name = std::move(name);
+  s.description = std::move(description);
+  s.p.name = s.name;
+  s.bcast.total_order = true;
+  s.bcast.stability_delay = 2_ms;
+  // No deadline workload in most scenarios: park the miss thresholds high
+  // and let crashes drive the mode logic.
+  s.thresholds.misses_for_degraded = 1000;
+  s.thresholds.misses_for_safe = 1000;
+  s.thresholds.crashes_for_degraded = 1;
+  s.thresholds.crashes_for_safe = 3;
+  return s;
+}
+
+}  // namespace
+
+std::vector<scenario_spec> all_scenarios() {
+  std::vector<scenario_spec> out;
+
+  {
+    scenario_spec s = base("clean", "fault-free baseline: every checker must "
+                                    "hold with nothing injected");
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("single_crash",
+                           "node 5 crashes mid-run; every survivor must "
+                           "suspect it within the bound and the system "
+                           "degrades");
+    s.p.crash(time_point::at(500_ms + 137_us), 5);
+    s.modes.final_mode = svc::op_mode::degraded;
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("crash_recover",
+                           "node 2 crashes and later recovers; suspicion "
+                           "must appear within the detection bound and clear "
+                           "within one heartbeat of recovery");
+    s.p.crash(time_point::at(400_ms + 137_us), 2)
+        .recover(time_point::at(900_ms + 251_us), 2);
+    s.modes.final_mode = svc::op_mode::degraded;  // degraded is sticky
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("rolling_crashes",
+                           "three staggered crashes; each is detected "
+                           "individually and the third sends the system to "
+                           "SAFE");
+    s.p.crash(time_point::at(300_ms + 137_us), 1)
+        .crash(time_point::at(650_ms + 173_us), 4)
+        .crash(time_point::at(1000_ms + 211_us), 6);
+    s.modes.final_mode = svc::op_mode::safe;
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("partition_heal",
+                           "the LAN splits 4|4 and heals; each side suspects "
+                           "the other within the bound and un-suspects after "
+                           "the heal; agreement holds for quiet-time traffic");
+    s.p.split(time_point::at(400_ms + 137_us), {{0, 1, 2, 3}, {4, 5, 6, 7}})
+        .heal(time_point::at(900_ms + 157_us));
+    // A partition is not a crash: the mode manager sees no monitor events,
+    // so the system stays NORMAL (suspicion-driven mode policies are a
+    // scenario-family follow-up, see ROADMAP).
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("omission_storm",
+                           "scripted bursts drop exactly omission-degree "
+                           "consecutive heartbeats per link at a timeout one "
+                           "sliver above the perfect bound; the detector "
+                           "must stay silent and diffusion must mask data "
+                           "bursts");
+    // Boundary: period*(k+1) + delta_max = 30.06ms for k=2; 31ms is just
+    // above it, so exactly-2-heartbeat bursts must never suspect.
+    s.fd.timeout = 31_ms;
+    s.p.omission_burst(time_point::at(350_ms + 137_us), 1, 0, 2,
+                       svc::ch_heartbeat)
+        .omission_burst(time_point::at(350_ms + 139_us), 3, 2, 2,
+                        svc::ch_heartbeat)
+        .omission_burst(time_point::at(700_ms + 149_us), 6, 7, 2,
+                        svc::ch_heartbeat)
+        .omission_burst(time_point::at(700_ms + 151_us), 0, 4, 2,
+                        svc::ch_heartbeat)
+        .omission_burst(time_point::at(1050_ms + 167_us), 5, 3, 2,
+                        svc::ch_heartbeat)
+        // Data-plane bursts: drop broadcast copies on two links; the flood
+        // relays must still deliver everywhere (validity stays strict).
+        .omission_burst(time_point::at(500_ms + 171_us), 2, 5, 3,
+                        svc::ch_reliable_bcast)
+        .omission_burst(time_point::at(800_ms + 181_us), 7, 1, 3,
+                        svc::ch_reliable_bcast);
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("perf_fault_burst",
+                           "a window of performance failures adds 2.5ms to "
+                           "30% of frames: the detector's margin absorbs the "
+                           "lateness (30.06ms bound + 2.5ms < 35ms timeout), "
+                           "but the 2ms Delta hold-back is breached — "
+                           "stragglers are delivered immediately and counted");
+    s.p.perf_fault(time_point::at(400_ms + 97_us), 0.3, 2500_us)
+        .perf_fault(time_point::at(800_ms + 113_us), 0.0, duration::zero());
+    s.expect_order_faults = true;
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("drifting_clocks",
+                           "two crystals drift apart and one logical clock "
+                           "steps 1.5ms; clock_sync must hold the correct "
+                           "nodes' skew under the bound at the horizon");
+    s.with_clock_sync = true;
+    s.p.clock_drift(time_point::at(200_ms + 101_us), 1, 350e-6)
+        .clock_drift(time_point::at(200_ms + 103_us), 6, -250e-6)
+        .clock_step(time_point::at(700_ms + 131_us), 3, 1500_us);
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("degraded_overload",
+                           "an overloaded EDF task starts missing deadlines "
+                           "mid-run; the mode manager must degrade on the "
+                           "first miss and reach SAFE on the fourth");
+    s.with_task_load = true;
+    s.thresholds.misses_for_degraded = 1;
+    s.thresholds.misses_for_safe = 4;
+    s.thresholds.crashes_for_degraded = 1;
+    s.thresholds.crashes_for_safe = 3;
+    s.modes.final_mode = svc::op_mode::safe;
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+scenario_spec find_scenario(const std::string& name) {
+  for (scenario_spec& s : all_scenarios())
+    if (s.name == name) return std::move(s);
+  throw invariant_violation("unknown scenario: " + name);
+}
+
+}  // namespace hades::scenario

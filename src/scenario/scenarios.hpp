@@ -1,0 +1,54 @@
+// The named scenario registry (DESIGN.md, "Scenario layer").
+//
+// A `scenario_spec` bundles a fault plan with the workload and service
+// parameters it runs against and the expectations the checkers grade. The
+// registry ships the campaign's standing family: clean, single-crash,
+// crash-recover, rolling crashes, partition-heal, an omission storm at the
+// detector's omission-degree boundary, a performance-fault burst, drifting
+// clocks, and a degraded-mode overload. `hades_campaign` sweeps every
+// registered scenario across seeds and shard counts {1, 2, 4}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/plan.hpp"
+#include "services/fault_detector.hpp"
+#include "services/mode_manager.hpp"
+#include "services/reliable_comm.hpp"
+
+namespace hades::scenario {
+
+struct mode_expectation {
+  svc::op_mode final_mode = svc::op_mode::normal;
+  /// Every observed switch must have a monitor trigger within this bound.
+  duration switch_latency = duration::milliseconds(1);
+};
+
+struct scenario_spec {
+  std::string name;
+  std::string description;
+  std::size_t nodes = 8;
+  duration horizon = duration::milliseconds(1500);
+
+  svc::fault_detector::params fd{duration::milliseconds(10),
+                                 duration::milliseconds(35)};
+  svc::reliable_broadcast::params bcast;  // total_order set per scenario
+  svc::mode_manager::thresholds thresholds;
+  mode_expectation modes;
+
+  bool with_clock_sync = false;
+  bool with_task_load = false;     // overloaded EDF task on node 0
+  bool expect_order_faults = false;  // performance faults may breach Delta
+  duration skew_bound = duration::microseconds(300);
+
+  plan p;
+};
+
+/// All registered scenarios, in campaign order.
+std::vector<scenario_spec> all_scenarios();
+
+/// Look up one scenario by name; throws hades::invariant_violation if absent.
+scenario_spec find_scenario(const std::string& name);
+
+}  // namespace hades::scenario

@@ -25,11 +25,16 @@ clock_sync_service::clock_sync_service(core::system& sys, params p)
 }
 
 void clock_sync_service::start() {
-  for (node_id n = 0; n < sys_->node_count(); ++n) {
-    sys_->engine().every(params_.resync_period, [this, n] {
-      if (!sys_->crashed(n)) begin_round(n);
-    });
-  }
+  // Per-node chains anchored at the node (not one shared periodic): on the
+  // sharded backend each node's resync broadcast then executes on the shard
+  // owning the node, keeping its network rng stream in send-date order
+  // across shard counts (same determinism rule as fault_detector).
+  for (node_id n = 0; n < sys_->node_count(); ++n)
+    sys_->engine().periodic_at_node(
+        n, sys_->now() + params_.resync_period, params_.resync_period,
+        [this, n] {
+          if (!sys_->crashed(n)) begin_round(n);
+        });
 }
 
 void clock_sync_service::begin_round(node_id n) {

@@ -11,19 +11,40 @@ fault_detector::fault_detector(core::system& sys, params p)
   for (node_id me = 0; me < n; ++me) {
     sys_->net(me).on_channel(ch_heartbeat, [this, me](const sim::message& m) {
       last_heard_[me][m.src] = sys_->now();
+      if (suspected_[me][m.src]) {
+        // The suspect speaks again: recovery (or a false suspicion under a
+        // sub-bound timeout).
+        suspected_[me][m.src] = false;
+        ++recoveries_;
+        sys_->trace().record(sys_->now(), me, sim::trace_kind::service_event,
+                             "fault_detector",
+                             "unsuspect node" + std::to_string(m.src));
+        for (const auto& cb : recover_callbacks_) cb(me, m.src, sys_->now());
+      }
     });
   }
 }
 
 void fault_detector::start() {
-  for (node_id n = 0; n < sys_->node_count(); ++n) {
-    sys_->engine().every(params_.heartbeat_period, [this, n] {
-      if (sys_->crashed(n)) return;
-      sys_->net(n).send_all(ch_heartbeat, std::uint64_t{0}, 32);
-      ++sent_;
-      check(n);
-    });
+  // One periodic chain per node, anchored at the node so that on the
+  // sharded backend the node's sends run on its own shard (see header).
+  for (node_id n = 0; n < sys_->node_count(); ++n)
+    sys_->engine().periodic_at_node(
+        n, sys_->now() + params_.heartbeat_period, params_.heartbeat_period,
+        [this, n] { tick(n); });
+}
+
+void fault_detector::tick(node_id n) {
+  if (sys_->crashed(n)) {
+    // A down node observes nothing: keep its horizon fresh so that after
+    // recovery it does not instantly suspect every peer off stale dates.
+    for (node_id peer = 0; peer < sys_->node_count(); ++peer)
+      last_heard_[n][peer] = sys_->now();
+    return;
   }
+  sys_->net(n).send_all(ch_heartbeat, std::uint64_t{0}, 32);
+  ++sent_;
+  check(n);
 }
 
 void fault_detector::check(node_id n) {

@@ -7,7 +7,20 @@
 // network delay, bounded omission degree) the detector is *perfect* when
 // timeout > period * (omission_degree + 1) + delta_max: no correct node is
 // ever suspected and a crashed node is suspected within one timeout —
-// bench_monitor / tests check both bounds.
+// bench_monitor / tests check both bounds, and the boundary itself is
+// probed one tick either side by FaultDetectorTest.
+//
+// A suspected node whose heartbeat is heard again (recovery after
+// system::recover_node, or a false suspicion under a sub-bound timeout) is
+// un-suspected and `on_recover` callbacks fire — mode managers can use this
+// to leave degraded operation.
+//
+// Each node's heartbeat/check tick is a self-re-arming chain anchored with
+// `runtime::at_node(n, ...)`, so on the sharded backend every send a node
+// performs executes on the shard that owns the node. That keeps the
+// per-source network rng streams in send-date order regardless of shard
+// count — the property the scenario campaign's cross-backend checksum gate
+// relies on (DESIGN.md, "Scenario layer").
 #pragma once
 
 #include <cstdint>
@@ -34,6 +47,8 @@ class fault_detector {
 
   void start();
   void on_suspect(suspect_fn fn) { callbacks_.push_back(std::move(fn)); }
+  /// Fires when a suspected node's heartbeat is heard again.
+  void on_recover(suspect_fn fn) { recover_callbacks_.push_back(std::move(fn)); }
 
   [[nodiscard]] bool suspects(node_id observer, node_id subject) const {
     return suspected_[observer][subject];
@@ -45,8 +60,11 @@ class fault_detector {
                : std::nullopt;
   }
   [[nodiscard]] std::uint64_t heartbeats_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t recoveries_observed() const { return recoveries_; }
+  [[nodiscard]] const params& config() const { return params_; }
 
  private:
+  void tick(node_id n);
   void check(node_id n);
 
   core::system* sys_;
@@ -55,7 +73,9 @@ class fault_detector {
   std::vector<std::vector<bool>> suspected_;
   std::vector<std::vector<time_point>> when_;
   std::vector<suspect_fn> callbacks_;
+  std::vector<suspect_fn> recover_callbacks_;
   std::uint64_t sent_ = 0;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace hades::svc

@@ -24,7 +24,10 @@ void mode_manager::consider(const core::monitor_event& e) {
     switch_to(op_mode::safe);
     return;
   }
-  if (mode_ == op_mode::normal && misses_ >= thresholds_.misses_for_degraded)
+  if (mode_ == op_mode::normal &&
+      (misses_ >= thresholds_.misses_for_degraded ||
+       (thresholds_.crashes_for_degraded > 0 &&
+        crashes_ >= thresholds_.crashes_for_degraded)))
     switch_to(op_mode::degraded);
 }
 

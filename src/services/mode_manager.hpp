@@ -38,6 +38,10 @@ class mode_manager {
     std::size_t misses_for_degraded = 1;
     std::size_t misses_for_safe = 3;
     std::size_t crashes_for_safe = 1;
+    /// 0 disables; otherwise this many node crashes degrade operation (the
+    /// scenario campaign's single-crash plans use 1 here with a higher
+    /// crashes_for_safe so one crash degrades and a second one safes).
+    std::size_t crashes_for_degraded = 0;
   };
 
   using hook_fn = std::function<void(op_mode from, op_mode to, time_point at)>;

@@ -22,15 +22,50 @@ rng& network::stream(node_id src) {
   return it->second;
 }
 
-bool network::should_drop(node_id src, node_id dst) {
+bool network::node_down_at(node_id n, time_point t) const {
+  auto it = node_down_.find(n);
+  if (it == node_down_.end()) return false;
+  const bool* v = it->second.at(t);
+  return v != nullptr && *v;
+}
+
+bool network::partitioned_at(node_id a, node_id b, time_point t) const {
+  const std::vector<std::uint32_t>* groups = partition_.at(t);
+  if (groups == nullptr || groups->empty()) return false;
+  const std::uint32_t ga = a < groups->size() ? (*groups)[a] : no_group;
+  const std::uint32_t gb = b < groups->size() ? (*groups)[b] : no_group;
+  return ga != no_group && gb != no_group && ga != gb;
+}
+
+void network::partition(const std::vector<std::vector<node_id>>& groups) {
+  std::vector<std::uint32_t> assign;
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    for (node_id n : groups[g]) {
+      if (n >= assign.size()) assign.resize(n + 1, no_group);
+      assign[n] = static_cast<std::uint32_t>(g);
+    }
+  partition_.set(rt_->now(), std::move(assign));
+}
+
+void network::heal_partition() { partition_.set(rt_->now(), {}); }
+
+bool network::should_drop(node_id src, node_id dst, int channel) {
+  // Deterministic (draw-free) drop causes first, so a dropped frame never
+  // perturbs the per-source rng stream.
+  const time_point t = rt_->now();
+  if (node_down_at(src, t) || node_down_at(dst, t)) return true;
+  if (partitioned_at(src, dst, t)) return true;
   if (auto it = link_down_.find({src, dst}); it != link_down_.end() && it->second)
     return true;
-  if (auto it = scripted_drops_.find({src, dst});
-      it != scripted_drops_.end() && it->second > 0) {
-    --it->second;
-    return true;
+  for (const int key : {channel, any_channel}) {
+    if (auto it = scripted_drops_.find({{src, dst}, key});
+        it != scripted_drops_.end() && it->second > 0) {
+      --it->second;
+      return true;
+    }
   }
-  double p = omission_rate_;
+  const double* global = omission_rate_.at(t);
+  double p = global != nullptr ? *global : 0.0;
   if (auto it = link_omission_.find({src, dst}); it != link_omission_.end())
     p = it->second;
   return p > 0.0 && stream(src).chance(p);
@@ -45,8 +80,9 @@ duration network::sample_latency(node_id src, std::size_t size_bytes,
       duration::nanoseconds(
           jitter_span > 0 ? stream(src).uniform_int(0, jitter_span) : 0) +
       params_.per_byte * static_cast<std::int64_t>(size_bytes);
-  late = late_rate_ > 0.0 && stream(src).chance(late_rate_);
-  if (late) lat += late_extra_;
+  const perf_fault* pf = perf_fault_.at(rt_->now());
+  late = pf != nullptr && pf->rate > 0.0 && stream(src).chance(pf->rate);
+  if (late) lat += pf->extra;
   return lat;
 }
 
@@ -62,7 +98,7 @@ std::uint64_t network::unicast(node_id src, node_id dst, int channel,
   m.sent_at = rt_->now();
   ++stats_.sent;
 
-  if (should_drop(src, dst)) {
+  if (should_drop(src, dst, channel)) {
     ++stats_.dropped;
     return m.id;
   }
@@ -80,7 +116,8 @@ std::uint64_t network::unicast(node_id src, node_id dst, int channel,
 
   rt_->at_node(dst, deliver_at, [this, m = std::move(m)]() {
     auto it = handlers_.find(m.dst);
-    if (it == handlers_.end() || !it->second) {
+    if (it == handlers_.end() || !it->second ||
+        node_down_at(m.dst, rt_->now())) {
       ++stats_.dropped;  // destination crashed in flight
       return;
     }

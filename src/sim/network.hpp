@@ -15,14 +15,24 @@
 // and sharded runtime backends (DESIGN.md, "Sharded backend"). Deliveries
 // are scheduled with `runtime::at_node(dst, ...)` so the sharded backend
 // can route each one to the shard owning the destination.
+//
+// Fault state consulted by every shard (node up/down, partitions, the
+// global omission/performance rates) is kept as *time-indexed* toggle
+// timelines rather than plain mutable fields: a send at date t reads the
+// state that was configured for date t, never the state as of whichever
+// wall-clock order the sharded rounds happened to execute the mutation in.
+// This is what lets the scenario layer (DESIGN.md, "Scenario layer") replay
+// a fault plan bit-identically across shard counts.
 #pragma once
 
 #include <any>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/runtime.hpp"
@@ -78,23 +88,44 @@ class network {
                                        std::size_t size_bytes = 64);
 
   // --- fault injection -------------------------------------------------
-  /// Probability that any message is lost (global omission rate).
-  void set_omission_rate(double p) { omission_rate_ = p; }
+  /// Probability that any message is lost (global omission rate). Takes
+  /// effect from the current date onward (time-indexed toggle).
+  void set_omission_rate(double p) { omission_rate_.set(rt_->now(), p); }
   /// Per-link omission probability, overrides the global rate.
   void set_link_omission(node_id src, node_id dst, double p) {
     link_omission_[{src, dst}] = p;
   }
   /// Deterministically drop the next `count` messages src -> dst.
-  void drop_next(node_id src, node_id dst, int count) {
-    scripted_drops_[{src, dst}] += count;
+  /// `channel >= 0` restricts the burst to that channel (so a scripted
+  /// heartbeat burst cannot eat unrelated traffic on the same link).
+  void drop_next(node_id src, node_id dst, int count, int channel = any_channel) {
+    scripted_drops_[{{src, dst}, channel}] += count;
   }
   /// Take a whole link down / up.
   void set_link_down(node_id src, node_id dst, bool down);
-  /// Performance failures: with probability p, add `extra` delay.
+  /// Performance failures: with probability p, add `extra` delay. Takes
+  /// effect from the current date onward (time-indexed toggle).
   void set_performance_fault(double p, duration extra) {
-    late_rate_ = p;
-    late_extra_ = extra;
+    perf_fault_.set(rt_->now(), {p, extra});
   }
+
+  /// Take a whole node off the wire (both directions): outbound frames are
+  /// dropped at submit time and inbound frames at delivery time, so a
+  /// crashed node neither sends nor receives — `core::system::crash_node`
+  /// drives this, making crashes symmetric at the wire. Time-indexed: a
+  /// frame is judged against the node state at its own send/delivery date.
+  void set_node_down(node_id n, bool down) {
+    node_down_[n].set(rt_->now(), down);
+  }
+  [[nodiscard]] bool node_down(node_id n) const {
+    return node_down_at(n, rt_->now());
+  }
+
+  /// Partition the LAN into isolated groups: frames whose endpoints are in
+  /// different groups are dropped at submit time. Nodes not listed in any
+  /// group stay connected to everyone. `heal_partition` reconnects all.
+  void partition(const std::vector<std::vector<node_id>>& groups);
+  void heal_partition();
 
   // --- observability ---------------------------------------------------
   struct counters {
@@ -116,9 +147,45 @@ class network {
     observer_ = std::move(obs);
   }
 
+  /// Sentinel for drop_next: the burst applies to any channel.
+  static constexpr int any_channel = -1;
+
  private:
+  /// Piecewise-constant value over simulated time: `set` records the value
+  /// taking effect at date t, `at` reads the value in force at date t. All
+  /// reads are order-independent — two shards may execute a mutation and a
+  /// query in either wall order within a round and still agree, because the
+  /// query compares dates, not mutation order.
+  template <typename T>
+  class timeline {
+   public:
+    void set(time_point t, T v) {
+      auto it = entries_.end();
+      while (it != entries_.begin() && std::prev(it)->first > t) --it;
+      entries_.insert(it, {t, std::move(v)});
+    }
+    [[nodiscard]] const T* at(time_point t) const {
+      const T* best = nullptr;
+      for (const auto& [when, v] : entries_) {
+        if (when > t) break;
+        best = &v;
+      }
+      return best;
+    }
+
+   private:
+    std::vector<std::pair<time_point, T>> entries_;  // sorted by date
+  };
+
+  struct perf_fault {
+    double rate = 0.0;
+    duration extra = duration::zero();
+  };
+
   duration sample_latency(node_id src, std::size_t size_bytes, bool& late);
-  bool should_drop(node_id src, node_id dst);
+  bool should_drop(node_id src, node_id dst, int channel);
+  [[nodiscard]] bool node_down_at(node_id n, time_point t) const;
+  [[nodiscard]] bool partitioned_at(node_id a, node_id b, time_point t) const;
   rng& stream(node_id src);
 
   runtime* rt_;
@@ -127,12 +194,16 @@ class network {
   std::map<node_id, rng> streams_;  // per-source-node draw streams
   std::unordered_map<node_id, handler> handlers_;
   std::map<std::pair<node_id, node_id>, double> link_omission_;
-  std::map<std::pair<node_id, node_id>, int> scripted_drops_;
+  std::map<std::pair<std::pair<node_id, node_id>, int>, int> scripted_drops_;
   std::map<std::pair<node_id, node_id>, bool> link_down_;
   std::map<std::pair<node_id, node_id>, time_point> last_delivery_;  // FIFO per link
-  double omission_rate_ = 0.0;
-  double late_rate_ = 0.0;
-  duration late_extra_ = duration::zero();
+  std::map<node_id, timeline<bool>> node_down_;
+  // node -> group in force; no_group means unrestricted. Empty vector = no
+  // partition.
+  static constexpr std::uint32_t no_group = 0xFFFFFFFFu;
+  timeline<std::vector<std::uint32_t>> partition_;
+  timeline<double> omission_rate_;
+  timeline<perf_fault> perf_fault_;
   std::uint64_t next_id_ = 1;
   counters stats_;
   std::function<void(const message&)> observer_;

@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -74,6 +75,24 @@ class runtime {
   sim::event_id every(duration period, sim::event_fn fn) {
     if (period.is_infinite()) return sim::invalid_event;
     return schedule_periodic(now() + period, period, std::move(fn));
+  }
+
+  /// Drift-free per-node periodic chain: runs `fn` at `first`,
+  /// `first + period`, ... while the date stays below `until`. Built on
+  /// `at_node`, so on the sharded backend every firing executes on the
+  /// shard owning `n` — the anchoring rule timer-driven services follow to
+  /// keep a node's sends in send-date order across backends (DESIGN.md,
+  /// "Scenario layer"). Unlike `schedule_periodic` the chain is not
+  /// cancellable: gate inside `fn` (e.g. on `system::crashed`).
+  void periodic_at_node(node_id n, time_point first, duration period,
+                        std::function<void()> fn,
+                        time_point until = time_point::infinity()) {
+    if (first >= until || period.is_infinite()) return;
+    at_node(n, first, [this, n, first, period, until,
+                       fn = std::move(fn)]() mutable {
+      fn();
+      periodic_at_node(n, first + period, period, std::move(fn), until);
+    });
   }
 
   /// Cancel a previously scheduled event. Safe with invalid_event, with an

@@ -1,0 +1,221 @@
+#include "scenario/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "sched/spring.hpp"
+#include "scenario/checkers.hpp"
+#include "scenario/scenarios.hpp"
+#include "services/fault_detector.hpp"
+
+namespace hades::scenario {
+namespace {
+
+using namespace hades::literals;
+
+core::system::config lan() {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 60_us;
+  return cfg;
+}
+
+// --- plan ground-truth queries ----------------------------------------------
+
+TEST(PlanTest, DownWindowsTrackCrashRecoverPairs) {
+  plan p;
+  p.crash(time_point::at(100_ms), 3)
+      .recover(time_point::at(300_ms), 3)
+      .crash(time_point::at(700_ms), 3);
+  const auto ws = p.down_windows(3, time_point::at(1_s));
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[0].from, time_point::at(100_ms));
+  EXPECT_EQ(ws[0].to, time_point::at(300_ms));
+  EXPECT_EQ(ws[1].from, time_point::at(700_ms));
+  EXPECT_EQ(ws[1].to, time_point::at(1_s));  // open until the horizon
+  EXPECT_TRUE(p.down_at(3, time_point::at(200_ms)));
+  EXPECT_FALSE(p.down_at(3, time_point::at(400_ms)));
+  EXPECT_TRUE(p.ever_down(3));
+  EXPECT_TRUE(p.correct_throughout(1));
+}
+
+TEST(PlanTest, SeparationWindowsFollowPartitionAndHeal) {
+  plan p;
+  p.split(time_point::at(200_ms), {{0, 1}, {2, 3}}).heal(time_point::at(500_ms));
+  const auto apart = p.separated_windows(0, 2, time_point::at(1_s));
+  ASSERT_EQ(apart.size(), 1u);
+  EXPECT_EQ(apart[0].from, time_point::at(200_ms));
+  EXPECT_EQ(apart[0].to, time_point::at(500_ms));
+  EXPECT_TRUE(p.separated_windows(0, 1, time_point::at(1_s)).empty());
+  // Node 4 is unlisted: connected to both sides.
+  EXPECT_TRUE(p.separated_windows(0, 4, time_point::at(1_s)).empty());
+}
+
+TEST(PlanTest, QuietExcludesRateWindowsButNotBursts) {
+  plan p;
+  p.omission_rate(time_point::at(300_ms), 0.2)
+      .omission_rate(time_point::at(600_ms), 0.0)
+      .omission_burst(time_point::at(800_ms), 0, 1, 2);
+  const auto horizon = time_point::at(1_s);
+  EXPECT_TRUE(p.quiet(time_point::at(100_ms), 10_ms, horizon));
+  EXPECT_FALSE(p.quiet(time_point::at(400_ms), 10_ms, horizon));
+  EXPECT_FALSE(p.quiet(time_point::at(295_ms), 10_ms, horizon));  // pad overlaps
+  EXPECT_TRUE(p.quiet(time_point::at(700_ms), 10_ms, horizon));
+  // Scripted bursts are masked deterministically: still quiet.
+  EXPECT_TRUE(p.quiet(time_point::at(800_ms), 10_ms, horizon));
+}
+
+// --- injector end-to-end ----------------------------------------------------
+
+TEST(InjectorTest, CrashAndRecoverDriveDetectorThroughFullCycle) {
+  core::system sys(3, lan());
+  svc::fault_detector fd(sys, {10_ms, 25_ms});
+  fd.start();
+  plan p;
+  p.crash(time_point::at(100_ms + 137_us), 2)
+      .recover(time_point::at(300_ms + 151_us), 2);
+  apply(sys, p);
+  sys.run_until(time_point::at(200_ms));
+  EXPECT_TRUE(sys.crashed(2));
+  EXPECT_TRUE(fd.suspects(0, 2));
+  EXPECT_TRUE(fd.suspects(1, 2));
+  sys.run_until(time_point::at(400_ms));
+  EXPECT_FALSE(sys.crashed(2));
+  EXPECT_FALSE(fd.suspects(0, 2));
+  EXPECT_FALSE(fd.suspects(1, 2));
+  // The monitor saw both transitions.
+  EXPECT_EQ(sys.mon().count(core::monitor_event_kind::node_crash), 1u);
+  EXPECT_EQ(sys.mon().count(core::monitor_event_kind::node_recover), 1u);
+}
+
+TEST(InjectorTest, PartitionBlocksCrossTrafficUntilHealed) {
+  core::system sys(4, lan());
+  svc::fault_detector fd(sys, {10_ms, 25_ms});
+  fd.start();
+  plan p;
+  p.split(time_point::at(100_ms + 137_us), {{0, 1}, {2, 3}})
+      .heal(time_point::at(300_ms + 151_us));
+  apply(sys, p);
+  sys.run_until(time_point::at(250_ms));
+  EXPECT_TRUE(fd.suspects(0, 2));
+  EXPECT_TRUE(fd.suspects(2, 0));
+  EXPECT_FALSE(fd.suspects(0, 1));
+  EXPECT_FALSE(fd.suspects(2, 3));
+  sys.run_until(time_point::at(400_ms));
+  EXPECT_FALSE(fd.suspects(0, 2));
+  EXPECT_FALSE(fd.suspects(2, 0));
+}
+
+// Regression: a node crashed while a scheduler notification was in flight
+// (sched_busy_ latched, the sched thread destroyed before scheduler_step
+// ran) used to stay unschedulable forever after recovery. Spring gates
+// every activation behind the scheduler, so a stuck latch shows up as zero
+// post-recovery completions.
+TEST(InjectorTest, RecoveredNodeSchedulesTasksAgain) {
+  core::system::config cfg = lan();
+  cfg.costs.scheduler_per_event = 100_us;  // scheduling has latency
+  core::system sys(2, cfg);
+  core::task_builder job("job");
+  job.deadline(5_ms).law(core::arrival_law::periodic(10_ms));
+  job.add_code_eu("job", 0, 1_ms);
+  const auto t = sys.register_task(job.build());
+  sys.attach_policy(0, std::make_shared<sched::spring_policy>());
+  plan p;
+  // Crash lands 50us after an activation: inside the scheduler notification.
+  p.crash(time_point::at(20_ms + 50_us), 0)
+      .recover(time_point::at(100_ms + 137_us), 0);
+  apply(sys, p);
+  sys.run_until(time_point::at(300_ms));
+  const auto& st = sys.stats_for(t);
+  EXPECT_GT(st.completions, 15u)  // ~20 post-recovery activations complete
+      << "node 0 stopped scheduling after recovery";
+}
+
+// --- checker semantics ------------------------------------------------------
+
+TEST(CheckerTest, UnexplainedSuspicionFailsTheDetectorCheck) {
+  plan p;  // no faults planned
+  observation o;
+  o.nodes = 2;
+  o.horizon = time_point::at(1_s);
+  o.detect_bound = 47_ms;
+  o.recover_bound = 12_ms;
+  o.suspicions.push_back({0, 1, time_point::at(500_ms)});
+  const auto results = check_detector(p, o);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].name, "detector.no_false_suspicion");
+  EXPECT_FALSE(results[0].passed);
+}
+
+TEST(CheckerTest, MissedDetectionFailsTheCompletenessCheck) {
+  plan p;
+  p.crash(time_point::at(100_ms), 1);
+  observation o;
+  o.nodes = 2;
+  o.horizon = time_point::at(1_s);
+  o.detect_bound = 47_ms;
+  o.recover_bound = 12_ms;
+  // No suspicion observed although node 1 was down past the bound.
+  const auto results = check_detector(p, o);
+  EXPECT_FALSE(results[1].passed);
+  EXPECT_EQ(results[1].name, "detector.crash_detected_within_bound");
+}
+
+// Regression: a suspicion during an omission-rate storm is legitimate — the
+// storm can exceed the omission degree the perfection bound assumes — and
+// must not fail the no-false-suspicion check.
+TEST(CheckerTest, StormWindowJustifiesSuspicion) {
+  plan p;
+  p.omission_rate(time_point::at(300_ms), 0.5)
+      .omission_rate(time_point::at(900_ms), 0.0);
+  observation o;
+  o.nodes = 2;
+  o.horizon = time_point::at(1500_ms);
+  o.detect_bound = 47_ms;
+  o.recover_bound = 12_ms;
+  o.suspicions.push_back({0, 1, time_point::at(340_ms)});
+  const auto results = check_detector(p, o);
+  EXPECT_TRUE(results[0].passed) << results[0].detail;
+  // Outside the storm (plus detection slack) the suspicion stays false.
+  observation late = o;
+  late.suspicions[0].at = time_point::at(1200_ms);
+  EXPECT_FALSE(check_detector(p, late)[0].passed);
+}
+
+// Regression: a node that re-crashes within one heartbeat of recovering is
+// one continuous unreachability from the observers' point of view — the
+// suspicion flag never clears, so the checkers must not demand a fresh
+// suspicion (completeness) or an un-suspect event (recovery) for the
+// second window.
+TEST(CheckerTest, RecrashWithinHeartbeatIsOneContinuousOutage) {
+  plan p;
+  p.crash(time_point::at(400_ms), 1)
+      .recover(time_point::at(900_ms), 1)
+      .crash(time_point::at(902_ms), 1);
+  observation o;
+  o.nodes = 2;
+  o.horizon = time_point::at(1500_ms);
+  o.detect_bound = 47_ms;
+  o.recover_bound = 12_ms;  // > the 2ms up-gap: windows glue shut
+  o.suspicions.push_back({0, 1, time_point::at(440_ms)});
+  // No recovery event: the subject was never heard again.
+  for (const auto& r : check_detector(p, o))
+    EXPECT_TRUE(r.passed) << r.name << ": " << r.detail;
+}
+
+TEST(CheckerTest, RegistryShipsTheCampaignFamily) {
+  const auto scenarios = all_scenarios();
+  EXPECT_GE(scenarios.size(), 8u);
+  for (const auto& s : scenarios) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GE(s.nodes, 4u);
+    EXPECT_GT(s.horizon, duration::zero());
+  }
+  EXPECT_EQ(find_scenario("single_crash").name, "single_crash");
+  EXPECT_THROW(find_scenario("no_such_scenario"), invariant_violation);
+}
+
+}  // namespace
+}  // namespace hades::scenario

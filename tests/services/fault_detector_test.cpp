@@ -71,6 +71,80 @@ TEST(FaultDetectorTest, HeavyOmissionsCauseSuspicion) {
   EXPECT_FALSE(fd.suspects(1, 0));  // the reverse direction still works
 }
 
+// --- perfect-detector boundary ---------------------------------------------
+//
+// The perfection bound is timeout > period * (omission_degree + 1) +
+// delta_max. With period 10ms, k = 2 and delta_max 60us the bound is
+// 30.06ms. One tick above it, an exactly-k burst must never suspect; a
+// sub-bound timeout provably false-suspects under the same burst (and the
+// detector must then observe the recovery when heartbeats resume).
+
+TEST(FaultDetectorTest, BoundaryTimeoutJustAboveBoundStaysPerfect) {
+  core::system sys(2, lan());
+  fault_detector fd(sys, {10_ms, 30_ms + 60_us + 1_ns});
+  int suspicions = 0;
+  fd.on_suspect([&](node_id, node_id, time_point) { ++suspicions; });
+  fd.start();
+  // Drop exactly k = 2 consecutive heartbeats 1 -> 0 (the 100ms and 110ms
+  // beats): the worst observable silence at a check is (k+1)*period minus
+  // the pre-burst delivery latency, strictly under the bound.
+  sys.engine().at(time_point::at(95_ms), [&] {
+    sys.network().drop_next(1, 0, 2, ch_heartbeat);
+  });
+  sys.run_for(500_ms);
+  EXPECT_EQ(suspicions, 0);
+  EXPECT_FALSE(fd.suspects(0, 1));
+}
+
+TEST(FaultDetectorTest, BoundaryTimeoutJustBelowBoundFalseSuspects) {
+  core::system sys(2, lan());
+  // One heartbeat period under the bound (minus the latency band): the same
+  // exactly-k burst now opens a silence the timeout cannot cover.
+  fault_detector fd(sys, {10_ms, 30_ms - 60_us * 2});
+  std::vector<time_point> suspicions, recoveries;
+  fd.on_suspect([&](node_id o, node_id s, time_point at) {
+    EXPECT_EQ(o, 0u);
+    EXPECT_EQ(s, 1u);
+    suspicions.push_back(at);
+  });
+  fd.on_recover([&](node_id, node_id, time_point at) {
+    recoveries.push_back(at);
+  });
+  fd.start();
+  sys.engine().at(time_point::at(95_ms), [&] {
+    sys.network().drop_next(1, 0, 2, ch_heartbeat);
+  });
+  sys.run_for(500_ms);
+  // False suspicion fires at the 120ms check; the 120ms heartbeat then
+  // clears it within one delivery latency.
+  ASSERT_EQ(suspicions.size(), 1u);
+  EXPECT_EQ(suspicions[0], time_point::at(120_ms));
+  ASSERT_EQ(recoveries.size(), 1u);
+  EXPECT_LE(recoveries[0] - suspicions[0], 60_us + 1_ms);
+  EXPECT_FALSE(fd.suspects(0, 1));  // recovered by the horizon
+  EXPECT_EQ(fd.recoveries_observed(), 1u);
+}
+
+TEST(FaultDetectorTest, CrashRecoverCycleObserved) {
+  core::system sys(3, lan());
+  fault_detector fd(sys, {10_ms, 25_ms});
+  fd.start();
+  sys.run_for(100_ms);
+  sys.crash_node(2);
+  sys.run_for(100_ms);
+  EXPECT_TRUE(fd.suspects(0, 2));
+  EXPECT_TRUE(fd.suspects(1, 2));
+  sys.recover_node(2);
+  // First post-recovery heartbeat lands within period + delta_max.
+  sys.run_for(50_ms);
+  EXPECT_FALSE(fd.suspects(0, 2));
+  EXPECT_FALSE(fd.suspects(1, 2));
+  EXPECT_GE(fd.recoveries_observed(), 2u);
+  // And the recovered node itself holds no stale suspicions of its peers.
+  EXPECT_FALSE(fd.suspects(2, 0));
+  EXPECT_FALSE(fd.suspects(2, 1));
+}
+
 TEST(FaultDetectorTest, SuspicionIsRecordedOnce) {
   core::system sys(2, lan());
   fault_detector fd(sys, {10_ms, 25_ms});

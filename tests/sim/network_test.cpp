@@ -194,6 +194,75 @@ TEST(NetworkTest, WorstCaseLatencyBound) {
   for (auto l : lat) EXPECT_LE(l, net.worst_case_latency(64));
 }
 
+// Regression: taking a node down used to silence only its inbound side
+// (the detached handler) — outbound frames submitted by the dead node's
+// stale timers still departed and were delivered. A crash must be
+// symmetric on the wire.
+TEST(NetworkTest, NodeDownSilencesOutbound) {
+  engine e;
+  network net(e, tight());
+  int received = 0;
+  net.attach(0, [](const message&) {});
+  net.attach(1, [&](const message&) { ++received; });
+  net.set_node_down(0, true);
+  net.unicast(0, 1, 0, 1, 8);  // outbound from the dead node
+  e.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().dropped, 1u);
+  net.set_node_down(0, false);
+  net.unicast(0, 1, 0, 2, 8);
+  e.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkTest, NodeDownSilencesInboundIncludingInFlight) {
+  engine e;
+  network net(e, tight());
+  int received = 0;
+  net.attach(0, [](const message&) {});
+  net.attach(1, [&](const message&) { ++received; });
+  net.unicast(0, 1, 0, 1, 8);  // in flight when the node dies
+  e.at(time_point::at(1_us), [&] { net.set_node_down(1, true); });
+  e.run();
+  EXPECT_EQ(received, 0);  // judged against the node state at delivery date
+  net.set_node_down(1, false);
+  net.unicast(0, 1, 0, 2, 8);
+  e.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkTest, PartitionIsolatesGroupsAndHeals) {
+  engine e;
+  network net(e, tight());
+  std::vector<int> received(4, 0);
+  for (node_id n = 0; n < 4; ++n)
+    net.attach(n, [&received, n](const message&) { ++received[n]; });
+  net.partition({{0, 1}, {2, 3}});
+  net.unicast(0, 1, 0, 1, 8);  // same side: delivered
+  net.unicast(0, 2, 0, 2, 8);  // cross side: dropped
+  net.unicast(3, 1, 0, 3, 8);  // cross side: dropped
+  e.run();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 0, 0}));
+  net.heal_partition();
+  net.unicast(0, 2, 0, 4, 8);
+  e.run();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 1, 0}));
+}
+
+TEST(NetworkTest, ScriptedDropCanBeChannelScoped) {
+  engine e;
+  network net(e, tight());
+  std::vector<int> channels;
+  net.attach(1, [&](const message& m) { channels.push_back(m.channel); });
+  net.drop_next(0, 1, 2, /*channel=*/7);
+  net.unicast(0, 1, 7, 1, 8);  // eaten by the burst
+  net.unicast(0, 1, 9, 2, 8);  // other channel: unaffected
+  net.unicast(0, 1, 7, 3, 8);  // eaten by the burst
+  net.unicast(0, 1, 7, 4, 8);  // burst exhausted: delivered
+  e.run();
+  EXPECT_EQ(channels, (std::vector<int>{9, 7}));
+}
+
 TEST(NetworkTest, DeterministicAcrossRuns) {
   auto run = [] {
     engine e;

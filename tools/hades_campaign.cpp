@@ -1,0 +1,82 @@
+// hades_campaign — the scenario-campaign CLI (DESIGN.md, "Scenario layer").
+//
+// Sweeps the registered fault scenarios across seeds and runtime shard
+// counts {1, 2, 4}, grades the property checkers after every run, asserts
+// bit-identical checksums across shard counts, and writes one JSON verdict
+// per cell. CI runs `hades_campaign --smoke --out <dir>` as a required
+// step: any checker violation or cross-shard checksum mismatch exits
+// non-zero.
+//
+// Usage: hades_campaign [--smoke] [--list] [--scenario NAME]...
+//                       [--seeds N] [--out DIR] [--quiet]
+//   --smoke         CI matrix: every scenario, seeds {1, 2}, shards {1,2,4}
+//                   (the default is the same sweep with seeds {1..4})
+//   --list          print the registered scenarios and exit
+//   --scenario NAME restrict to one scenario (repeatable)
+//   --seeds N       sweep seeds 1..N
+//   --out DIR       write per-cell verdict JSONs + summary.json to DIR
+//   --quiet         suppress the per-cell progress lines
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "scenario/campaign.hpp"
+
+int main(int argc, char** argv) {
+  hades::scenario::campaign_options opt;
+  opt.verbose = true;
+  int max_seed = 4;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      max_seed = 2;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      opt.scenarios.emplace_back(argv[++i]);
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      max_seed = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      opt.out_dir = argv[++i];
+    } else if (arg == "--quiet") {
+      opt.verbose = false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const auto& s : hades::scenario::all_scenarios())
+      std::printf("%-18s %s\n", s.name.c_str(), s.description.c_str());
+    return 0;
+  }
+
+  for (const std::string& name : opt.scenarios) {
+    try {
+      hades::scenario::find_scenario(name);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "unknown scenario: %s (see --list)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  if (max_seed < 1) {
+    std::fprintf(stderr, "--seeds must be >= 1\n");
+    return 2;
+  }
+  opt.seeds.clear();
+  for (int s = 1; s <= max_seed; ++s)
+    opt.seeds.push_back(static_cast<std::uint64_t>(s));
+
+  const auto result = hades::scenario::run_campaign(opt);
+  std::printf("\ncampaign: %zu cells, %zu failures — %s\n",
+              result.cells.size(), result.failures.size(),
+              result.passed ? "PASS" : "FAIL");
+  for (const auto& f : result.failures)
+    std::printf("  FAIL %s\n", f.c_str());
+  return result.passed ? 0 : 1;
+}
