@@ -15,10 +15,19 @@
 // workload checksum must be identical across every configuration — the
 // determinism guarantee, checked here on every run.
 //
+// A second, *full-system* workload exercises the shard-confinement story
+// end to end (DESIGN.md, "Shard confinement"): a real `core::system`
+// deployment — fault detector heartbeats, Delta-ordered reliable broadcast
+// with flood relays, per-delivery application burn — swept over
+// worker counts on the 4-shard backend. The observable checksum must be
+// identical across the single-engine run, serial rounds, and every worker
+// count; wall-clock speedup is reported against the 4-shard serial
+// baseline.
+//
 // Usage: bench_sharded [--smoke] [--require-2x]
 //   --smoke       ~20x fewer events (CI compile/perf-path check)
-//   --require-2x  exit non-zero unless 4-shard wall speedup >= 2x
-//                 (needs >= 4 hardware threads)
+//   --require-2x  exit non-zero unless the 4-shard wall speedup >= 2x on
+//                 BOTH workloads (needs >= 4 hardware threads)
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -26,6 +35,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/system.hpp"
+#include "services/fault_detector.hpp"
+#include "services/reliable_comm.hpp"
 #include "sim/sharded_engine.hpp"
 
 using namespace hades;
@@ -128,6 +140,77 @@ bench_result run_config(std::size_t shards, std::size_t workers,
   return r;
 }
 
+// --- full-system workload ----------------------------------------------------
+
+constexpr std::size_t kSysNodes = 32;
+
+struct alignas(64) app_state {
+  std::uint64_t delivered = 0;
+  std::uint64_t hash = 0x9E3779B97F4A7C15ull;
+};
+
+bench_result run_full_system(std::size_t shards, std::size_t workers,
+                             duration horizon) {
+  using namespace hades::literals;
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.tracing = false;
+  cfg.seed = 7;
+  cfg.net.delta_min = 50_us;  // generous lookahead keeps rounds coarse
+  cfg.net.delta_max = 150_us;
+  cfg.net.per_byte = 0_ns;
+  cfg.shards = shards;
+  cfg.workers = workers;
+  core::system sys(kSysNodes, cfg);
+
+  svc::fault_detector fd(sys, {5_ms, 18_ms});
+  svc::reliable_broadcast::params bp;
+  bp.total_order = true;
+  bp.stability_delay = 2_ms;
+  svc::reliable_broadcast bcast(sys, bp);
+
+  // Per-delivery application burn on the delivering node's shard: the
+  // handler-cost stand-in that worker threads parallelize.
+  std::vector<app_state> state(kSysNodes);
+  for (node_id n = 0; n < kSysNodes; ++n)
+    bcast.on_deliver(n, [&sys, st = &state[n]](
+                            const svc::reliable_broadcast::bcast_msg& m) {
+      ++st->delivered;
+      st->hash = spin(st->hash ^ (static_cast<std::uint64_t>(m.origin) << 32) ^
+                      m.seq ^
+                      static_cast<std::uint64_t>(sys.now().nanoseconds()));
+    });
+
+  // Node-anchored broadcast drivers at coprime-ish periods (the campaign's
+  // traffic shape, scaled up).
+  for (node_id n = 0; n < kSysNodes; ++n)
+    sys.engine().periodic_at_node(
+        n, time_point::at(3_ms + 311_us * n + 7_us),
+        9500_us + 379_us * static_cast<std::int64_t>(n), [&sys, &bcast, n] {
+          if (!sys.crashed(n)) bcast.broadcast(n, static_cast<int>(n));
+        });
+  fd.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.run_until(time_point::at(horizon));
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+
+  bench_result r;
+  r.wall_s = dt.count();
+  r.events = sys.engine().executed();
+  for (const app_state& s : state) r.checksum ^= s.hash + s.delivered;
+  for (node_id n = 0; n < kSysNodes; ++n) {
+    r.checksum ^= 0x9E3779B97F4A7C15ull * (bcast.delivery_log(n).size() + 1);
+    r.checksum ^= std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(n) << 32) + fd.suspects(n, (n + 1) % kSysNodes));
+  }
+  const auto ns = sys.network().stats();
+  r.checksum ^= ns.sent * 3 + ns.delivered * 5 + ns.dropped * 7 + ns.late * 11;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,9 +258,67 @@ int main(int argc, char** argv) {
   }
   std::printf("  checksums identical across all configurations\n");
 
+  // --- full-system workload: core::system + services, workers swept --------
+  const duration sys_horizon = horizon == duration::milliseconds(400)
+                                   ? duration::milliseconds(400)
+                                   : duration::milliseconds(60);
+  std::printf(
+      "\nfull-system workload: %zu-node core::system, heartbeats + "
+      "Delta-ordered broadcast + per-delivery burn\n",
+      kSysNodes);
+  struct sys_config {
+    const char* label;
+    std::size_t shards;
+    std::size_t workers;
+  };
+  const sys_config sys_configs[] = {
+      {"single engine", 0, 0},
+      {"4 shards serial", 4, 0},
+      {"4 shards 2 workers", 4, 2},
+      {"4 shards 4 workers", 4, 4},
+  };
+  bench_result sys_base;
+  double sys_speedup_at_4 = 0.0;
+  bool first = true;
+  std::uint64_t reference_checksum = 0;
+  for (const sys_config& c : sys_configs) {
+    const bench_result r = run_full_system(c.shards, c.workers, sys_horizon);
+    if (first) {
+      reference_checksum = r.checksum;
+      first = false;
+    }
+    if (c.shards == 4 && c.workers == 0) sys_base = r;
+    double speedup = 0.0;
+    if (sys_base.wall_s > 0 && !(c.shards == 4 && c.workers == 0))
+      speedup = (static_cast<double>(r.events) / r.wall_s) /
+                (static_cast<double>(sys_base.events) / sys_base.wall_s);
+    if (c.shards == 4 && c.workers == 4) sys_speedup_at_4 = speedup;
+    std::printf("  %-20s %9.0f ev/s  (%7llu events, %.3fs)", c.label,
+                static_cast<double>(r.events) / r.wall_s,
+                static_cast<unsigned long long>(r.events), r.wall_s);
+    if (c.shards == 4 && c.workers > 0)
+      std::printf("  wall speedup vs serial rounds %.2fx", speedup);
+    std::printf("\n");
+    if (r.checksum != reference_checksum) {
+      std::printf("FAIL: full-system checksum mismatch at %s — shard "
+                  "confinement broken (%llx vs %llx)\n",
+                  c.label, static_cast<unsigned long long>(r.checksum),
+                  static_cast<unsigned long long>(reference_checksum));
+      return 1;
+    }
+  }
+  std::printf("  full-system checksums identical across all configurations\n");
+
   if (require_2x && speedup_at_4 < 2.0) {
     std::printf("FAIL: 4-shard wall speedup %.2fx < 2x (hw threads: %u)\n",
                 speedup_at_4, hw);
+    return 1;
+  }
+  if (require_2x && sys_speedup_at_4 < 2.0) {
+    std::printf(
+        "FAIL: full-system 4-shard/4-worker wall speedup %.2fx < 2x "
+        "(hw threads: %u)\n",
+        sys_speedup_at_4, hw);
     return 1;
   }
   return 0;

@@ -1,12 +1,36 @@
 #include "core/monitor.hpp"
 
+#include <memory>
 #include <sstream>
 
 namespace hades::core {
 
+void monitor::record(monitor_event e) {
+  // Notify from a local copy, never from a reference into the partition: a
+  // synchronous listener may re-enter record (dependency_tracker aborting
+  // instances records fresh orphan events), and the resulting push_back
+  // would invalidate any reference held across the callback.
+  const monitor_event ev = e;
+  log_.append(std::move(e));
+  for (const auto& l : listeners_) l(ev);
+  if (routed_.empty()) return;
+  if (rt_ == nullptr) {
+    for (const auto& r : routed_) r.fn(ev);
+    return;
+  }
+  // Redeliver on each home shard at a backend-independent date. The event
+  // is shared so the scheduled closure ({std::function, shared_ptr}) stays
+  // within the event core's inline buffer instead of forcing a heap-backed
+  // closure per listener.
+  auto shared = std::make_shared<const monitor_event>(ev);
+  for (const auto& r : routed_)
+    rt_->at_node(r.home, rt_->now() + r.delay,
+                 [fn = r.fn, shared] { fn(*shared); });
+}
+
 std::string monitor::render() const {
   std::ostringstream os;
-  for (const auto& e : events_) {
+  for (const auto& e : events()) {
     os << e.at.to_string() << "  n";
     if (e.node == invalid_node)
       os << '?';

@@ -6,17 +6,38 @@
 // (iv) deadlocks; and (v) network omission failures, observed through
 // remote precedence constraints that fail to arrive by the latest start
 // time of their consumer. The paper notes no existing real-time
-// environment implemented all of these — this module does.
+// environment implemented all of these — this module does. The fault
+// detector additionally feeds node-suspicion events into the same stream,
+// so mode policies can react to partitions as well as crashes.
 //
 // The monitor itself is an event sink with query helpers; the detectors
 // live in the dispatcher/system, which know the execution state.
+//
+// Shard confinement (DESIGN.md): once bound to a runtime the monitor keeps
+// one event partition per shard; `record` appends only to the partition of
+// the executing shard, so worker threads never share a vector. Readers see
+// one merged stream ordered by {time, shard, per-shard sequence} — the
+// cross-shard inbox key, making the merged order independent of worker
+// interleaving. Two subscription flavours exist:
+//   * `subscribe` — synchronous, runs on the recording shard. The listener
+//     must only touch state owned by that shard (or the monitor must only
+//     be used in serial runs).
+//   * `subscribe_at_node` — the listener is re-invoked on the shard owning
+//     `home`, at `record date + delay`, via `runtime::at_node`. With a
+//     `delay` no smaller than the backend's lookahead this is legal from
+//     any shard, and because the delay is a constant the redelivery date is
+//     identical on every backend — what keeps mode switching bit-identical
+//     across shard and worker counts.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "sim/runtime.hpp"
+#include "sim/shard_log.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -33,6 +54,8 @@ enum class monitor_event_kind {
   instance_rejected,
   node_crash,
   node_recover,
+  node_suspected,    // fault detector: observer started suspecting `node`
+  node_unsuspected,  // fault detector: observer heard `node` again
 };
 
 [[nodiscard]] constexpr const char* to_string(monitor_event_kind k) {
@@ -47,6 +70,8 @@ enum class monitor_event_kind {
     case monitor_event_kind::instance_rejected: return "instance-rejected";
     case monitor_event_kind::node_crash: return "node-crash";
     case monitor_event_kind::node_recover: return "node-recover";
+    case monitor_event_kind::node_suspected: return "node-suspected";
+    case monitor_event_kind::node_unsuspected: return "node-unsuspected";
   }
   return "?";
 }
@@ -65,43 +90,77 @@ class monitor {
  public:
   using listener = std::function<void(const monitor_event&)>;
 
-  void record(monitor_event e) {
-    events_.push_back(std::move(e));
-    for (const auto& l : listeners_) l(events_.back());
+  monitor() = default;
+
+  /// Attach to a runtime: grows one partition per shard, routes `record` by
+  /// the executing shard, and enables `subscribe_at_node` redelivery. The
+  /// owning `core::system` calls this from its constructor.
+  void bind(hades::runtime& rt) {
+    rt_ = &rt;
+    log_.bind(rt);
   }
 
-  /// Subscribe to every future event (used by mode managers / tests).
+  void record(monitor_event e);
+
+  /// Subscribe to every future event, synchronously on the recording shard
+  /// (shard-local listeners and serial-mode services).
   void subscribe(listener l) { listeners_.push_back(std::move(l)); }
 
-  [[nodiscard]] const std::vector<monitor_event>& events() const {
-    return events_;
+  /// Subscribe with deterministic cross-shard redelivery: the listener runs
+  /// on the shard owning `home`, at the event date + `delay`. `delay` must
+  /// be >= the backend's cross-shard lookahead (the network's delta_min for
+  /// system runs); it is applied on every backend so redelivery dates are
+  /// backend-independent. Without a bound runtime the listener fires
+  /// synchronously.
+  void subscribe_at_node(node_id home, duration delay, listener l) {
+    routed_.push_back({home, delay, std::move(l)});
   }
+
+  /// Merged event stream, ordered by {time, shard, per-shard sequence}.
+  /// Rebuilt lazily; do not call while worker threads are recording.
+  [[nodiscard]] const std::vector<monitor_event>& events() const {
+    return log_.merged();
+  }
+
   [[nodiscard]] std::vector<monitor_event> of_kind(monitor_event_kind k) const {
     std::vector<monitor_event> out;
-    for (const auto& e : events_)
+    for (const auto& e : events())
       if (e.kind == k) out.push_back(e);
     return out;
   }
   [[nodiscard]] std::size_t count(monitor_event_kind k) const {
     std::size_t n = 0;
-    for (const auto& e : events_)
+    log_.for_each([&](const monitor_event& e) {
       if (e.kind == k) ++n;
+    });
     return n;
   }
   [[nodiscard]] std::size_t count_for_task(monitor_event_kind k,
                                            task_id t) const {
     std::size_t n = 0;
-    for (const auto& e : events_)
+    log_.for_each([&](const monitor_event& e) {
       if (e.kind == k && e.task == t) ++n;
+    });
     return n;
   }
-  void clear() { events_.clear(); }
+  void clear() { log_.clear(); }
 
   [[nodiscard]] std::string render() const;
 
  private:
-  std::vector<monitor_event> events_;
+  struct time_of {
+    time_point operator()(const monitor_event& e) const { return e.at; }
+  };
+  struct routed_listener {
+    node_id home = 0;
+    duration delay = duration::zero();
+    listener fn;
+  };
+
+  hades::runtime* rt_ = nullptr;
+  sim::shard_log<monitor_event, time_of> log_;
   std::vector<listener> listeners_;
+  std::vector<routed_listener> routed_;
 };
 
 }  // namespace hades::core

@@ -14,7 +14,11 @@ std::unique_ptr<hades::runtime> system::make_backend(const config& cfg,
            "system: the sharded backend needs net.delta_min > 0 (lookahead)");
   sim::sharded_params sp;
   sp.shards = std::min(cfg.shards, node_count);
-  sp.workers = 0;  // system handlers share state across nodes: serial rounds
+  // System state is shard-confined (per-shard monitor/trace partitions,
+  // home-shard task bookkeeping, per-source network state), so worker
+  // threads are safe; register_task rejects the residual cross-shard case
+  // (a task graph spanning shards) when workers are requested.
+  sp.workers = cfg.workers;
   sp.lookahead = cfg.net.delta_min;  // every cross-node event rides the LAN
   // Contiguous balanced node groups: applications place tightly coupled
   // tasks on neighbouring node ids, so blocks minimize cross-shard traffic.
@@ -27,8 +31,13 @@ std::unique_ptr<hades::runtime> system::make_backend(const config& cfg,
 system::system(std::size_t node_count, config cfg) : cfg_(std::move(cfg)) {
   validate(node_count > 0, "system: need at least one node");
   rt_ = make_backend(cfg_, node_count);
+  // Shard-confined sinks: one partition per shard, routed by the executing
+  // shard (single-engine backends have exactly one).
+  trace_.bind(*rt_);
   trace_.enable(cfg_.tracing);
+  monitor_.bind(*rt_);
   net_ = std::make_unique<sim::network>(*rt_, cfg_.net, cfg_.seed);
+  net_->reserve_nodes(node_count);
 
   kernel_params kp;
   kp.context_switch = cfg_.costs.context_switch;
@@ -56,9 +65,18 @@ system::~system() = default;
 void system::arm_clock_interrupts(node_id n) {
   if (!cfg_.kernel_background) return;
   if (cfg_.costs.w_clk.is_zero() || cfg_.costs.p_clk.is_infinite()) return;
-  nodes_[n]->clk_timer = rt_->every(cfg_.costs.p_clk, [this, n] {
+  schedule_clock_tick(n, rt_->now() + cfg_.costs.p_clk);
+}
+
+void system::schedule_clock_tick(node_id n, time_point at) {
+  // A node-anchored chain rather than one shard-0 periodic: every interrupt
+  // executes on the shard owning the node (drift-free — each link is dated
+  // off the previous one, not off now()), and crash_node can cancel the
+  // pending link because the chain never leaves the node's shard.
+  nodes_[n]->clk_timer = rt_->at_node(n, at, [this, n, at] {
     cpu(n).post_interrupt("clk@" + std::to_string(n), cfg_.costs.w_clk,
                           nullptr);
+    schedule_clock_tick(n, at + cfg_.costs.p_clk);
   });
 }
 
@@ -87,11 +105,38 @@ task_id system::register_task(task_graph g) {
                "task '" + g.name() + "' invokes unregistered task id " +
                    std::to_string(inv->target));
 
+  // Worker-threaded runs require shard-confined handlers: a task whose EUs
+  // (or invocation targets) live on another shard would make the home
+  // shard's instance machinery call into a concurrently-running dispatcher.
+  // Cross-node *precedences* ride the wire and stay legal; shard *creation*
+  // and invocation activation are direct calls, so they must stay within
+  // the home shard when workers are on.
+  if (cfg_.workers > 0 && cfg_.shards > 0) {
+    const std::uint32_t home_shard = rt_->shard_of(g.home_node());
+    for (node_id p : g.processors())
+      validate(rt_->shard_of(p) == home_shard,
+               "task '" + g.name() + "' spans shards; worker-threaded runs "
+               "(config.workers > 0) require shard-confined task graphs");
+    for (eu_index i = 0; i < g.eu_count(); ++i)
+      if (const auto* inv = g.as_inv(i))
+        validate(rt_->shard_of(graphs_.at(inv->target)->home_node()) ==
+                     home_shard,
+                 "task '" + g.name() + "' invokes a task homed on another "
+                 "shard; worker-threaded runs require shard-confined graphs");
+  }
+
   const task_id id = next_task_++;
   g.id_ = id;
   auto shared = std::make_shared<const task_graph>(std::move(g));
   graphs_.emplace(id, shared);
+  // Pre-create every per-task entry: from here on the outer maps are
+  // structurally immutable and each value is owned by the home shard.
   next_instance_[id] = 0;
+  last_activation_[id] = time_point::zero();
+  ever_activated_[id] = false;
+  instances_[id];
+  task_states_[id];
+  task_stats_[id];
   if (shared->law().kind == arrival_kind::periodic) arm_periodic(id);
   return id;
 }
@@ -114,8 +159,10 @@ void system::arm_periodic(task_id t) {
   const auto& g = *graphs_.at(t);
   const time_point first =
       std::max(time_point::zero() + g.law().offset, rt_->now());
-  // One periodic registration drives every activation, drift-free.
-  rt_->schedule_periodic(first, g.law().period, [this, t] {
+  // A drift-free chain anchored at the home node (not one shard-0
+  // periodic): every activation then executes on the shard owning the
+  // task's bookkeeping — the confinement rule worker-threaded runs need.
+  rt_->periodic_at_node(g.home_node(), first, g.law().period, [this, t] {
     activation_origin origin;
     origin.k = activation_origin::kind::timer;
     activate_internal(t, origin);
@@ -129,7 +176,9 @@ bool system::activate(task_id t) {
 }
 
 void system::activate_at(task_id t, time_point at) {
-  rt_->at(at, [this, t] { activate(t); });
+  // Anchored at the home node: the activation executes on the shard owning
+  // the task's bookkeeping.
+  rt_->at_node(graphs_.at(t)->home_node(), at, [this, t] { activate(t); });
 }
 
 std::optional<instance_number> system::activate_internal(
@@ -184,7 +233,7 @@ std::optional<instance_number> system::activate_internal(
     rec.deadline_timer =
         rt_->at(now + g.deadline() + duration::nanoseconds(1),
                 [this, t, k] { on_deadline(t, k); });
-  instances_.emplace(std::make_pair(t, k), std::move(rec));
+  instances_.at(t).emplace(k, std::move(rec));
   ++st.activations;
   trace_.record(now, home, sim::trace_kind::instance_activated,
                 g.name() + "#" + std::to_string(k));
@@ -196,7 +245,7 @@ std::optional<instance_number> system::activate_internal(
       [this, t, k, now, procs = std::move(procs)] {
         auto it = graphs_.find(t);
         if (it == graphs_.end()) return;
-        if (!instances_.contains({t, k})) return;  // aborted before start
+        if (!instance_live(t, k)) return;  // aborted before start
         for (node_id n : procs)
           if (!disp(n).halted()) disp(n).create_shard(*it->second, k, now);
       });
@@ -206,8 +255,9 @@ std::optional<instance_number> system::activate_internal(
 // -------------------------------------------------------- instance tracking --
 
 void system::on_deadline(task_id t, instance_number k) {
-  auto it = instances_.find({t, k});
-  if (it == instances_.end()) return;  // completed in time
+  auto& per_task = instances_.at(t);
+  auto it = per_task.find(k);
+  if (it == per_task.end()) return;  // completed in time
   it->second.deadline_timer = sim::invalid_event;
   const task_graph& g = *graphs_.at(t);
   monitor_event ev;
@@ -223,17 +273,19 @@ void system::on_deadline(task_id t, instance_number k) {
 }
 
 void system::on_shard_complete(task_id t, instance_number k, node_id from) {
-  auto it = instances_.find({t, k});
-  if (it == instances_.end()) return;
+  auto& per_task = instances_.at(t);
+  auto it = per_task.find(k);
+  if (it == per_task.end()) return;
   it->second.pending_shards.erase(from);
   if (it->second.pending_shards.empty()) finish_instance(t, k);
 }
 
 void system::finish_instance(task_id t, instance_number k) {
-  auto it = instances_.find({t, k});
-  require(it != instances_.end(), "finish_instance: unknown instance");
+  auto& per_task = instances_.at(t);
+  auto it = per_task.find(k);
+  require(it != per_task.end(), "finish_instance: unknown instance");
   instance_record rec = std::move(it->second);
-  instances_.erase(it);
+  per_task.erase(it);
   if (rec.deadline_timer != sim::invalid_event)
     rt_->cancel(rec.deadline_timer);
 
@@ -273,11 +325,13 @@ void system::deliver_sync_return(node_id from,
 
 void system::abort_instance(task_id t, instance_number k,
                             const std::string& reason, bool as_rejection) {
-  auto it = instances_.find({t, k});
-  if (it == instances_.end()) return;
+  auto tit = instances_.find(t);
+  if (tit == instances_.end()) return;
+  auto it = tit->second.find(k);
+  if (it == tit->second.end()) return;
   if (it->second.deadline_timer != sim::invalid_event)
     rt_->cancel(it->second.deadline_timer);
-  instances_.erase(it);
+  tit->second.erase(it);
 
   const task_graph& g = *graphs_.at(t);
   for (node_id n : g.processors())

@@ -47,12 +47,18 @@ class system {
     /// Runtime backend selection (DESIGN.md, "Sharded backend"). 0 = the
     /// single pooled event engine. >0 = the sharded multi-engine backend
     /// with this many node groups (contiguous blocks of nodes), conservative
-    /// lookahead = net.delta_min (which must then be > 0). `system` always
-    /// runs the sharded backend in serial deterministic rounds: its own
-    /// event handlers touch cross-node state (monitor, instance
-    /// bookkeeping), so worker threads are only for workloads with
-    /// shard-confined handlers driving `sim::sharded_engine` directly.
+    /// lookahead = net.delta_min (which must then be > 0).
     std::size_t shards = 0;
+    /// Worker threads advancing shards concurrently (sharded backend only;
+    /// ignored when shards == 0). The system's own state is shard-confined
+    /// (DESIGN.md, "Shard confinement"): per-shard monitor/trace partitions,
+    /// per-task bookkeeping owned by the task's home shard, per-source
+    /// network state — so any worker count produces bit-identical runs.
+    /// Residual cross-shard features are guarded: `register_task` rejects
+    /// task graphs spanning shards when workers > 0, and condition
+    /// variables / deadlock scans remain serial-only (they walk every
+    /// dispatcher).
+    std::size_t workers = 0;
   };
 
   explicit system(std::size_t node_count);
@@ -102,6 +108,9 @@ class system {
   void activate_at(task_id t, time_point at);
 
   // --- condition variables (system-wide booleans, paper 3.1.1) -------------
+  // Conditions are inherently cross-node (setting one re-evaluates every
+  // dispatcher's waiters) and therefore serial-only: do not set conditions
+  // from event handlers of a worker-threaded run.
   void set_condition(condition_id c);
   void clear_condition(condition_id c);
   [[nodiscard]] bool condition(condition_id c) const;
@@ -138,7 +147,9 @@ class system {
 
   /// Scan all dispatchers for stalled-EU cycles (deadlock detection,
   /// monitoring activity (iv) of paper 3.2.1). Records deadlock_suspected
-  /// events and returns the number of EUs involved in cycles.
+  /// events and returns the number of EUs involved in cycles. Walks every
+  /// node's dispatcher, so it is serial-only (call between runs, or arm the
+  /// scan only on workers == 0 configurations).
   std::size_t detect_deadlocks();
 
   /// Arm periodic deadlock scans.
@@ -159,7 +170,8 @@ class system {
   void abort_instance(task_id t, instance_number k, const std::string& reason,
                       bool as_rejection);
   [[nodiscard]] bool instance_live(task_id t, instance_number k) const {
-    return instances_.contains({t, k});
+    auto it = instances_.find(t);
+    return it != instances_.end() && it->second.contains(k);
   }
 
  private:
@@ -168,7 +180,9 @@ class system {
     std::unique_ptr<net_task> net;
     std::unique_ptr<dispatcher> disp;
     std::unique_ptr<sim::hardware_clock> clock;
-    sim::event_id clk_timer = sim::invalid_event;  // periodic clock interrupt
+    // Next link of the node-anchored clock-interrupt chain (re-armed on the
+    // node's own shard after every firing; cancelled on crash).
+    sim::event_id clk_timer = sim::invalid_event;
   };
 
   struct instance_record {
@@ -180,6 +194,7 @@ class system {
 
   void arm_periodic(task_id t);
   void arm_clock_interrupts(node_id n);
+  void schedule_clock_tick(node_id n, time_point at);
   void on_deadline(task_id t, instance_number k);
   void finish_instance(task_id t, instance_number k);
   void deliver_sync_return(node_id from, const activation_origin& origin);
@@ -194,13 +209,18 @@ class system {
   std::unique_ptr<sim::network> net_;
   std::vector<std::unique_ptr<node_ctx>> nodes_;
 
+  // Per-task bookkeeping. Every per-task entry is created at registration
+  // time and owned by the task's home shard from then on: activation,
+  // deadline and completion handlers all execute on the home node's shard
+  // (DESIGN.md, "Shard confinement"), so the outer maps see no structural
+  // mutation during a run and the inner state no cross-shard access.
   std::map<task_id, std::shared_ptr<const task_graph>> graphs_;
   std::map<task_id, instance_number> next_instance_;
   std::map<task_id, time_point> last_activation_;
   std::map<task_id, bool> ever_activated_;
   std::map<resource_id, node_id> resource_home_;
-  std::map<std::pair<task_id, instance_number>, instance_record> instances_;
-  std::map<condition_id, bool> conditions_;
+  std::map<task_id, std::map<instance_number, instance_record>> instances_;
+  std::map<condition_id, bool> conditions_;  // serial-only (see set_condition)
   std::map<task_id, std::any> task_states_;
   std::map<task_id, task_stats> task_stats_;
   task_id next_task_ = 1;

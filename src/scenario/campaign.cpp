@@ -89,7 +89,7 @@ std::string json_escape(const std::string& s) {
 // ------------------------------------------------------------ run_cell --
 
 cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
-                     std::size_t shards) {
+                     std::size_t shards, std::size_t workers) {
   core::system::config cfg;
   cfg.costs = core::cost_model::zero();
   cfg.kernel_background = false;
@@ -99,6 +99,11 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
   cfg.seed = seed;
   cfg.tracing = false;
   cfg.shards = shards > 1 ? shards : 0;
+  // Worker threads are a sharded-backend dimension; every service and sink
+  // below is shard-confined (DESIGN.md, "Shard confinement"), so any worker
+  // count must reproduce the serial checksum bit-for-bit — the gate
+  // run_campaign enforces.
+  cfg.workers = cfg.shards > 0 ? workers : 0;
   core::system sys(spec.nodes, cfg);
 
   svc::fault_detector fd(sys, spec.fd);
@@ -109,7 +114,7 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
     svc::clock_sync_service::params sp;
     sp.resync_period = 100_ms;
     sp.collect_window = 2_ms;
-    sp.max_faulty = 0;
+    sp.max_faulty = spec.clock_sync_max_faulty;
     sync = std::make_unique<svc::clock_sync_service>(sys, sp);
   }
 
@@ -117,6 +122,7 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
   cell.scenario = spec.name;
   cell.seed = seed;
   cell.shards = shards;
+  cell.workers = cfg.workers;
   observation& obs = cell.obs;
   obs.nodes = spec.nodes;
   obs.horizon = time_point::at(spec.horizon);
@@ -126,11 +132,20 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
   obs.delivery_bound = bcast.delivery_bound(64) + 1_ms;
   obs.skew_bound = spec.skew_bound;
 
-  fd.on_suspect([&obs](node_id o, node_id s, time_point at) {
-    obs.suspicions.push_back({o, s, at});
+  // Suspicion callbacks fire on the observer's shard: collect into
+  // per-observer sinks (no shared vector under worker threads) and merge
+  // after the run — the (at, observer, subject) sort makes the merged
+  // order worker-count independent. Mode switches all occur on the
+  // manager's home shard, so one vector is safe.
+  std::vector<std::vector<observation::suspicion>> susp_by_observer(
+      spec.nodes);
+  std::vector<std::vector<observation::suspicion>> recov_by_observer(
+      spec.nodes);
+  fd.on_suspect([&susp_by_observer](node_id o, node_id s, time_point at) {
+    susp_by_observer[o].push_back({o, s, at});
   });
-  fd.on_recover([&obs](node_id o, node_id s, time_point at) {
-    obs.recoveries.push_back({o, s, at});
+  fd.on_recover([&recov_by_observer](node_id o, node_id s, time_point at) {
+    recov_by_observer[o].push_back({o, s, at});
   });
   modes.on_switch([&obs](svc::op_mode from, svc::op_mode to, time_point at) {
     obs.mode_switches.push_back({from, to, at});
@@ -158,6 +173,12 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
   sys.run_until(obs.horizon);
 
   // ------------------------------------------------- collect observation --
+  for (auto& per_obs : susp_by_observer)
+    obs.suspicions.insert(obs.suspicions.end(), per_obs.begin(),
+                          per_obs.end());
+  for (auto& per_obs : recov_by_observer)
+    obs.recoveries.insert(obs.recoveries.end(), per_obs.begin(),
+                          per_obs.end());
   sort_suspicions(obs.suspicions);
   sort_suspicions(obs.recoveries);
   for (node_id n = 0; n < spec.nodes; ++n)
@@ -169,14 +190,17 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
   for (const auto& e : sys.mon().events())
     if (e.kind == core::monitor_event_kind::deadline_miss ||
         e.kind == core::monitor_event_kind::node_crash ||
-        e.kind == core::monitor_event_kind::node_recover)
+        e.kind == core::monitor_event_kind::node_recover ||
+        e.kind == core::monitor_event_kind::node_suspected ||
+        e.kind == core::monitor_event_kind::node_unsuspected)
       obs.trigger_events.push_back(e.at);
   std::sort(obs.trigger_events.begin(), obs.trigger_events.end());
   if (sync) {
     obs.skew_checked = true;
     std::vector<node_id> correct;
     for (node_id n = 0; n < spec.nodes; ++n)
-      if (spec.p.correct_throughout(n)) correct.push_back(n);
+      if (spec.p.correct_throughout(n) && !spec.p.clock_faulty(n))
+        correct.push_back(n);
     obs.max_skew = sync->max_skew(correct);
   }
 
@@ -245,6 +269,7 @@ std::string render_verdict_json(const cell_result& c) {
      << "  \"scenario\": \"" << json_escape(c.scenario) << "\",\n"
      << "  \"seed\": " << c.seed << ",\n"
      << "  \"shards\": " << c.shards << ",\n"
+     << "  \"workers\": " << c.workers << ",\n"
      << "  \"horizon_ns\": " << c.obs.horizon.nanoseconds() << ",\n"
      << "  \"events\": " << c.events << ",\n"
      << "  \"checksum\": \"0x" << std::hex << c.checksum << std::dec
@@ -303,47 +328,56 @@ campaign_result run_campaign(const campaign_options& opt) {
       std::uint64_t reference_checksum = 0;
       bool have_reference = false;
       for (std::size_t shards : opt.shard_counts) {
-        cell_result cell = run_cell(spec, seed, shards);
-        // The determinism gate is a checker like any other, so a
-        // mismatching cell's own verdict JSON reports the failure instead
-        // of only the summary.
-        check_result sum{"campaign.checksum_match", true, ""};
-        if (!have_reference) {
-          reference_checksum = cell.checksum;
-          have_reference = true;
-          sum.detail = "reference cell";
-        } else if (cell.checksum != reference_checksum) {
-          sum.passed = false;
-          std::ostringstream os;
-          os << "checksum 0x" << std::hex << cell.checksum << " at "
-             << std::dec << shards << " shards != reference 0x" << std::hex
-             << reference_checksum;
-          sum.detail = os.str();
+        // The single-engine backend has no worker dimension: shards 1
+        // contributes exactly one workers=0 cell per seed — even when the
+        // caller's worker_counts omits 0, so the cross-backend half of the
+        // determinism gate can never be silently skipped.
+        const std::vector<std::size_t> workers_list =
+            shards <= 1 ? std::vector<std::size_t>{0} : opt.worker_counts;
+        for (std::size_t workers : workers_list) {
+          cell_result cell = run_cell(spec, seed, shards, workers);
+          // The determinism gate is a checker like any other, so a
+          // mismatching cell's own verdict JSON reports the failure instead
+          // of only the summary.
+          check_result sum{"campaign.checksum_match", true, ""};
+          if (!have_reference) {
+            reference_checksum = cell.checksum;
+            have_reference = true;
+            sum.detail = "reference cell";
+          } else if (cell.checksum != reference_checksum) {
+            sum.passed = false;
+            std::ostringstream os;
+            os << "checksum 0x" << std::hex << cell.checksum << " at "
+               << std::dec << shards << " shards / " << workers
+               << " workers != reference 0x" << std::hex
+               << reference_checksum;
+            sum.detail = os.str();
+          }
+          cell.checks.push_back(std::move(sum));
+          cell.passed = cell.passed && cell.checks.back().passed;
+          for (const check_result& c : cell.checks)
+            if (!c.passed)
+              result.failures.push_back(
+                  spec.name + "/seed" + std::to_string(seed) + "/shards" +
+                  std::to_string(shards) + "/workers" +
+                  std::to_string(workers) + ": " + c.name + " — " + c.detail);
+          if (opt.verbose)
+            std::printf(
+                "%-22s seed=%llu shards=%zu workers=%zu  %s  "
+                "checksum=0x%016llx  events=%llu\n",
+                spec.name.c_str(), static_cast<unsigned long long>(seed),
+                shards, workers, cell.passed ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(cell.checksum),
+                static_cast<unsigned long long>(cell.events));
+          if (!opt.out_dir.empty()) {
+            std::ostringstream name;
+            name << spec.name << "_seed" << seed << "_shards" << shards
+                 << "_workers" << workers << ".json";
+            std::ofstream f(std::filesystem::path(opt.out_dir) / name.str());
+            f << render_verdict_json(cell);
+          }
+          result.cells.push_back(std::move(cell));
         }
-        cell.checks.push_back(std::move(sum));
-        cell.passed = cell.passed && cell.checks.back().passed;
-        for (const check_result& c : cell.checks)
-          if (!c.passed)
-            result.failures.push_back(spec.name + "/seed" +
-                                      std::to_string(seed) + "/shards" +
-                                      std::to_string(shards) + ": " + c.name +
-                                      " — " + c.detail);
-        if (opt.verbose)
-          std::printf("%-18s seed=%llu shards=%zu  %s  checksum=0x%016llx  "
-                      "events=%llu\n",
-                      spec.name.c_str(),
-                      static_cast<unsigned long long>(seed), shards,
-                      cell.passed ? "PASS" : "FAIL",
-                      static_cast<unsigned long long>(cell.checksum),
-                      static_cast<unsigned long long>(cell.events));
-        if (!opt.out_dir.empty()) {
-          std::ostringstream name;
-          name << spec.name << "_seed" << seed << "_shards" << shards
-               << ".json";
-          std::ofstream f(std::filesystem::path(opt.out_dir) / name.str());
-          f << render_verdict_json(cell);
-        }
-        result.cells.push_back(std::move(cell));
       }
     }
   }

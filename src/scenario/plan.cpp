@@ -1,6 +1,8 @@
 #include "scenario/plan.hpp"
 
 #include <algorithm>
+#include <set>
+#include <utility>
 
 #include "core/system.hpp"
 
@@ -17,6 +19,9 @@ const char* to_string(action_kind k) {
     case action_kind::perf_fault: return "perf-fault";
     case action_kind::clock_drift: return "clock-drift";
     case action_kind::clock_step: return "clock-step";
+    case action_kind::link_down: return "link-down";
+    case action_kind::link_up: return "link-up";
+    case action_kind::clock_fault: return "clock-fault";
   }
   return "?";
 }
@@ -110,6 +115,38 @@ plan& plan::clock_step(time_point at, node_id n, duration step) {
   return *this;
 }
 
+plan& plan::link_down(time_point at, node_id src, node_id dst) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::link_down;
+  a.a = src;
+  a.b = dst;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+plan& plan::link_up(time_point at, node_id src, node_id dst) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::link_up;
+  a.a = src;
+  a.b = dst;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
+plan& plan::clock_byzantine(time_point at, node_id n, double rate,
+                            duration offset) {
+  action a;
+  a.at = at;
+  a.kind = action_kind::clock_fault;
+  a.a = n;
+  a.rate = rate;
+  a.extra = offset;
+  actions.push_back(std::move(a));
+  return *this;
+}
+
 // ------------------------------------------------------ ground truth -----
 
 namespace {
@@ -197,19 +234,64 @@ std::vector<window> plan::separated_windows(node_id a, node_id b,
   return out;
 }
 
+std::vector<window> plan::link_down_windows(node_id src, node_id dst,
+                                            time_point horizon) const {
+  std::vector<window> out;
+  bool down = false;
+  time_point since;
+  for (const action& a : sorted_by_date(actions)) {
+    if (a.a != src || a.b != dst) continue;
+    if (a.kind == action_kind::link_down && !down) {
+      down = true;
+      since = a.at;
+    } else if (a.kind == action_kind::link_up && down) {
+      down = false;
+      out.push_back({since, a.at});
+    }
+  }
+  if (down) out.push_back({since, horizon});
+  return out;
+}
+
 std::vector<window> plan::unreachable_windows(node_id o, node_id s,
                                               time_point horizon) const {
   std::vector<window> ws = down_windows(s, horizon);
   const std::vector<window> sep = separated_windows(o, s, horizon);
   ws.insert(ws.end(), sep.begin(), sep.end());
+  // s's heartbeats reach o over the directed link s -> o; its down windows
+  // silence s for o even though the reverse direction still works.
+  const std::vector<window> link = link_down_windows(s, o, horizon);
+  ws.insert(ws.end(), link.begin(), link.end());
   return merge(std::move(ws));
+}
+
+bool plan::clock_faulty(node_id n) const {
+  for (const action& a : actions)
+    if (a.kind == action_kind::clock_fault && a.a == n) return true;
+  return false;
 }
 
 std::vector<window> plan::disturbed_windows(time_point horizon) const {
   std::vector<window> out;
   bool rate_on = false, perf_on = false, part_on = false;
   time_point rate_since, perf_since, part_since;
+  // Directed link-downs disturb like partitions do: traffic whose diffusion
+  // would cross a dead direction cannot be graded for validity/agreement.
+  std::set<std::pair<node_id, node_id>> links_down;
+  time_point links_since;
   for (const action& a : sorted_by_date(actions)) {
+    switch (a.kind) {
+      case action_kind::link_down:
+        if (links_down.empty()) links_since = a.at;
+        links_down.insert({a.a, a.b});
+        break;
+      case action_kind::link_up:
+        if (links_down.erase({a.a, a.b}) > 0 && links_down.empty())
+          out.push_back({links_since, a.at});
+        break;
+      default:
+        break;
+    }
     switch (a.kind) {
       case action_kind::omission_rate:
         if (a.rate > 0.0 && !rate_on) {
@@ -248,6 +330,7 @@ std::vector<window> plan::disturbed_windows(time_point horizon) const {
   if (rate_on) out.push_back({rate_since, horizon});
   if (perf_on) out.push_back({perf_since, horizon});
   if (part_on) out.push_back({part_since, horizon});
+  if (!links_down.empty()) out.push_back({links_since, horizon});
   return merge(std::move(out));
 }
 
@@ -259,14 +342,65 @@ bool plan::quiet(time_point t, duration pad, time_point horizon) const {
 
 // ---------------------------------------------------------- injector -----
 
+namespace {
+
+/// Globally-read wire toggles handled entirely by pre-registration: they
+/// mutate a time-indexed network timeline and schedule nothing at run time.
+bool globally_preregistered(action_kind k) {
+  switch (k) {
+    case action_kind::partition:
+    case action_kind::heal_partition:
+    case action_kind::omission_rate:
+    case action_kind::perf_fault:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 void apply(core::system& sys, const plan& p) {
+  // Globally-read wire state (node silence, partitions, omission and
+  // performance rates) is *pre-registered* into the network's time-indexed
+  // timelines right now, dated at each action's own date. Reads are
+  // date-keyed, so this is semantically identical to flipping the toggle at
+  // the action date — but no worker thread can ever catch a timeline entry
+  // mid-insertion: by the time the run starts, the whole plan's wire truth
+  // is immutable. (The scheduled crash/recover actions below re-register
+  // the same same-date entries; the timeline is idempotent about that.)
+  for (const action& a : p.actions) {
+    switch (a.kind) {
+      case action_kind::crash_node:
+        sys.network().set_node_down_at(a.at, a.a, true);
+        break;
+      case action_kind::recover_node:
+        sys.network().set_node_down_at(a.at, a.a, false);
+        break;
+      case action_kind::partition:
+        sys.network().partition_at(a.at, a.groups);
+        break;
+      case action_kind::heal_partition:
+        sys.network().heal_partition_at(a.at);
+        break;
+      case action_kind::omission_rate:
+        sys.network().set_omission_rate_at(a.at, a.rate);
+        break;
+      case action_kind::perf_fault:
+        sys.network().set_performance_fault_at(a.at, a.rate, a.extra);
+        break;
+      default:
+        break;
+    }
+  }
+
   for (const action& a : p.actions) {
     // Node- and link-scoped actions are anchored on the node whose state
     // (or whose send stream, for bursts) they touch, so the sharded backend
     // executes them on the owning shard in date order with that node's
-    // other events. Globally-read actions (partition, rates) mutate
-    // time-indexed network state, so their anchor is irrelevant — node 0 by
-    // convention.
+    // other events. Purely-global actions were fully handled by the
+    // pre-registration above and schedule nothing.
+    if (globally_preregistered(a.kind)) continue;
     const node_id anchor = a.a != invalid_node ? a.a : 0;
     sys.engine().at_node(anchor, a.at, [&sys, a] {
       switch (a.kind) {
@@ -276,20 +410,8 @@ void apply(core::system& sys, const plan& p) {
         case action_kind::recover_node:
           sys.recover_node(a.a);
           break;
-        case action_kind::partition:
-          sys.network().partition(a.groups);
-          break;
-        case action_kind::heal_partition:
-          sys.network().heal_partition();
-          break;
         case action_kind::omission_burst:
           sys.network().drop_next(a.a, a.b, a.count, a.channel);
-          break;
-        case action_kind::omission_rate:
-          sys.network().set_omission_rate(a.rate);
-          break;
-        case action_kind::perf_fault:
-          sys.network().set_performance_fault(a.rate, a.extra);
           break;
         case action_kind::clock_drift:
           sys.clock(a.a).set_drift_rate(a.rate);
@@ -297,6 +419,22 @@ void apply(core::system& sys, const plan& p) {
         case action_kind::clock_step:
           sys.clock(a.a).adjust(a.extra);
           break;
+        case action_kind::link_down:
+          sys.network().set_link_down(a.a, a.b, true);
+          break;
+        case action_kind::link_up:
+          sys.network().set_link_down(a.a, a.b, false);
+          break;
+        case action_kind::clock_fault:
+          sys.clock(a.a).set_fault([rate = a.rate,
+                                    offset = a.extra](time_point t) {
+            return duration::nanoseconds(static_cast<std::int64_t>(
+                       static_cast<double>(t.nanoseconds()) * rate)) +
+                   offset;
+          });
+          break;
+        default:
+          break;  // globally_preregistered kinds never get here
       }
     });
   }

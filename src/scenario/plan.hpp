@@ -37,6 +37,9 @@ enum class action_kind {
   perf_fault,      // performance failures: probability `rate`, delay `extra`
   clock_drift,     // node `a`'s crystal drifts at `rate` (rho) from here
   clock_step,      // node `a`'s logical clock jumps by `extra`
+  link_down,       // one direction a -> b goes silent (asymmetric partition)
+  link_up,         // restore direction a -> b
+  clock_fault,     // node `a`'s clock turns Byzantine: H(t) = t*rate + extra
 };
 
 [[nodiscard]] const char* to_string(action_kind k);
@@ -78,6 +81,16 @@ struct plan {
   plan& perf_fault(time_point at, double rate, duration extra);
   plan& clock_drift(time_point at, node_id n, double rho);
   plan& clock_step(time_point at, node_id n, duration step);
+  /// One direction of a link goes silent / comes back: frames src -> dst are
+  /// dropped at submit time, the reverse direction is untouched. Asymmetric
+  /// partitions are sets of these.
+  plan& link_down(time_point at, node_id src, node_id dst);
+  plan& link_up(time_point at, node_id src, node_id dst);
+  /// Node n's hardware clock turns Byzantine from `at` on: it reads
+  /// H(t) = t * rate + offset instead of honest time (clock_sync's trimmed
+  /// average must mask up to f of these).
+  plan& clock_byzantine(time_point at, node_id n, double rate,
+                        duration offset);
 
   // --- ground-truth queries for checkers --------------------------------
   /// Intervals during which node n was crashed (clipped to [0, horizon)).
@@ -93,15 +106,25 @@ struct plan {
   [[nodiscard]] std::vector<window> separated_windows(
       node_id a, node_id b, time_point horizon) const;
 
-  /// Intervals during which node s was unreachable from observer o: s down
-  /// or an (o, s) partition in force. Overlapping intervals are merged.
+  /// Intervals during which the directed link src -> dst was down.
+  [[nodiscard]] std::vector<window> link_down_windows(
+      node_id src, node_id dst, time_point horizon) const;
+
+  /// Intervals during which node s was unreachable from observer o: s down,
+  /// an (o, s) partition in force, or the directed link s -> o down (what
+  /// silences s's heartbeats towards o under an asymmetric partition).
+  /// Overlapping intervals are merged.
   [[nodiscard]] std::vector<window> unreachable_windows(
       node_id o, node_id s, time_point horizon) const;
 
+  /// True when a clock_fault action ever targets node n (Byzantine clock:
+  /// exclude from skew grading).
+  [[nodiscard]] bool clock_faulty(node_id n) const;
+
   /// Intervals during which probabilistic network faults (global omission
-  /// rate, performance faults) or a partition were in force. Scripted
-  /// bursts are NOT disturbances: the reliable primitives mask them
-  /// deterministically.
+  /// rate, performance faults), a partition, or any directional link-down
+  /// were in force. Scripted bursts are NOT disturbances: the reliable
+  /// primitives mask them deterministically.
   [[nodiscard]] std::vector<window> disturbed_windows(
       time_point horizon) const;
   /// True when no disturbance overlaps [t, t + pad).

@@ -82,9 +82,37 @@ std::vector<scenario_spec> all_scenarios() {
                            "the heal; agreement holds for quiet-time traffic");
     s.p.split(time_point::at(400_ms + 137_us), {{0, 1, 2, 3}, {4, 5, 6, 7}})
         .heal(time_point::at(900_ms + 157_us));
-    // A partition is not a crash: the mode manager sees no monitor events,
-    // so the system stays NORMAL (suspicion-driven mode policies are a
-    // scenario-family follow-up, see ROADMAP).
+    // A partition is not a crash: with the suspicion-driven policy disabled
+    // (suspicions_for_degraded = 0) the mode manager counts nothing and the
+    // system stays NORMAL — partition_degrades_mode enables the policy.
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("partition_degrades_mode",
+                           "the same 4|4 split, but the suspicion-driven "
+                           "mode policy is armed: once two distinct peers "
+                           "are suspected the system must degrade, even "
+                           "though nothing crashed");
+    s.p.split(time_point::at(450_ms + 139_us), {{0, 1, 2, 3}, {4, 5, 6, 7}})
+        .heal(time_point::at(950_ms + 163_us));
+    s.thresholds.suspicions_for_degraded = 2;
+    s.modes.final_mode = svc::op_mode::degraded;  // degraded is sticky
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("asymmetric_partition",
+                           "every link from the high group {4..7} towards "
+                           "the low group {0..3} dies one-directionally: the "
+                           "low group must suspect the high group within the "
+                           "bound while the high group, which still hears "
+                           "everyone, stays silent");
+    const time_point down_at = time_point::at(400_ms + 141_us);
+    const time_point up_at = time_point::at(900_ms + 167_us);
+    for (node_id src = 4; src < 8; ++src)
+      for (node_id dst = 0; dst < 4; ++dst)
+        s.p.link_down(down_at, src, dst).link_up(up_at, src, dst);
     out.push_back(std::move(s));
   }
 
@@ -139,6 +167,28 @@ std::vector<scenario_spec> all_scenarios() {
     s.p.clock_drift(time_point::at(200_ms + 101_us), 1, 350e-6)
         .clock_drift(time_point::at(200_ms + 103_us), 6, -250e-6)
         .clock_step(time_point::at(700_ms + 131_us), 3, 1500_us);
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("byzantine_clocks",
+                           "two crystals turn Byzantine (one racing fast, "
+                           "one frozen slow) while two honest crystals "
+                           "drift; clock_sync's f=2 trimmed average must "
+                           "mask the liars and hold the six correct clocks "
+                           "under the skew bound (n=8 >= 3f+1 readings "
+                           "trimmed per round)");
+    s.with_clock_sync = true;
+    s.clock_sync_max_faulty = 2;
+    // Byzantine crystals: node 2 races at 2.2x real time, node 5 crawls at
+    // 0.4x with a stale offset — both far outside any honest reading.
+    s.p.clock_byzantine(time_point::at(250_ms + 107_us), 2, 2.2,
+                        duration::microseconds(900))
+        .clock_byzantine(time_point::at(250_ms + 109_us), 5, 0.4,
+                         duration::microseconds(-700))
+        // Honest drift to give the trimmed average real work.
+        .clock_drift(time_point::at(200_ms + 113_us), 1, 120e-6)
+        .clock_drift(time_point::at(200_ms + 127_us), 6, -90e-6);
     out.push_back(std::move(s));
   }
 

@@ -3,10 +3,13 @@
 // A `scenario_spec` bundles a fault plan with the workload and service
 // parameters it runs against and the expectations the checkers grade. The
 // registry ships the campaign's standing family: clean, single-crash,
-// crash-recover, rolling crashes, partition-heal, an omission storm at the
-// detector's omission-degree boundary, a performance-fault burst, drifting
-// clocks, and a degraded-mode overload. `hades_campaign` sweeps every
-// registered scenario across seeds and shard counts {1, 2, 4}.
+// crash-recover, rolling crashes, partition-heal, a suspicion-degraded
+// partition, an asymmetric (one-directional) partition, an omission storm
+// at the detector's omission-degree boundary, a performance-fault burst,
+// drifting clocks, Byzantine clocks against clock_sync's trimming, and a
+// degraded-mode overload. `hades_campaign` sweeps every registered
+// scenario across seeds, shard counts {1, 2, 4} and worker counts
+// {0, 2, 4}.
 #pragma once
 
 #include <string>
@@ -38,6 +41,10 @@ struct scenario_spec {
   mode_expectation modes;
 
   bool with_clock_sync = false;
+  /// f for clock_sync's trimmed average (n >= 3f+1): the byzantine_clocks
+  /// scenario injects up to f Byzantine crystals and the skew checker
+  /// grades only the correct-clock nodes.
+  int clock_sync_max_faulty = 0;
   bool with_task_load = false;     // overloaded EDF task on node 0
   bool expect_order_faults = false;  // performance faults may breach Delta
   duration skew_bound = duration::microseconds(300);

@@ -17,6 +17,8 @@ clock_sync_service::clock_sync_service(core::system& sys, params p)
   nominal_delay_ = (net.delta_min + net.delta_max) / 2;
   inbox_.resize(sys_->node_count());
   round_of_.assign(sys_->node_count(), 0);
+  rounds_.assign(sys_->node_count(), 0);
+  corrections_.resize(sys_->node_count());
   for (node_id n = 0; n < sys_->node_count(); ++n) {
     sys_->net(n).on_channel(ch_clock_sync, [this, n](const sim::message& m) {
       on_message(n, m);
@@ -88,11 +90,17 @@ void clock_sync_service::conclude_round(node_id n, std::uint64_t round) {
       duration::nanoseconds(sum / static_cast<std::int64_t>(hi - lo));
 
   sys_->clock(n).adjust(correction);
-  corrections_.add(static_cast<double>(std::abs(correction.count())));
-  ++rounds_;
+  corrections_[n].add(static_cast<double>(std::abs(correction.count())));
+  ++rounds_[n];
   sys_->trace().record(sys_->now(), n, sim::trace_kind::service_event,
                        "clock_sync",
                        "correction " + correction.to_string());
+}
+
+running_stats clock_sync_service::correction_magnitude() const {
+  running_stats merged;
+  for (const running_stats& s : corrections_) merged.merge(s);
+  return merged;
 }
 
 duration clock_sync_service::max_skew(const std::vector<node_id>& nodes) const {

@@ -38,10 +38,12 @@ class clock_sync_service {
   /// exclude.
   [[nodiscard]] duration max_skew(const std::vector<node_id>& nodes = {}) const;
 
-  [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
-  [[nodiscard]] const running_stats& correction_magnitude() const {
-    return corrections_;
+  [[nodiscard]] std::uint64_t rounds_completed() const {
+    return sum_counters(rounds_);
   }
+  /// Merged per-node correction statistics (all state is node-confined;
+  /// merging in node order keeps the summary worker-count independent).
+  [[nodiscard]] running_stats correction_magnitude() const;
 
  private:
   struct reading {
@@ -59,8 +61,8 @@ class clock_sync_service {
   duration nominal_delay_;
   std::vector<std::vector<reading>> inbox_;  // per node
   std::vector<std::uint64_t> round_of_;      // per node
-  std::uint64_t rounds_ = 0;
-  running_stats corrections_;
+  std::vector<std::uint64_t> rounds_;        // per node
+  std::vector<running_stats> corrections_;   // per node
 };
 
 }  // namespace hades::svc

@@ -2,23 +2,44 @@
 
 namespace hades::svc {
 
+namespace {
+
+hades::core::monitor_event suspicion_event(core::monitor_event_kind kind,
+                                           time_point at, node_id observer,
+                                           node_id subject) {
+  core::monitor_event ev;
+  ev.kind = kind;
+  ev.at = at;
+  ev.node = observer;
+  ev.subject = "node" + std::to_string(subject);
+  ev.detail = "observer node" + std::to_string(observer);
+  return ev;
+}
+
+}  // namespace
+
 fault_detector::fault_detector(core::system& sys, params p)
     : sys_(&sys), params_(p) {
   const std::size_t n = sys_->node_count();
   last_heard_.assign(n, std::vector<time_point>(n, sys_->now()));
-  suspected_.assign(n, std::vector<bool>(n, false));
+  suspected_.assign(n, std::vector<std::uint8_t>(n, 0));
   when_.assign(n, std::vector<time_point>(n));
+  sent_.assign(n, 0);
+  recoveries_.assign(n, 0);
   for (node_id me = 0; me < n; ++me) {
     sys_->net(me).on_channel(ch_heartbeat, [this, me](const sim::message& m) {
       last_heard_[me][m.src] = sys_->now();
-      if (suspected_[me][m.src]) {
+      if (suspected_[me][m.src] != 0) {
         // The suspect speaks again: recovery (or a false suspicion under a
         // sub-bound timeout).
-        suspected_[me][m.src] = false;
-        ++recoveries_;
+        suspected_[me][m.src] = 0;
+        ++recoveries_[me];
         sys_->trace().record(sys_->now(), me, sim::trace_kind::service_event,
                              "fault_detector",
                              "unsuspect node" + std::to_string(m.src));
+        sys_->mon().record(suspicion_event(
+            core::monitor_event_kind::node_unsuspected, sys_->now(), me,
+            m.src));
         for (const auto& cb : recover_callbacks_) cb(me, m.src, sys_->now());
       }
     });
@@ -43,19 +64,21 @@ void fault_detector::tick(node_id n) {
     return;
   }
   sys_->net(n).send_all(ch_heartbeat, std::uint64_t{0}, 32);
-  ++sent_;
+  ++sent_[n];
   check(n);
 }
 
 void fault_detector::check(node_id n) {
   for (node_id peer = 0; peer < sys_->node_count(); ++peer) {
-    if (peer == n || suspected_[n][peer]) continue;
+    if (peer == n || suspected_[n][peer] != 0) continue;
     if (sys_->now() - last_heard_[n][peer] > params_.timeout) {
-      suspected_[n][peer] = true;
+      suspected_[n][peer] = 1;
       when_[n][peer] = sys_->now();
       sys_->trace().record(sys_->now(), n, sim::trace_kind::service_event,
                            "fault_detector",
                            "suspect node" + std::to_string(peer));
+      sys_->mon().record(suspicion_event(
+          core::monitor_event_kind::node_suspected, sys_->now(), n, peer));
       for (const auto& cb : callbacks_) cb(n, peer, sys_->now());
     }
   }

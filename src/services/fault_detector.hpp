@@ -21,6 +21,17 @@
 // per-source network rng streams in send-date order regardless of shard
 // count — the property the scenario campaign's cross-backend checksum gate
 // relies on (DESIGN.md, "Scenario layer").
+//
+// Shard confinement: all detector state is [observer]-indexed and touched
+// only from the observer's tick/receive events, i.e. on the observer's
+// shard (byte matrices, not std::vector<bool> — observers on one cache
+// line must not share bit-packed words). Counters are per-observer and
+// summed at read time. Suspicion transitions are additionally recorded
+// into the system monitor (node_suspected / node_unsuspected), which is
+// how suspicion-driven mode policies receive them deterministically on
+// their own shard (mode_manager::thresholds::suspicions_for_degraded).
+// `on_suspect` / `on_recover` callbacks run on the observer's shard and
+// must be shard-confined for worker-threaded runs.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +41,7 @@
 
 #include "core/system.hpp"
 #include "services/channels.hpp"
+#include "util/stats.hpp"
 
 namespace hades::svc {
 
@@ -51,16 +63,20 @@ class fault_detector {
   void on_recover(suspect_fn fn) { recover_callbacks_.push_back(std::move(fn)); }
 
   [[nodiscard]] bool suspects(node_id observer, node_id subject) const {
-    return suspected_[observer][subject];
+    return suspected_[observer][subject] != 0;
   }
   [[nodiscard]] std::optional<time_point> suspected_at(node_id observer,
                                                        node_id subject) const {
-    return suspected_[observer][subject]
+    return suspected_[observer][subject] != 0
                ? std::optional<time_point>(when_[observer][subject])
                : std::nullopt;
   }
-  [[nodiscard]] std::uint64_t heartbeats_sent() const { return sent_; }
-  [[nodiscard]] std::uint64_t recoveries_observed() const { return recoveries_; }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const {
+    return sum_counters(sent_);
+  }
+  [[nodiscard]] std::uint64_t recoveries_observed() const {
+    return sum_counters(recoveries_);
+  }
   [[nodiscard]] const params& config() const { return params_; }
 
  private:
@@ -70,12 +86,12 @@ class fault_detector {
   core::system* sys_;
   params params_;
   std::vector<std::vector<time_point>> last_heard_;  // [observer][subject]
-  std::vector<std::vector<bool>> suspected_;
+  std::vector<std::vector<std::uint8_t>> suspected_;
   std::vector<std::vector<time_point>> when_;
   std::vector<suspect_fn> callbacks_;
   std::vector<suspect_fn> recover_callbacks_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t recoveries_ = 0;
+  std::vector<std::uint64_t> sent_;        // per observer
+  std::vector<std::uint64_t> recoveries_;  // per observer
 };
 
 }  // namespace hades::svc

@@ -2,9 +2,14 @@
 
 namespace hades::svc {
 
-mode_manager::mode_manager(core::system& sys, thresholds t)
-    : sys_(&sys), thresholds_(t) {
-  sys_->mon().subscribe([this](const core::monitor_event& e) { consider(e); });
+mode_manager::mode_manager(core::system& sys, thresholds t, node_id home)
+    : sys_(&sys), thresholds_(t), home_(home) {
+  // Redelivered on the home shard one minimum network hop after the
+  // recording — a backend-independent date that equals the sharded
+  // backend's cross-shard lookahead (see header).
+  sys_->mon().subscribe_at_node(
+      home_, sys_->network().config().delta_min,
+      [this](const core::monitor_event& e) { consider(e); });
 }
 
 void mode_manager::consider(const core::monitor_event& e) {
@@ -15,6 +20,17 @@ void mode_manager::consider(const core::monitor_event& e) {
     case core::monitor_event_kind::node_crash:
       ++crashes_;
       break;
+    case core::monitor_event_kind::node_suspected:
+      if (thresholds_.suspicions_for_degraded == 0) return;
+      ++suspected_subjects_[e.subject];
+      break;
+    case core::monitor_event_kind::node_unsuspected: {
+      if (thresholds_.suspicions_for_degraded == 0) return;
+      auto it = suspected_subjects_.find(e.subject);
+      if (it != suspected_subjects_.end() && --it->second == 0)
+        suspected_subjects_.erase(it);
+      return;  // retractions never trigger a switch
+    }
     default:
       return;
   }
@@ -27,7 +43,9 @@ void mode_manager::consider(const core::monitor_event& e) {
   if (mode_ == op_mode::normal &&
       (misses_ >= thresholds_.misses_for_degraded ||
        (thresholds_.crashes_for_degraded > 0 &&
-        crashes_ >= thresholds_.crashes_for_degraded)))
+        crashes_ >= thresholds_.crashes_for_degraded) ||
+       (thresholds_.suspicions_for_degraded > 0 &&
+        suspected_subjects_.size() >= thresholds_.suspicions_for_degraded)))
     switch_to(op_mode::degraded);
 }
 
@@ -40,8 +58,8 @@ void mode_manager::switch_to(op_mode m) {
   // State capture at the switch point.
   captured_.clear();
   for (task_id t : sys_->tasks()) captured_[t] = sys_->task_state(t);
-  sys_->trace().record(sys_->now(), invalid_node,
-                       sim::trace_kind::service_event, "mode_manager",
+  sys_->trace().record(sys_->now(), home_, sim::trace_kind::service_event,
+                       "mode_manager",
                        std::string(to_string(from)) + " -> " + to_string(m));
   for (const auto& h : hooks_) h(from, m, sys_->now());
 }
@@ -49,6 +67,7 @@ void mode_manager::switch_to(op_mode m) {
 void mode_manager::force_mode(op_mode m) {
   misses_ = 0;
   crashes_ = 0;
+  suspected_subjects_.clear();
   switch_to(m);
 }
 

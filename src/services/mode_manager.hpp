@@ -3,11 +3,23 @@
 // modes of operation in case of failure [Mos94])").
 //
 // The manager watches the monitor stream and switches between NORMAL,
-// DEGRADED and SAFE modes when configured thresholds are crossed (deadline
-// misses, node crashes). A mode switch captures the current task states
-// (state capture) and invokes the registered entry hook within a bounded
-// time — the switch latency is just the monitor-event propagation, which is
-// immediate in HADES because monitoring is part of the dispatcher.
+// DEGRADED and SAFE modes when configured thresholds are crossed: deadline
+// misses, node crashes, and — for faults a crash counter cannot see, like
+// partitions — the number of distinct peers the fault detector suspects
+// (`suspicions_for_degraded`). A mode switch captures the current task
+// states (state capture) and invokes the registered entry hook within a
+// bounded time.
+//
+// Shard confinement (DESIGN.md): mode state lives on the shard owning
+// `home` (node 0 by default). The manager subscribes to the monitor with
+// `subscribe_at_node`, so every monitor event — recorded on whatever shard
+// the fault touched — is redelivered on the home shard at
+// `event date + delta_min`. The delay is the same constant on every
+// backend, which keeps switch dates bit-identical across shard and worker
+// counts; it is also exactly the sharded backend's cross-shard lookahead,
+// making the redelivery legal from any shard. Switch latency is therefore
+// one minimum network hop — still far inside the scenario checkers'
+// millisecond bound.
 #pragma once
 
 #include <any>
@@ -42,20 +54,33 @@ class mode_manager {
     /// scenario campaign's single-crash plans use 1 here with a higher
     /// crashes_for_safe so one crash degrades and a second one safes).
     std::size_t crashes_for_degraded = 0;
+    /// 0 disables; otherwise operation degrades once this many *distinct*
+    /// nodes are concurrently suspected by the fault detector
+    /// (suspicion-driven mode policy: a partition crashes nothing, but both
+    /// sides suspect each other — see the partition_degrades_mode
+    /// scenario). A retracted suspicion (node_unsuspected: the subject was
+    /// heard again) stops counting, so transient false suspicions do not
+    /// accumulate toward degradation forever.
+    std::size_t suspicions_for_degraded = 0;
   };
 
   using hook_fn = std::function<void(op_mode from, op_mode to, time_point at)>;
 
-  mode_manager(core::system& sys, thresholds t);
+  /// `home` is the node whose shard owns the mode state; hooks and state
+  /// capture run there.
+  mode_manager(core::system& sys, thresholds t, node_id home = 0);
 
   void on_switch(hook_fn fn) { hooks_.push_back(std::move(fn)); }
 
   [[nodiscard]] op_mode mode() const { return mode_; }
   [[nodiscard]] std::uint64_t switches() const { return switches_; }
   [[nodiscard]] time_point last_switch() const { return last_switch_; }
+  [[nodiscard]] node_id home() const { return home_; }
 
   /// State capture: snapshot of every registered task's state blob at the
-  /// moment of the most recent switch.
+  /// moment of the most recent switch. (Captured on the home shard; tasks
+  /// whose bodies mutate state on other shards should be quiescent at
+  /// switch time in worker-threaded runs.)
   [[nodiscard]] const std::map<task_id, std::any>& captured_state() const {
     return captured_;
   }
@@ -69,9 +94,14 @@ class mode_manager {
 
   core::system* sys_;
   thresholds thresholds_;
+  node_id home_ = 0;
   op_mode mode_ = op_mode::normal;
   std::size_t misses_ = 0;
   std::size_t crashes_ = 0;
+  // subject -> number of observers currently suspecting it; an entry is
+  // erased when its last suspicion is retracted, so size() is the count of
+  // distinct concurrently-suspected nodes.
+  std::map<std::string, std::size_t> suspected_subjects_;
   std::uint64_t switches_ = 0;
   time_point last_switch_;
   std::map<task_id, std::any> captured_;

@@ -8,37 +8,46 @@ namespace hades::svc {
 
 reliable_p2p::reliable_p2p(core::system& sys, params p)
     : sys_(&sys), params_(p) {
-  for (node_id n = 0; n < sys_->node_count(); ++n)
-    sys_->net(n).on_channel(ch_reliable_p2p,
-                            [this, n](const sim::message& m) {
-                              on_message(n, m);
-                            });
+  const std::size_t n = sys_->node_count();
+  next_seq_.resize(n);
+  seen_.resize(n);
+  dups_.assign(n, 0);
+  delivered_.assign(n, 0);
+  for (node_id me = 0; me < n; ++me)
+    sys_->net(me).on_channel(ch_reliable_p2p,
+                             [this, me](const sim::message& m) {
+                               on_message(me, m);
+                             });
 }
 
 void reliable_p2p::send(node_id src, node_id dst, std::any payload,
                         std::size_t size_bytes) {
   // Per-link sequences keep each receiver's stream contiguous, which is
   // what lets the dedup state collapse to a watermark.
-  const std::uint64_t seq = ++next_seq_[{src, dst}];
+  const std::uint64_t seq = ++next_seq_[src][dst];
   const frame f{seq, std::move(payload)};
   for (int copy = 0; copy <= params_.omission_degree; ++copy) {
     const duration delay = params_.retry_spacing * copy;
-    sys_->engine().after(delay, [this, src, dst, f, size_bytes] {
-      if (sys_->crashed(src)) return;
-      sys_->net(src).send(dst, ch_reliable_p2p, f, size_bytes);
-    });
+    // Anchored at the source so every copy leaves from the source's shard
+    // in send-date order (the rng-stream rule of DESIGN.md).
+    sys_->engine().at_node(src, sys_->now() + delay,
+                           [this, src, dst, f, size_bytes] {
+                             if (sys_->crashed(src)) return;
+                             sys_->net(src).send(dst, ch_reliable_p2p, f,
+                                                 size_bytes);
+                           });
   }
 }
 
 void reliable_p2p::on_message(node_id n, const sim::message& m) {
   const auto* f = std::any_cast<frame>(&m.payload);
   if (f == nullptr) return;
-  auto [it, created] = seen_.try_emplace({n, m.src});
+  auto [it, created] = seen_[n].try_emplace(m.src);
   if (!it->second.insert(f->seq)) {
-    ++dups_;
+    ++dups_[n];
     return;
   }
-  ++delivered_;
+  ++delivered_[n];
   auto hit = handlers_.find(n);
   if (hit != handlers_.end() && hit->second) hit->second(m.src, f->payload);
 }
@@ -50,9 +59,10 @@ duration reliable_p2p::p2p_bound(std::size_t size_bytes) const {
 
 std::size_t reliable_p2p::state_bytes() const {
   std::size_t bytes = 0;
-  for (const auto& [key, w] : seen_) bytes += sizeof(key) + w.state_bytes();
-  bytes += next_seq_.size() * (sizeof(std::pair<node_id, node_id>) +
-                               sizeof(std::uint64_t));
+  for (const auto& per_recv : seen_)
+    for (const auto& [src, w] : per_recv) bytes += sizeof(src) + w.state_bytes();
+  for (const auto& per_src : next_seq_)
+    bytes += per_src.size() * (sizeof(node_id) + sizeof(std::uint64_t));
   return bytes;
 }
 
@@ -60,13 +70,19 @@ std::size_t reliable_p2p::state_bytes() const {
 
 reliable_broadcast::reliable_broadcast(core::system& sys, params p)
     : sys_(&sys), params_(p) {
-  for (node_id n = 0; n < sys_->node_count(); ++n) {
-    logs_[n];
-    sys_->net(n).on_channel(ch_reliable_bcast,
-                            [this, n](const sim::message& m) {
-                              on_message(n, m);
-                            });
-  }
+  const std::size_t n = sys_->node_count();
+  seen_.resize(n);
+  holdback_.resize(n);
+  logs_.resize(n);
+  next_seq_.assign(n, 0);
+  relays_.assign(n, 0);
+  delivered_.assign(n, 0);
+  order_faults_.assign(n, 0);
+  for (node_id me = 0; me < n; ++me)
+    sys_->net(me).on_channel(ch_reliable_bcast,
+                             [this, me](const sim::message& m) {
+                               on_message(me, m);
+                             });
 }
 
 void reliable_broadcast::broadcast(node_id src, std::any payload,
@@ -102,14 +118,14 @@ time_point reliable_broadcast::release_time(const bcast_msg& msg) const {
 }
 
 void reliable_broadcast::accept(node_id n, const bcast_msg& msg) {
-  auto [sit, created] = seen_.try_emplace({n, msg.origin});
+  auto [sit, created] = seen_[n].try_emplace(msg.origin);
   if (!sit->second.insert(msg.seq)) return;  // duplicate
   // Relay on first receipt, at the message's true size (a relayed 4KB frame
   // costs 4KB on the wire): this is what makes the primitive tolerate a
   // sender crash after a partial send (agreement) without undercutting the
   // per-byte latency model.
   if (n != msg.origin) {
-    ++relays_;
+    ++relays_[n];
     sys_->net(n).send_all(ch_reliable_bcast, msg, msg.size_bytes);
   }
   if (!params_.total_order) {
@@ -124,7 +140,7 @@ void reliable_broadcast::accept(node_id n, const bcast_msg& msg) {
     // Arrival at the release date is the legal worst case; strictly past it
     // only a performance-faulty network gets here. Release immediately
     // either way (agreement over order).
-    if (sys_->now() > due) ++order_faults_;
+    if (sys_->now() > due) ++order_faults_[n];
     flush(n);
   } else {
     sys_->engine().at(due, [this, n] {
@@ -146,7 +162,7 @@ void reliable_broadcast::flush(node_id n) {
 
 void reliable_broadcast::deliver(node_id n, const bcast_msg& msg) {
   if (params_.record_deliveries) logs_[n].emplace_back(msg.origin, msg.seq);
-  ++delivered_;
+  ++delivered_[n];
   auto it = handlers_.find(n);
   if (it != handlers_.end() && it->second) it->second(msg);
 }
@@ -164,13 +180,15 @@ duration reliable_broadcast::delivery_bound(std::size_t size_bytes) const {
 
 std::size_t reliable_broadcast::state_bytes() const {
   std::size_t bytes = 0;
-  for (const auto& [key, w] : seen_) bytes += sizeof(key) + w.state_bytes();
-  for (const auto& [n, held] : holdback_)
+  for (const auto& per_node : seen_)
+    for (const auto& [origin, w] : per_node)
+      bytes += sizeof(origin) + w.state_bytes();
+  for (const auto& held : holdback_)
     bytes += held.size() * (sizeof(order_key) + sizeof(bcast_msg) + 32);
-  bytes += next_seq_.size() * (sizeof(node_id) + sizeof(std::uint64_t));
+  bytes += next_seq_.size() * sizeof(std::uint64_t);
   // The opt-in delivery logs are unbounded by design (one entry per
   // delivery) — charge them while enabled so soak assertions see them.
-  for (const auto& [n, log] : logs_)
+  for (const auto& log : logs_)
     bytes += log.size() * sizeof(std::pair<node_id, std::uint64_t>);
   return bytes;
 }

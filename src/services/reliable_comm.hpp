@@ -29,6 +29,14 @@
 // release rule agree. Only a performance-faulty network (delivery beyond
 // delta_max) can breach the hold-back; such stragglers are delivered
 // immediately and counted in `order_faults()`.
+//
+// Shard confinement (DESIGN.md): every container is indexed by the node the
+// handler executes on — dedup windows, hold-back queues and delivery logs
+// by receiver, broadcast sequence numbers by origin — and pre-sized at
+// construction, so worker threads advancing different shards never share a
+// map node. Counters are per-node and summed at read time, making totals
+// worker-count independent. `on_deliver` handlers run on the delivering
+// node's shard and must be shard-confined for worker-threaded runs.
 #pragma once
 
 #include <any>
@@ -40,6 +48,7 @@
 
 #include "core/system.hpp"
 #include "services/channels.hpp"
+#include "util/stats.hpp"
 
 namespace hades::svc {
 
@@ -101,8 +110,12 @@ class reliable_p2p {
   /// Worst-case fault-free + <=k-omission delivery bound for `size` bytes.
   [[nodiscard]] duration p2p_bound(std::size_t size_bytes) const;
 
-  [[nodiscard]] std::uint64_t duplicates_suppressed() const { return dups_; }
-  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return sum_counters(dups_);
+  }
+  [[nodiscard]] std::uint64_t delivered() const {
+    return sum_counters(delivered_);
+  }
   /// Approximate bytes of dedup state held — bounded under sustained
   /// traffic (watermark + window per active (receiver, src) pair).
   [[nodiscard]] std::size_t state_bytes() const;
@@ -117,10 +130,10 @@ class reliable_p2p {
   core::system* sys_;
   params params_;
   std::map<node_id, deliver_fn> handlers_;
-  std::map<std::pair<node_id, node_id>, std::uint64_t> next_seq_;  // per link
-  std::map<std::pair<node_id, node_id>, dedup_window> seen_;  // (recv, src)
-  std::uint64_t dups_ = 0;
-  std::uint64_t delivered_ = 0;
+  std::vector<std::map<node_id, std::uint64_t>> next_seq_;  // [src][dst]
+  std::vector<std::map<node_id, dedup_window>> seen_;       // [recv][src]
+  std::vector<std::uint64_t> dups_;       // per receiver
+  std::vector<std::uint64_t> delivered_;  // per receiver
 };
 
 class reliable_broadcast {
@@ -162,11 +175,15 @@ class reliable_broadcast {
   /// path dominates the bound whenever it exceeds stability_delay.
   [[nodiscard]] duration delivery_bound(std::size_t size_bytes) const;
 
-  [[nodiscard]] std::uint64_t relays() const { return relays_; }
-  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t relays() const { return sum_counters(relays_); }
+  [[nodiscard]] std::uint64_t delivered() const {
+    return sum_counters(delivered_);
+  }
   /// Messages that arrived after their release date (performance-faulty
   /// network): delivered immediately, possibly breaching total order.
-  [[nodiscard]] std::uint64_t order_faults() const { return order_faults_; }
+  [[nodiscard]] std::uint64_t order_faults() const {
+    return sum_counters(order_faults_);
+  }
   /// Approximate bytes of dedup + hold-back state held — bounded under
   /// sustained traffic.
   [[nodiscard]] std::size_t state_bytes() const;
@@ -197,13 +214,13 @@ class reliable_broadcast {
   core::system* sys_;
   params params_;
   std::map<node_id, deliver_fn> handlers_;
-  std::map<std::pair<node_id, node_id>, dedup_window> seen_;  // (node, origin)
-  std::map<node_id, std::map<order_key, bcast_msg>> holdback_;
-  std::map<node_id, std::vector<std::pair<node_id, std::uint64_t>>> logs_;
-  std::map<node_id, std::uint64_t> next_seq_;  // per origin
-  std::uint64_t relays_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t order_faults_ = 0;
+  std::vector<std::map<node_id, dedup_window>> seen_;  // [node][origin]
+  std::vector<std::map<order_key, bcast_msg>> holdback_;  // per node
+  std::vector<std::vector<std::pair<node_id, std::uint64_t>>> logs_;
+  std::vector<std::uint64_t> next_seq_;      // per origin
+  std::vector<std::uint64_t> relays_;        // per relaying node
+  std::vector<std::uint64_t> delivered_;     // per delivering node
+  std::vector<std::uint64_t> order_faults_;  // per delivering node
 };
 
 }  // namespace hades::svc

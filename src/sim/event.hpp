@@ -14,6 +14,7 @@
 // counted, so tests can assert the steady state allocates nothing.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -73,9 +74,10 @@ class event_callback {
   }
 
   /// Process-wide count of closures that were too big for the inline buffer
-  /// and hit the heap. Zero in a warmed-up simulation.
+  /// and hit the heap. Zero in a warmed-up simulation. Atomic: worker
+  /// threads of the sharded backend schedule concurrently.
   [[nodiscard]] static std::uint64_t heap_allocations() noexcept {
-    return heap_allocs_;
+    return heap_allocs_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -122,7 +124,7 @@ class event_callback {
       vt_ = inline_vtable<D>();
     } else {
       heap_ = new D(std::forward<F>(f));
-      ++heap_allocs_;
+      heap_allocs_.fetch_add(1, std::memory_order_relaxed);
       vt_ = heap_vtable<D>();
     }
   }
@@ -142,7 +144,7 @@ class event_callback {
   alignas(std::max_align_t) unsigned char buf_[inline_capacity];
   void* heap_ = nullptr;
   const vtable* vt_ = nullptr;
-  static inline std::uint64_t heap_allocs_ = 0;
+  static inline std::atomic<std::uint64_t> heap_allocs_{0};
 };
 
 using event_fn = event_callback;

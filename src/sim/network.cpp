@@ -12,14 +12,10 @@ std::vector<node_id> network::attached_nodes() const {
   return out;
 }
 
-rng& network::stream(node_id src) {
-  auto it = streams_.find(src);
-  if (it == streams_.end())
-    it = streams_
-             .emplace(src, rng(seed_ ^ (0x9E3779B97F4A7C15ull *
-                                        (static_cast<std::uint64_t>(src) + 1))))
-             .first;
-  return it->second;
+void network::new_source() {
+  const auto n = static_cast<std::uint64_t>(sources_.size());
+  sources_.push_back(std::make_unique<source_state>(
+      rng(seed_ ^ (0x9E3779B97F4A7C15ull * (n + 1)))));
 }
 
 bool network::node_down_at(node_id n, time_point t) const {
@@ -37,95 +33,123 @@ bool network::partitioned_at(node_id a, node_id b, time_point t) const {
   return ga != no_group && gb != no_group && ga != gb;
 }
 
-void network::partition(const std::vector<std::vector<node_id>>& groups) {
+void network::partition_at(time_point t,
+                           const std::vector<std::vector<node_id>>& groups) {
   std::vector<std::uint32_t> assign;
   for (std::size_t g = 0; g < groups.size(); ++g)
     for (node_id n : groups[g]) {
       if (n >= assign.size()) assign.resize(n + 1, no_group);
       assign[n] = static_cast<std::uint32_t>(g);
     }
-  partition_.set(rt_->now(), std::move(assign));
+  std::unique_lock lk(global_mu_);
+  partition_.set(t, std::move(assign));
 }
 
-void network::heal_partition() { partition_.set(rt_->now(), {}); }
+void network::set_link_down(node_id src, node_id dst, bool down) {
+  ensure_source(src);
+  sources_[src]->link_down[dst].set(rt_->now(), down);
+}
 
-bool network::should_drop(node_id src, node_id dst, int channel) {
+bool network::should_drop(source_state& s, node_id src, node_id dst,
+                          int channel) {
   // Deterministic (draw-free) drop causes first, so a dropped frame never
   // perturbs the per-source rng stream.
   const time_point t = rt_->now();
-  if (node_down_at(src, t) || node_down_at(dst, t)) return true;
-  if (partitioned_at(src, dst, t)) return true;
-  if (auto it = link_down_.find({src, dst}); it != link_down_.end() && it->second)
-    return true;
+  {
+    std::shared_lock lk(global_mu_);
+    if (node_down_at(src, t) || node_down_at(dst, t)) return true;
+    if (partitioned_at(src, dst, t)) return true;
+  }
+  if (auto it = s.link_down.find(dst); it != s.link_down.end()) {
+    const bool* down = it->second.at(t);
+    if (down != nullptr && *down) return true;
+  }
   for (const int key : {channel, any_channel}) {
-    if (auto it = scripted_drops_.find({{src, dst}, key});
-        it != scripted_drops_.end() && it->second > 0) {
+    if (auto it = s.scripted_drops.find({dst, key});
+        it != s.scripted_drops.end() && it->second > 0) {
       --it->second;
       return true;
     }
   }
-  const double* global = omission_rate_.at(t);
-  double p = global != nullptr ? *global : 0.0;
-  if (auto it = link_omission_.find({src, dst}); it != link_omission_.end())
+  double p;
+  {
+    std::shared_lock lk(global_mu_);
+    const double* global = omission_rate_.at(t);
+    p = global != nullptr ? *global : 0.0;
+  }
+  if (auto it = s.link_omission.find(dst); it != s.link_omission.end())
     p = it->second;
-  return p > 0.0 && stream(src).chance(p);
+  return p > 0.0 && s.stream.chance(p);
 }
 
-duration network::sample_latency(node_id src, std::size_t size_bytes,
+duration network::sample_latency(source_state& s, std::size_t size_bytes,
                                  bool& late) {
   const std::int64_t jitter_span =
       (params_.delta_max - params_.delta_min).count();
   duration lat =
       params_.delta_min +
       duration::nanoseconds(
-          jitter_span > 0 ? stream(src).uniform_int(0, jitter_span) : 0) +
+          jitter_span > 0 ? s.stream.uniform_int(0, jitter_span) : 0) +
       params_.per_byte * static_cast<std::int64_t>(size_bytes);
-  const perf_fault* pf = perf_fault_.at(rt_->now());
-  late = pf != nullptr && pf->rate > 0.0 && stream(src).chance(pf->rate);
-  if (late) lat += pf->extra;
+  perf_fault pf;
+  {
+    std::shared_lock lk(global_mu_);
+    const perf_fault* p = perf_fault_.at(rt_->now());
+    if (p != nullptr) pf = *p;
+  }
+  late = pf.rate > 0.0 && s.stream.chance(pf.rate);
+  if (late) lat += pf.extra;
   return lat;
 }
 
 std::uint64_t network::unicast(node_id src, node_id dst, int channel,
                                std::any payload, std::size_t size_bytes) {
+  source_state& s = source(src);
   message m;
   m.src = src;
   m.dst = dst;
   m.channel = channel;
   m.payload = std::move(payload);
   m.size_bytes = size_bytes;
-  m.id = next_id_++;
+  // Per-source ids keep the counter shard-confined while staying unique
+  // system-wide (40 bits of per-source sequence).
+  m.id = ((static_cast<std::uint64_t>(src) + 1) << 40) | ++s.next_seq;
   m.sent_at = rt_->now();
-  ++stats_.sent;
+  sent_.fetch_add(1, std::memory_order_relaxed);
 
-  if (should_drop(src, dst, channel)) {
-    ++stats_.dropped;
+  if (should_drop(s, src, dst, channel)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return m.id;
   }
 
   bool late = false;
-  const duration lat = sample_latency(src, size_bytes, late);
-  if (late) ++stats_.late;
+  const duration lat = sample_latency(s, size_bytes, late);
+  if (late) late_.fetch_add(1, std::memory_order_relaxed);
 
   time_point deliver_at = rt_->now() + lat;
   // ATM virtual circuits are FIFO: never deliver before an earlier frame on
   // the same link.
-  auto& last = last_delivery_[{src, dst}];
+  auto& last = s.last_delivery[dst];
   if (deliver_at < last) deliver_at = last;
   last = deliver_at;
 
+  const std::uint64_t id = m.id;
   rt_->at_node(dst, deliver_at, [this, m = std::move(m)]() {
+    bool dst_down;
+    {
+      std::shared_lock lk(global_mu_);
+      dst_down = node_down_at(m.dst, rt_->now());
+    }
     auto it = handlers_.find(m.dst);
-    if (it == handlers_.end() || !it->second ||
-        node_down_at(m.dst, rt_->now())) {
-      ++stats_.dropped;  // destination crashed in flight
+    if (it == handlers_.end() || !it->second || dst_down) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);  // crashed in flight
       return;
     }
-    ++stats_.delivered;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     if (observer_) observer_(m);
     it->second(m);
   });
-  return next_id_ - 1;
+  return id;
 }
 
 std::vector<std::uint64_t> network::broadcast(node_id src, int channel,
@@ -137,10 +161,6 @@ std::vector<std::uint64_t> network::broadcast(node_id src, int channel,
     ids.push_back(unicast(src, n, channel, payload, size_bytes));
   }
   return ids;
-}
-
-void network::set_link_down(node_id src, node_id dst, bool down) {
-  link_down_[{src, dst}] = down;
 }
 
 }  // namespace hades::sim

@@ -16,21 +16,33 @@
 // are scheduled with `runtime::at_node(dst, ...)` so the sharded backend
 // can route each one to the shard owning the destination.
 //
-// Fault state consulted by every shard (node up/down, partitions, the
+// Shard confinement (DESIGN.md): all per-link send-side state — the rng
+// stream, message sequence numbers, FIFO floors, per-link omissions,
+// scripted drop bursts, and the *directional* link-down timelines — lives
+// in one `source_state` per node, touched only at send time, i.e. on the
+// shard owning the sender (every send a node performs executes on its own
+// shard — the anchoring rule of DESIGN.md). Wire counters are atomics.
+// The remaining globally-read fault state (node up/down, partitions, the
 // global omission/performance rates) is kept as *time-indexed* toggle
-// timelines rather than plain mutable fields: a send at date t reads the
-// state that was configured for date t, never the state as of whichever
-// wall-clock order the sharded rounds happened to execute the mutation in.
-// This is what lets the scenario layer (DESIGN.md, "Scenario layer") replay
-// a fault plan bit-identically across shard counts.
+// timelines behind a reader/writer lock: a send at date t reads the state
+// configured for date t, never the state as of whichever wall-clock order
+// the shards happened to execute the mutation in. This is what lets the
+// scenario layer replay a fault plan bit-identically across shard AND
+// worker counts. Call `reserve_nodes` before a worker-threaded run (the
+// owning `core::system` does): per-source slots then pre-exist and the
+// hot path performs no structural mutation of shared containers.
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iterator>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -50,7 +62,7 @@ struct message {
   int channel = 0;
   std::any payload;
   std::size_t size_bytes = 0;
-  std::uint64_t id = 0;
+  std::uint64_t id = 0;  // unique per source: (src + 1) << 40 | per-src seq
   time_point sent_at;
 };
 
@@ -70,15 +82,25 @@ class network {
     validate(!p.delta_max.is_infinite(), "network: delta_max must be finite");
   }
 
+  /// Pre-create per-source send state for nodes [0, n). Required before a
+  /// worker-threaded run (lazy growth is single-threaded-only);
+  /// `core::system` calls it with its node count.
+  void reserve_nodes(std::size_t n) {
+    while (sources_.size() < n) new_source();
+  }
+
   /// Attach a node's receive handler. A node without a handler silently
   /// drops inbound traffic (models a crashed or absent node).
-  void attach(node_id n, handler h) { handlers_[n] = std::move(h); }
+  void attach(node_id n, handler h) {
+    ensure_source(n);
+    handlers_[n] = std::move(h);
+  }
   void detach(node_id n) { handlers_.erase(n); }
   [[nodiscard]] bool attached(node_id n) const { return handlers_.contains(n); }
   [[nodiscard]] std::vector<node_id> attached_nodes() const;
 
-  /// Send one message. Returns the message id (0 if dropped at submit time
-  /// because the destination never attached).
+  /// Send one message. Returns the message id (even when the frame is
+  /// dropped at submit time).
   std::uint64_t unicast(node_id src, node_id dst, int channel, std::any payload,
                         std::size_t size_bytes = 64);
 
@@ -88,25 +110,50 @@ class network {
                                        std::size_t size_bytes = 64);
 
   // --- fault injection -------------------------------------------------
+  // The globally-read toggles (node-down, partition, omission rate,
+  // performance faults) each have a date-taking variant programming the
+  // state ahead of time. The scenario injector uses those to register a
+  // whole plan's wire state *before* the run: reads are date-keyed, so
+  // pre-registration changes nothing semantically, but it removes every
+  // insert-vs-read race a worker-threaded round could otherwise hit when a
+  // relay send lands within one lookahead of a toggle.
+
   /// Probability that any message is lost (global omission rate). Takes
   /// effect from the current date onward (time-indexed toggle).
-  void set_omission_rate(double p) { omission_rate_.set(rt_->now(), p); }
-  /// Per-link omission probability, overrides the global rate.
+  void set_omission_rate(double p) { set_omission_rate_at(rt_->now(), p); }
+  /// Program the omission rate to change at future date `t`.
+  void set_omission_rate_at(time_point t, double p) {
+    std::unique_lock lk(global_mu_);
+    omission_rate_.set(t, p);
+  }
+  /// Per-link omission probability, overrides the global rate. Send-side
+  /// state: call from the source's shard (the injector anchors on it).
   void set_link_omission(node_id src, node_id dst, double p) {
-    link_omission_[{src, dst}] = p;
+    ensure_source(src);
+    sources_[src]->link_omission[dst] = p;
   }
   /// Deterministically drop the next `count` messages src -> dst.
   /// `channel >= 0` restricts the burst to that channel (so a scripted
   /// heartbeat burst cannot eat unrelated traffic on the same link).
   void drop_next(node_id src, node_id dst, int count, int channel = any_channel) {
-    scripted_drops_[{{src, dst}, channel}] += count;
+    ensure_source(src);
+    sources_[src]->scripted_drops[{dst, channel}] += count;
   }
-  /// Take a whole link down / up.
+  /// Take one *direction* of a link down / up: frames src -> dst are dropped
+  /// at submit time from this date onward, the reverse direction is
+  /// untouched (asymmetric partitions are sets of these). Time-indexed: a
+  /// frame is judged against the state at its own send date. Send-side
+  /// state: call from the source's shard.
   void set_link_down(node_id src, node_id dst, bool down);
   /// Performance failures: with probability p, add `extra` delay. Takes
   /// effect from the current date onward (time-indexed toggle).
   void set_performance_fault(double p, duration extra) {
-    perf_fault_.set(rt_->now(), {p, extra});
+    set_performance_fault_at(rt_->now(), p, extra);
+  }
+  /// Program a performance-fault window edge at future date `t`.
+  void set_performance_fault_at(time_point t, double p, duration extra) {
+    std::unique_lock lk(global_mu_);
+    perf_fault_.set(t, {p, extra});
   }
 
   /// Take a whole node off the wire (both directions): outbound frames are
@@ -115,17 +162,33 @@ class network {
   /// drives this, making crashes symmetric at the wire. Time-indexed: a
   /// frame is judged against the node state at its own send/delivery date.
   void set_node_down(node_id n, bool down) {
-    node_down_[n].set(rt_->now(), down);
+    set_node_down_at(rt_->now(), n, down);
+  }
+  /// Program a node's wire silence to toggle at future date `t`. Same-date
+  /// re-registration (the scheduled crash action repeating the injector's
+  /// pre-registered entry) is idempotent.
+  void set_node_down_at(time_point t, node_id n, bool down) {
+    std::unique_lock lk(global_mu_);
+    node_down_[n].set(t, down);
   }
   [[nodiscard]] bool node_down(node_id n) const {
+    std::shared_lock lk(global_mu_);
     return node_down_at(n, rt_->now());
   }
 
   /// Partition the LAN into isolated groups: frames whose endpoints are in
   /// different groups are dropped at submit time. Nodes not listed in any
   /// group stay connected to everyone. `heal_partition` reconnects all.
-  void partition(const std::vector<std::vector<node_id>>& groups);
-  void heal_partition();
+  void partition(const std::vector<std::vector<node_id>>& groups) {
+    partition_at(rt_->now(), groups);
+  }
+  void heal_partition() { heal_partition_at(rt_->now()); }
+  /// Program a partition / heal at future date `t`.
+  void partition_at(time_point t, const std::vector<std::vector<node_id>>& groups);
+  void heal_partition_at(time_point t) {
+    std::unique_lock lk(global_mu_);
+    partition_.set(t, {});
+  }
 
   // --- observability ---------------------------------------------------
   struct counters {
@@ -134,7 +197,14 @@ class network {
     std::uint64_t dropped = 0;
     std::uint64_t late = 0;
   };
-  [[nodiscard]] const counters& stats() const { return stats_; }
+  /// Snapshot of the wire counters (atomics; totals are worker-count
+  /// independent).
+  [[nodiscard]] counters stats() const {
+    return {sent_.load(std::memory_order_relaxed),
+            delivered_.load(std::memory_order_relaxed),
+            dropped_.load(std::memory_order_relaxed),
+            late_.load(std::memory_order_relaxed)};
+  }
   [[nodiscard]] const params& config() const { return params_; }
 
   /// Worst-case fault-free delivery latency for a message of `size` bytes.
@@ -142,7 +212,8 @@ class network {
     return params_.delta_max + params_.per_byte * static_cast<std::int64_t>(size_bytes);
   }
 
-  /// Observer invoked on every delivery (tracing).
+  /// Observer invoked on every delivery (tracing). Runs on the destination
+  /// node's shard; must be shard-confined for worker-threaded runs.
   void set_delivery_observer(std::function<void(const message&)> obs) {
     observer_ = std::move(obs);
   }
@@ -155,7 +226,10 @@ class network {
   /// taking effect at date t, `at` reads the value in force at date t. All
   /// reads are order-independent — two shards may execute a mutation and a
   /// query in either wall order within a round and still agree, because the
-  /// query compares dates, not mutation order.
+  /// query compares dates, not mutation order. (Concurrency of the
+  /// container itself is the caller's business: the globally-read
+  /// timelines live behind `global_mu_`, the per-source ones are confined
+  /// to the source's shard.)
   template <typename T>
   class timeline {
    public:
@@ -182,21 +256,44 @@ class network {
     duration extra = duration::zero();
   };
 
-  duration sample_latency(node_id src, std::size_t size_bytes, bool& late);
-  bool should_drop(node_id src, node_id dst, int channel);
+  /// Send-side state of one node, owned by the shard owning the node: only
+  /// events executing there (the node's sends, injector actions anchored on
+  /// the node) may touch it.
+  struct source_state {
+    explicit source_state(rng r) : stream(std::move(r)) {}
+    rng stream;
+    std::uint64_t next_seq = 0;
+    std::map<node_id, time_point> last_delivery;          // FIFO per link
+    std::map<node_id, double> link_omission;
+    std::map<std::pair<node_id, int>, int> scripted_drops;  // {dst, channel}
+    std::map<node_id, timeline<bool>> link_down;          // src -> dst, dated
+  };
+
+  void new_source();
+  void ensure_source(node_id n) {
+    while (sources_.size() <= n) new_source();
+  }
+  source_state& source(node_id n) {
+    ensure_source(n);
+    return *sources_[n];
+  }
+
+  duration sample_latency(source_state& s, std::size_t size_bytes, bool& late);
+  bool should_drop(source_state& s, node_id src, node_id dst, int channel);
+  // Callers must hold global_mu_ (shared suffices).
   [[nodiscard]] bool node_down_at(node_id n, time_point t) const;
   [[nodiscard]] bool partitioned_at(node_id a, node_id b, time_point t) const;
-  rng& stream(node_id src);
 
   runtime* rt_;
   params params_;
   std::uint64_t seed_;
-  std::map<node_id, rng> streams_;  // per-source-node draw streams
+  std::vector<std::unique_ptr<source_state>> sources_;
   std::unordered_map<node_id, handler> handlers_;
-  std::map<std::pair<node_id, node_id>, double> link_omission_;
-  std::map<std::pair<std::pair<node_id, node_id>, int>, int> scripted_drops_;
-  std::map<std::pair<node_id, node_id>, bool> link_down_;
-  std::map<std::pair<node_id, node_id>, time_point> last_delivery_;  // FIFO per link
+
+  // Globally-read fault state: time-indexed, guarded by global_mu_ so that
+  // worker threads can read while an injector action writes. Determinism
+  // does not depend on the lock — reads compare dates.
+  mutable std::shared_mutex global_mu_;
   std::map<node_id, timeline<bool>> node_down_;
   // node -> group in force; no_group means unrestricted. Empty vector = no
   // partition.
@@ -204,8 +301,11 @@ class network {
   timeline<std::vector<std::uint32_t>> partition_;
   timeline<double> omission_rate_;
   timeline<perf_fault> perf_fault_;
-  std::uint64_t next_id_ = 1;
-  counters stats_;
+
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> late_{0};
   std::function<void(const message&)> observer_;
 };
 

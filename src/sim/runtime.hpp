@@ -99,6 +99,18 @@ class runtime {
   /// already-fired id, and when called twice.
   virtual void cancel(sim::event_id id) = 0;
 
+  // --- shard topology (DESIGN.md, "Shard confinement") ----------------------
+  // The small query surface components need to keep their state
+  // shard-confined: which shard owns a node, how many shards exist, and
+  // which shard the current thread is executing. Single-engine backends are
+  // one shard; `executing_shard()` returns 0 outside event execution.
+  [[nodiscard]] virtual std::uint32_t shard_of(node_id n) const {
+    (void)n;
+    return 0;
+  }
+  [[nodiscard]] virtual std::size_t shard_count() const { return 1; }
+  [[nodiscard]] virtual std::uint32_t executing_shard() const { return 0; }
+
   // --- same-instant batching ------------------------------------------------
   /// Open a burst anchored at absolute time `t` (must be >= now()).
   virtual sim::event_batch open_batch(time_point t) = 0;
@@ -145,8 +157,10 @@ std::unique_ptr<runtime> make_engine();
 struct sharded_params {
   std::size_t shards = 2;  // node groups, each with its own event core (<= 64)
   /// Worker threads advancing shards concurrently. 0 = serial deterministic
-  /// rounds on the calling thread — the only mode safe for event handlers
-  /// that touch state shared across shards (core::system uses 0).
+  /// rounds on the calling thread. Worker mode requires every event handler
+  /// to touch only state owned by its executing shard (DESIGN.md, "Shard
+  /// confinement"); `core::system` forwards its config.workers here and
+  /// validates the confinement rules it can check at registration time.
   std::size_t workers = 0;
   duration lookahead = duration::microseconds(10);  // must be >= 1ns
   /// node -> shard. Nodes past the end of the vector map to `node % shards`.

@@ -63,8 +63,16 @@ class sharded_engine final : public runtime {
   [[nodiscard]] std::uint64_t executed() const override;
 
   // --- shard observability ---------------------------------------------------
-  [[nodiscard]] std::uint32_t shard_of(node_id n) const;
-  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::uint32_t shard_of(node_id n) const override;
+  [[nodiscard]] std::size_t shard_count() const override {
+    return shards_.size();
+  }
+  /// The shard whose event core the calling thread is executing (0 when
+  /// called from outside event execution) — what shard-confined components
+  /// index their per-shard partitions with.
+  [[nodiscard]] std::uint32_t executing_shard() const override {
+    return current_shard();
+  }
   [[nodiscard]] duration lookahead() const { return lookahead_; }
 
   struct shard_stats {

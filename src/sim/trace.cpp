@@ -32,7 +32,7 @@ std::string_view to_string(trace_kind k) {
 
 std::vector<trace_event> trace_recorder::of_kind(trace_kind k) const {
   std::vector<trace_event> out;
-  for (const auto& e : events_)
+  for (const auto& e : events())
     if (e.kind == k) out.push_back(e);
   return out;
 }
@@ -40,14 +40,14 @@ std::vector<trace_event> trace_recorder::of_kind(trace_kind k) const {
 std::vector<trace_event> trace_recorder::for_subject(
     std::string_view subject) const {
   std::vector<trace_event> out;
-  for (const auto& e : events_)
+  for (const auto& e : events())
     if (e.subject == subject) out.push_back(e);
   return out;
 }
 
 std::string trace_recorder::render_log() const {
   std::ostringstream os;
-  for (const auto& e : events_) {
+  for (const auto& e : events()) {
     os << e.t.to_string() << "  n" << e.node << "  [" << to_string(e.kind)
        << "] " << e.subject;
     if (!e.detail.empty()) os << " : " << e.detail;
@@ -65,7 +65,7 @@ std::string trace_recorder::render_gantt(time_point t0, time_point t1,
   std::map<std::string, std::vector<std::pair<time_point, time_point>>> runs;
   std::map<std::string, open_run> open;
 
-  for (const auto& e : events_) {
+  for (const auto& e : events()) {
     if (e.kind == trace_kind::thread_running) {
       open[e.subject] = {e.t};
     } else if (e.kind == trace_kind::thread_preempted ||

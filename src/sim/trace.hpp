@@ -5,12 +5,25 @@
 // so that tests can assert on exact cooperation sequences (the Figure 2
 // reproduction checks the Atv / priority-change / Trm trace verbatim) and
 // examples can render ASCII Gantt timelines.
+//
+// Shard confinement (DESIGN.md): once bound to a runtime, the recorder keeps
+// one event partition per shard (`sim::shard_log`) and `record` appends
+// only to the partition of the shard executing the call — worker threads
+// advancing different shards never touch the same vector. Readers see a
+// single merged sequence ordered by the deterministic key
+// {time, shard, per-shard sequence}: the same merge key the sharded
+// backend uses for cross-shard inboxes, so the merged trace is identical
+// for any worker count (and, absent cross-shard same-instant ties, for any
+// shard count). Reading is not thread-safe; query between runs, not from
+// inside event handlers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "sim/shard_log.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -49,17 +62,27 @@ struct trace_event {
 
 class trace_recorder {
  public:
+  /// Attach to a runtime: grows one partition per shard and routes `record`
+  /// by `runtime::executing_shard()`. Call before the run starts (the
+  /// owning `core::system` does, in its constructor).
+  void bind(const hades::runtime& rt) { log_.bind(rt); }
+
   void enable(bool on = true) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
   void record(time_point t, node_id node, trace_kind kind, std::string subject,
               std::string detail = {}) {
     if (!enabled_) return;
-    events_.push_back({t, node, kind, std::move(subject), std::move(detail)});
+    log_.append({t, node, kind, std::move(subject), std::move(detail)});
   }
 
-  [[nodiscard]] const std::vector<trace_event>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  /// Merged view over all shard partitions, ordered by
+  /// {time, shard, per-shard sequence}. Rebuilt lazily; do not call while
+  /// worker threads are recording.
+  [[nodiscard]] const std::vector<trace_event>& events() const {
+    return log_.merged();
+  }
+  void clear() { log_.clear(); }
 
   /// All events of one kind, in order.
   [[nodiscard]] std::vector<trace_event> of_kind(trace_kind k) const;
@@ -76,8 +99,12 @@ class trace_recorder {
                                          duration column) const;
 
  private:
+  struct time_of {
+    time_point operator()(const trace_event& e) const { return e.t; }
+  };
+
   bool enabled_ = true;
-  std::vector<trace_event> events_;
+  shard_log<trace_event, time_of> log_;
 };
 
 }  // namespace hades::sim

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -11,6 +12,16 @@
 #include "util/time.hpp"
 
 namespace hades {
+
+/// Total of a vector of node-confined counters (the shard-confinement
+/// pattern: each node/shard increments its own slot, readers sum — see
+/// DESIGN.md, "Shard confinement").
+[[nodiscard]] inline std::uint64_t sum_counters(
+    const std::vector<std::uint64_t>& per_node) {
+  std::uint64_t total = 0;
+  for (std::uint64_t v : per_node) total += v;
+  return total;
+}
 
 /// Streaming summary statistics (Welford's algorithm), value-semantic.
 class running_stats {
@@ -24,6 +35,26 @@ class running_stats {
     max_ = std::max(max_, x);
   }
   void add(duration d) { add(static_cast<double>(d.count())); }
+
+  /// Fold another summary into this one (Chan et al.'s parallel update).
+  /// Used to combine node-confined accumulators into one report; merging in
+  /// a fixed order keeps the result deterministic.
+  void merge(const running_stats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double total = na + nb;
+    m2_ += o.m2_ + delta * delta * na * nb / total;
+    mean_ += delta * nb / total;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }

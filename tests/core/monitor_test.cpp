@@ -1,0 +1,111 @@
+// Shard-partitioned monitor: merged stream order and deterministic routed
+// subscriptions (DESIGN.md, "Shard confinement").
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/runtime.hpp"
+
+namespace hades::core {
+namespace {
+
+using namespace hades::literals;
+
+monitor_event ev(time_point at, node_id node, monitor_event_kind kind) {
+  monitor_event e;
+  e.kind = kind;
+  e.at = at;
+  e.node = node;
+  e.subject = "node" + std::to_string(node);
+  return e;
+}
+
+std::unique_ptr<hades::runtime> two_shards() {
+  sim::sharded_params p;
+  p.shards = 2;
+  p.workers = 0;
+  p.lookahead = 100_us;
+  p.node_shard = {0, 1};  // node n lives on shard n
+  return sim::make_sharded_engine(std::move(p));
+}
+
+// Events recorded on different shards merge by {time, shard, per-shard
+// sequence} — the cross-shard inbox key, independent of recording
+// interleaving.
+TEST(MonitorShardTest, MergedStreamOrdersByTimeThenShardThenSeq) {
+  auto rt = two_shards();
+  monitor mon;
+  mon.bind(*rt);
+
+  // Shard 1 records first in wall order, at the same simulated date as
+  // shard 0's events — the merge must still put shard 0 first.
+  rt->at_node(1, time_point::at(1_ms), [&] {
+    mon.record(ev(time_point::at(1_ms), 1, monitor_event_kind::node_crash));
+  });
+  rt->at_node(0, time_point::at(1_ms) + 200_us, [&] {
+    mon.record(ev(time_point::at(1_ms) + 200_us, 0,
+                  monitor_event_kind::node_recover));
+    mon.record(ev(time_point::at(1_ms) + 200_us, 0,
+                  monitor_event_kind::node_crash));
+  });
+  rt->at_node(1, time_point::at(1_ms) + 200_us, [&] {
+    mon.record(ev(time_point::at(1_ms) + 200_us, 1,
+                  monitor_event_kind::deadline_miss));
+  });
+  rt->run_until(time_point::at(2_ms));
+
+  const auto& merged = mon.events();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].node, 1u);  // earliest date wins
+  EXPECT_EQ(merged[0].kind, monitor_event_kind::node_crash);
+  // Same date: shard 0 before shard 1, per-shard sequence preserved.
+  EXPECT_EQ(merged[1].node, 0u);
+  EXPECT_EQ(merged[1].kind, monitor_event_kind::node_recover);
+  EXPECT_EQ(merged[2].node, 0u);
+  EXPECT_EQ(merged[2].kind, monitor_event_kind::node_crash);
+  EXPECT_EQ(merged[3].node, 1u);
+  EXPECT_EQ(merged[3].kind, monitor_event_kind::deadline_miss);
+
+  EXPECT_EQ(mon.count(monitor_event_kind::node_crash), 2u);
+  EXPECT_EQ(mon.of_kind(monitor_event_kind::deadline_miss).size(), 1u);
+}
+
+// subscribe_at_node redelivers on the home shard at record date + delay —
+// the same constant on every backend.
+TEST(MonitorShardTest, RoutedSubscriptionArrivesAtRecordDatePlusDelay) {
+  auto rt = two_shards();
+  monitor mon;
+  mon.bind(*rt);
+
+  std::vector<std::pair<time_point, monitor_event_kind>> seen;
+  mon.subscribe_at_node(0, 100_us, [&](const monitor_event& e) {
+    seen.emplace_back(rt->now(), e.kind);
+  });
+
+  // Recorded on shard 1 (cross-shard for the home-0 listener), exactly at
+  // the lookahead so the redelivery is legal from any shard.
+  rt->at_node(1, time_point::at(5_ms), [&] {
+    mon.record(ev(time_point::at(5_ms), 1, monitor_event_kind::node_crash));
+  });
+  rt->run_until(time_point::at(6_ms));
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, time_point::at(5_ms) + 100_us);
+  EXPECT_EQ(seen[0].second, monitor_event_kind::node_crash);
+}
+
+// Unbound monitors (no runtime) keep the historical synchronous behaviour
+// for both subscription flavours.
+TEST(MonitorShardTest, UnboundMonitorDeliversSynchronously) {
+  monitor mon;
+  std::size_t sync_calls = 0, routed_calls = 0;
+  mon.subscribe([&](const monitor_event&) { ++sync_calls; });
+  mon.subscribe_at_node(3, 1_ms, [&](const monitor_event&) { ++routed_calls; });
+  mon.record(ev(time_point::at(1_ms), 0, monitor_event_kind::deadline_miss));
+  EXPECT_EQ(sync_calls, 1u);
+  EXPECT_EQ(routed_calls, 1u);
+  EXPECT_EQ(mon.events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hades::core

@@ -6,6 +6,7 @@
 #include "sched/spring.hpp"
 #include "scenario/checkers.hpp"
 #include "scenario/scenarios.hpp"
+#include "services/clock_sync.hpp"
 #include "services/fault_detector.hpp"
 
 namespace hades::scenario {
@@ -67,6 +68,36 @@ TEST(PlanTest, QuietExcludesRateWindowsButNotBursts) {
   EXPECT_TRUE(p.quiet(time_point::at(800_ms), 10_ms, horizon));
 }
 
+TEST(PlanTest, LinkDownWindowsAreDirectional) {
+  plan p;
+  p.link_down(time_point::at(200_ms), 4, 1).link_up(time_point::at(500_ms), 4, 1);
+  const auto horizon = time_point::at(1_s);
+  const auto ws = p.link_down_windows(4, 1, horizon);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0].from, time_point::at(200_ms));
+  EXPECT_EQ(ws[0].to, time_point::at(500_ms));
+  // The reverse direction never went down.
+  EXPECT_TRUE(p.link_down_windows(1, 4, horizon).empty());
+  // Heartbeats travel subject -> observer: node 1 cannot hear node 4 while
+  // 4 -> 1 is dead, but node 4 still hears node 1.
+  const auto unreachable = p.unreachable_windows(1, 4, horizon);
+  ASSERT_EQ(unreachable.size(), 1u);
+  EXPECT_EQ(unreachable[0].from, time_point::at(200_ms));
+  EXPECT_TRUE(p.unreachable_windows(4, 1, horizon).empty());
+  // A dead direction disturbs broadcast gradeability like a partition does.
+  EXPECT_FALSE(p.quiet(time_point::at(300_ms), 10_ms, horizon));
+  EXPECT_TRUE(p.quiet(time_point::at(600_ms), 10_ms, horizon));
+}
+
+TEST(PlanTest, ClockFaultMarksTheNodeByzantine) {
+  plan p;
+  p.clock_byzantine(time_point::at(250_ms), 2, 2.0, 1_ms);
+  EXPECT_TRUE(p.clock_faulty(2));
+  EXPECT_FALSE(p.clock_faulty(3));
+  // A Byzantine clock is not a network disturbance.
+  EXPECT_TRUE(p.quiet(time_point::at(300_ms), 10_ms, time_point::at(1_s)));
+}
+
 // --- injector end-to-end ----------------------------------------------------
 
 TEST(InjectorTest, CrashAndRecoverDriveDetectorThroughFullCycle) {
@@ -106,6 +137,42 @@ TEST(InjectorTest, PartitionBlocksCrossTrafficUntilHealed) {
   sys.run_until(time_point::at(400_ms));
   EXPECT_FALSE(fd.suspects(0, 2));
   EXPECT_FALSE(fd.suspects(2, 0));
+}
+
+TEST(InjectorTest, AsymmetricLinkDownSilencesOneDirectionOnly) {
+  core::system sys(3, lan());
+  svc::fault_detector fd(sys, {10_ms, 25_ms});
+  fd.start();
+  plan p;
+  p.link_down(time_point::at(100_ms + 137_us), 2, 0)
+      .link_up(time_point::at(300_ms + 151_us), 2, 0);
+  apply(sys, p);
+  sys.run_until(time_point::at(250_ms));
+  // Node 0 stops hearing node 2; node 2 still hears everyone.
+  EXPECT_TRUE(fd.suspects(0, 2));
+  EXPECT_FALSE(fd.suspects(2, 0));
+  EXPECT_FALSE(fd.suspects(1, 2));  // bystander direction untouched
+  sys.run_until(time_point::at(400_ms));
+  EXPECT_FALSE(fd.suspects(0, 2));
+}
+
+TEST(InjectorTest, ByzantineClockIsMaskedByTrimmedSync) {
+  core::system sys(4, lan());
+  svc::clock_sync_service::params sp;
+  sp.resync_period = 50_ms;
+  sp.collect_window = 2_ms;
+  sp.max_faulty = 1;
+  svc::clock_sync_service sync(sys, sp);
+  sync.start();
+  plan p;
+  p.clock_byzantine(time_point::at(100_ms + 113_us), 3, 3.0, 2_ms)
+      .clock_drift(time_point::at(100_ms + 127_us), 1, 200e-6);
+  apply(sys, p);
+  sys.run_until(time_point::at(600_ms));
+  EXPECT_TRUE(sys.clock(3).is_faulty());
+  // The three honest clocks stay tightly synchronized despite the liar
+  // participating in every round (n = 4 >= 3f + 1 for f = 1).
+  EXPECT_LT(sync.max_skew({0, 1, 2}), 300_us);
 }
 
 // Regression: a node crashed while a scheduler notification was in flight

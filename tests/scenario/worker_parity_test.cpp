@@ -1,0 +1,106 @@
+// Worker-parity gate for the shard-confined core (DESIGN.md, "Shard
+// confinement"): the full core::system campaign workload — fault detector,
+// Delta-ordered reliable broadcast, suspicion-driven mode manager, clock
+// sync, fault injection — must produce bit-identical observable checksums
+// whether the sharded backend advances its shards serially (workers = 0) or
+// on 2 / 4 worker threads. These tests also run under the CI TSan job, so
+// the worker-threaded path is race-checked, not trusted.
+#include "scenario/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/task_model.hpp"
+
+namespace hades::scenario {
+namespace {
+
+using namespace hades::literals;
+
+void expect_worker_parity(const std::string& scenario, std::uint64_t seed,
+                          std::size_t shards) {
+  const scenario_spec spec = find_scenario(scenario);
+  const cell_result serial = run_cell(spec, seed, shards, 0);
+  EXPECT_TRUE(serial.passed);
+  for (const std::size_t workers : {2u, 4u}) {
+    const cell_result threaded = run_cell(spec, seed, shards, workers);
+    EXPECT_EQ(threaded.checksum, serial.checksum)
+        << scenario << " seed " << seed << ": " << workers
+        << " workers diverged from serial rounds at " << shards << " shards";
+    EXPECT_TRUE(threaded.passed);
+  }
+}
+
+// A crash mid-run exercises monitor routing, suspicion callbacks and the
+// global node-down timeline under worker threads.
+TEST(WorkerParityTest, SingleCrashChecksumMatchesAcrossWorkerCounts) {
+  expect_worker_parity("single_crash", 1, 2);
+  expect_worker_parity("single_crash", 2, 4);
+}
+
+// A partition plus the suspicion-driven mode policy: every shard records
+// suspicions into the monitor and the mode manager consumes them on its
+// home shard.
+TEST(WorkerParityTest, SuspicionDrivenModePolicyIsWorkerIndependent) {
+  expect_worker_parity("partition_degrades_mode", 1, 4);
+}
+
+// Byzantine clocks drive clock_sync rounds (per-node chains, per-node
+// correction stats) on every shard concurrently.
+TEST(WorkerParityTest, ByzantineClockSyncIsWorkerIndependent) {
+  expect_worker_parity("byzantine_clocks", 1, 4);
+}
+
+// Performance faults make relay traffic consult the global perf-fault
+// timeline at dates uncorrelated with the plan's action dates — the
+// pre-registered-timeline regression (a worker could once catch the toggle
+// mid-insertion and draw a different latency).
+TEST(WorkerParityTest, PerfFaultBurstIsWorkerIndependent) {
+  expect_worker_parity("perf_fault_burst", 1, 4);
+}
+
+// Worker mode is only sound for shard-confined task graphs: registration
+// must reject a graph whose EUs span shards while workers are requested.
+TEST(WorkerParityTest, RegisterTaskRejectsCrossShardGraphsUnderWorkers) {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 60_us;
+  cfg.shards = 2;
+  cfg.workers = 2;
+  core::system sys(4, cfg);  // shards: {0,1} and {2,3}
+
+  core::task_builder spanning("spanning");
+  spanning.deadline(10_ms);
+  spanning.add_code_eu("a", 0, 1_ms);
+  spanning.add_code_eu("b", 3, 1_ms);  // other shard
+  EXPECT_THROW(sys.register_task(spanning.build()), hades::error);
+
+  core::task_builder confined("confined");
+  confined.deadline(10_ms);
+  confined.add_code_eu("a", 2, 1_ms);
+  confined.add_code_eu("b", 3, 1_ms);  // same shard
+  EXPECT_NO_THROW(sys.register_task(confined.build()));
+}
+
+// The same graph is legal when the run is serial — the gate is about
+// workers, not about sharding.
+TEST(WorkerParityTest, CrossShardGraphsStayLegalInSerialRounds) {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.net.delta_min = 20_us;
+  cfg.net.delta_max = 60_us;
+  cfg.shards = 2;
+  cfg.workers = 0;
+  core::system sys(4, cfg);
+  core::task_builder spanning("spanning");
+  spanning.deadline(10_ms);
+  spanning.add_code_eu("a", 0, 1_ms);
+  spanning.add_code_eu("b", 3, 1_ms);
+  EXPECT_NO_THROW(sys.register_task(spanning.build()));
+}
+
+}  // namespace
+}  // namespace hades::scenario

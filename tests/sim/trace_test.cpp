@@ -71,5 +71,40 @@ TEST(TraceTest, KindNamesAreStable) {
   EXPECT_EQ(to_string(trace_kind::thread_done), "done");
 }
 
+// Bound to a sharded runtime, the recorder partitions per shard and the
+// merged view follows {time, shard, per-shard sequence} — independent of
+// the wall order the shards recorded in (DESIGN.md, "Shard confinement").
+TEST(TraceTest, ShardPartitionsMergeByTimeThenShard) {
+  sharded_params p;
+  p.shards = 2;
+  p.workers = 0;
+  p.lookahead = 100_us;
+  p.node_shard = {0, 1};
+  auto rt = make_sharded_engine(std::move(p));
+  trace_recorder tr;
+  tr.bind(*rt);
+
+  rt->at_node(1, time_point::at(1_ms), [&] {
+    tr.record(time_point::at(1_ms), 1, trace_kind::custom, "early-shard1");
+  });
+  rt->at_node(1, time_point::at(2_ms), [&] {
+    tr.record(time_point::at(2_ms), 1, trace_kind::custom, "tie-shard1");
+  });
+  rt->at_node(0, time_point::at(2_ms), [&] {
+    tr.record(time_point::at(2_ms), 0, trace_kind::custom, "tie-shard0-a");
+    tr.record(time_point::at(2_ms), 0, trace_kind::custom, "tie-shard0-b");
+  });
+  rt->run_until(time_point::at(3_ms));
+
+  const auto& merged = tr.events();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].subject, "early-shard1");
+  EXPECT_EQ(merged[1].subject, "tie-shard0-a");  // tie: shard 0 first
+  EXPECT_EQ(merged[2].subject, "tie-shard0-b");  // per-shard seq preserved
+  EXPECT_EQ(merged[3].subject, "tie-shard1");
+  tr.clear();
+  EXPECT_TRUE(tr.events().empty());
+}
+
 }  // namespace
 }  // namespace hades::sim

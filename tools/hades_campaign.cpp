@@ -1,23 +1,27 @@
 // hades_campaign — the scenario-campaign CLI (DESIGN.md, "Scenario layer").
 //
-// Sweeps the registered fault scenarios across seeds and runtime shard
-// counts {1, 2, 4}, grades the property checkers after every run, asserts
-// bit-identical checksums across shard counts, and writes one JSON verdict
+// Sweeps the registered fault scenarios across seeds, runtime shard counts
+// {1, 2, 4} and sharded-backend worker counts {0, 2, 4}, grades the
+// property checkers after every run, asserts bit-identical checksums
+// across every (shards, workers) combination, and writes one JSON verdict
 // per cell. CI runs `hades_campaign --smoke --out <dir>` as a required
-// step: any checker violation or cross-shard checksum mismatch exits
-// non-zero.
+// step: any checker violation or checksum mismatch exits non-zero.
 //
 // Usage: hades_campaign [--smoke] [--list] [--scenario NAME]...
-//                       [--seeds N] [--out DIR] [--quiet]
-//   --smoke         CI matrix: every scenario, seeds {1, 2}, shards {1,2,4}
-//                   (the default is the same sweep with seeds {1..4})
+//                       [--seeds N] [--workers CSV] [--out DIR] [--quiet]
+//   --smoke         CI matrix: every scenario, seeds {1, 2}, shards {1,2,4},
+//                   workers {0,2,4} (the default is the same sweep with
+//                   seeds {1..4})
 //   --list          print the registered scenarios and exit
 //   --scenario NAME restrict to one scenario (repeatable)
 //   --seeds N       sweep seeds 1..N
+//   --workers CSV   worker counts for sharded cells, e.g. "0,4" (default
+//                   "0,2,4"; "0" = serial rounds only)
 //   --out DIR       write per-cell verdict JSONs + summary.json to DIR
 //   --quiet         suppress the per-cell progress lines
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 
 #include "scenario/campaign.hpp"
@@ -38,6 +42,24 @@ int main(int argc, char** argv) {
       opt.scenarios.emplace_back(argv[++i]);
     } else if (arg == "--seeds" && i + 1 < argc) {
       max_seed = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      opt.worker_counts.clear();
+      std::stringstream ss(argv[++i]);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        if (tok.empty() ||
+            tok.find_first_not_of("0123456789") != std::string::npos) {
+          std::fprintf(stderr, "--workers: '%s' is not a number\n",
+                       tok.c_str());
+          return 2;
+        }
+        opt.worker_counts.push_back(
+            static_cast<std::size_t>(std::atoi(tok.c_str())));
+      }
+      if (opt.worker_counts.empty()) {
+        std::fprintf(stderr, "--workers needs a comma-separated list\n");
+        return 2;
+      }
     } else if (arg == "--out" && i + 1 < argc) {
       opt.out_dir = argv[++i];
     } else if (arg == "--quiet") {
