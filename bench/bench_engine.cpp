@@ -12,18 +12,21 @@
 // the dispatcher (latest-start and completion timers torn down on every
 // preemption) and of reliable_comm's retransmission timers.
 //
-// Usage: bench_engine [--smoke] [--require-2x]
+// Usage: bench_engine [--smoke] [--require-2x] [--json PATH]
 //   --smoke       100k events instead of 1M (CI compile/perf-path check)
 //   --require-2x  exit non-zero unless pooled >= 2x legacy on churn
+//   --json PATH   write machine-readable BENCH_engine results to PATH
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <queue>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "bench/json_out.hpp"
 #include "sim/engine.hpp"
 
 using namespace hades;
@@ -195,9 +198,12 @@ double pooled_periodic_rate(sim::engine& e, std::size_t total) {
 int main(int argc, char** argv) {
   std::size_t total = 1'000'000;
   bool require_2x = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) total = 100'000;
     if (std::strcmp(argv[i], "--require-2x") == 0) require_2x = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
   }
 
   std::printf("event-core throughput, %zu-event schedule/cancel churn\n",
@@ -225,6 +231,18 @@ int main(int argc, char** argv) {
       "%zu compactions\n",
       pool.slabs, pool.slots, pool.heap_records, pool.compactions);
 
+  if (!json_path.empty()) {
+    hades::bench::json_doc json;
+    json.str("bench", "engine");
+    json.num("events", static_cast<std::uint64_t>(total));
+    json.num("churn_events_per_sec_legacy", legacy_churn);
+    json.num("churn_events_per_sec_pooled", pooled_churn);
+    json.num("churn_speedup", churn_speedup);
+    json.num("periodic_events_per_sec_legacy", legacy_periodic);
+    json.num("periodic_events_per_sec_pooled", pooled_periodic);
+    json.num("periodic_speedup", pooled_periodic / legacy_periodic);
+    json.write(json_path);
+  }
   if (require_2x && churn_speedup < 2.0) {
     std::printf("FAIL: churn speedup %.2fx < 2x\n", churn_speedup);
     return 1;

@@ -24,17 +24,20 @@
 // count; wall-clock speedup is reported against the 4-shard serial
 // baseline.
 //
-// Usage: bench_sharded [--smoke] [--require-2x]
+// Usage: bench_sharded [--smoke] [--require-2x] [--json PATH]
 //   --smoke       ~20x fewer events (CI compile/perf-path check)
 //   --require-2x  exit non-zero unless the 4-shard wall speedup >= 2x on
 //                 BOTH workloads (needs >= 4 hardware threads)
+//   --json PATH   write machine-readable BENCH_sharded results to PATH
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/json_out.hpp"
 #include "core/system.hpp"
 #include "services/fault_detector.hpp"
 #include "services/reliable_comm.hpp"
@@ -216,11 +219,16 @@ bench_result run_full_system(std::size_t shards, std::size_t workers,
 int main(int argc, char** argv) {
   duration horizon = duration::milliseconds(400);
   bool require_2x = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       horizon = duration::milliseconds(20);
     if (std::strcmp(argv[i], "--require-2x") == 0) require_2x = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
   }
+  hades::bench::json_doc json;
+  json.str("bench", "sharded");
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf(
@@ -242,6 +250,8 @@ int main(int argc, char** argv) {
                               (static_cast<double>(base.events) / base.wall_s)
                         : 0.0;
     if (shards == 4) speedup_at_4 = speedup;
+    json.num("events_per_sec_" + std::to_string(shards) + "shard",
+             static_cast<double>(r.events) / r.wall_s);
     std::printf(
         "  %zu shard(s) %zu worker(s): %9.0f ev/s  (%7llu events, %.3fs)  "
         "wall speedup %.2fx  balance %.2f  critical-path %.2fx\n",
@@ -293,6 +303,9 @@ int main(int argc, char** argv) {
       speedup = (static_cast<double>(r.events) / r.wall_s) /
                 (static_cast<double>(sys_base.events) / sys_base.wall_s);
     if (c.shards == 4 && c.workers == 4) sys_speedup_at_4 = speedup;
+    json.num("full_system_events_per_sec_" + std::to_string(c.shards) +
+                 "shards_" + std::to_string(c.workers) + "workers",
+             static_cast<double>(r.events) / r.wall_s);
     std::printf("  %-20s %9.0f ev/s  (%7llu events, %.3fs)", c.label,
                 static_cast<double>(r.events) / r.wall_s,
                 static_cast<unsigned long long>(r.events), r.wall_s);
@@ -309,6 +322,9 @@ int main(int argc, char** argv) {
   }
   std::printf("  full-system checksums identical across all configurations\n");
 
+  json.num("wall_speedup_at_4_shards", speedup_at_4);
+  json.num("full_system_wall_speedup_at_4_workers", sys_speedup_at_4);
+  if (!json_path.empty()) json.write(json_path);
   if (require_2x && speedup_at_4 < 2.0) {
     std::printf("FAIL: 4-shard wall speedup %.2fx < 2x (hw threads: %u)\n",
                 speedup_at_4, hw);

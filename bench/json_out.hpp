@@ -1,0 +1,51 @@
+// Machine-readable benchmark output: each bench binary can emit one flat
+// `BENCH_<name>.json` file (ns/op, allocs/op, throughput, speedups) next to
+// its human-readable table, so CI can upload comparable artifacts and gate
+// on numbers instead of scraping stdout. Keys are emitted in insertion
+// order; values are numbers or strings only — deliberately minimal.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hades::bench {
+
+class json_doc {
+ public:
+  void num(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    fields_.emplace_back(key, buf);
+  }
+  void num(const std::string& key, std::uint64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void str(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, '"' + v + '"');
+  }
+
+  /// Write the document to `path`. Returns false (and says so on stderr)
+  /// when the file cannot be created.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json_doc: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i)
+      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace hades::bench

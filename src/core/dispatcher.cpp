@@ -22,7 +22,8 @@ void execution_context::clear_condition(condition_id c) {
   sys_->clear_condition(c);
 }
 
-void execution_context::send(node_id dst, int channel, std::any payload,
+void execution_context::send(node_id dst, int channel,
+                             sim::wire_payload payload,
                              std::size_t size_bytes) {
   sys_->net(node_).send(dst, channel, std::move(payload), size_bytes);
 }
@@ -43,7 +44,7 @@ dispatcher::dispatcher(system& sys, runtime& rt, node_id node,
       costs_(costs),
       trace_(trace) {
   net_->on_channel(control_channel, [this](const sim::message& m) {
-    const auto* tok = std::any_cast<control_token>(&m.payload);
+    const auto* tok = m.payload.get<control_token>();
     require(tok != nullptr, "dispatcher: malformed control token");
     if (tok->k == control_token::kind::shard_complete) {
       sys_->on_shard_complete(tok->task, tok->instance, m.src);

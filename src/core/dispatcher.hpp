@@ -88,7 +88,7 @@ class execution_context {
   void clear_condition(condition_id c);
 
   /// Send an application message through this node's net_mngt task.
-  void send(node_id dst, int channel, std::any payload,
+  void send(node_id dst, int channel, sim::wire_payload payload,
             std::size_t size_bytes = 64);
 
   /// Mutable per-task state blob (shared by all instances of the task).

@@ -15,14 +15,14 @@ net_task::~net_task() {
   if (cpu_->exists(thread_)) cpu_->destroy(thread_);
 }
 
-void net_task::send(node_id dst, int channel, std::any payload,
+void net_task::send(node_id dst, int channel, sim::wire_payload payload,
                     std::size_t size_bytes) {
   if (halted_) return;
   queue_.push_back({dst, channel, std::move(payload), size_bytes});
   pump();
 }
 
-void net_task::send_all(int channel, const std::any& payload,
+void net_task::send_all(int channel, const sim::wire_payload& payload,
                         std::size_t size_bytes) {
   for (node_id n : net_->attached_nodes()) {
     if (n == node_) continue;
@@ -31,7 +31,10 @@ void net_task::send_all(int channel, const std::any& payload,
 }
 
 void net_task::on_channel(int channel, channel_handler h) {
-  channels_[channel] = std::move(h);
+  require(channel >= 0, "net_task: channel ids are non-negative");
+  if (channels_.size() <= static_cast<std::size_t>(channel))
+    channels_.resize(static_cast<std::size_t>(channel) + 1);
+  channels_[static_cast<std::size_t>(channel)] = std::move(h);
 }
 
 void net_task::pump() {
@@ -60,8 +63,9 @@ void net_task::on_frame(const sim::message& m) {
                        [this, m] {
                          if (halted_) return;
                          ++received_;
-                         auto it = channels_.find(m.channel);
-                         if (it != channels_.end() && it->second) it->second(m);
+                         const auto ch = static_cast<std::size_t>(m.channel);
+                         if (ch < channels_.size() && channels_[ch])
+                           channels_[ch](m);
                        });
 }
 

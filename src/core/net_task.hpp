@@ -14,10 +14,9 @@
 // their own channels.
 #pragma once
 
-#include <any>
 #include <deque>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "core/cost_model.hpp"
 #include "core/processor.hpp"
@@ -37,11 +36,12 @@ class net_task {
   net_task& operator=(const net_task&) = delete;
 
   /// Queue a message for transmission through the protocol task.
-  void send(node_id dst, int channel, std::any payload,
+  void send(node_id dst, int channel, sim::wire_payload payload,
             std::size_t size_bytes = 64);
 
-  /// Send to every attached node except this one.
-  void send_all(int channel, const std::any& payload,
+  /// Send to every attached node except this one. The pooled payload is
+  /// shared across the fan-out by refcount, never deep-copied.
+  void send_all(int channel, const sim::wire_payload& payload,
                 std::size_t size_bytes = 64);
 
   /// Register the consumer of one inbound channel.
@@ -63,7 +63,7 @@ class net_task {
   struct outbound {
     node_id dst;
     int channel;
-    std::any payload;
+    sim::wire_payload payload;
     std::size_t size_bytes;
   };
 
@@ -80,7 +80,7 @@ class net_task {
   bool thread_busy_ = false;
   bool halted_ = false;
   std::deque<outbound> queue_;
-  std::map<int, channel_handler> channels_;
+  std::vector<channel_handler> channels_;  // channel-indexed; registration-time growth
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
 };

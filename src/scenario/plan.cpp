@@ -363,12 +363,15 @@ bool globally_preregistered(action_kind k) {
 void apply(core::system& sys, const plan& p) {
   // Globally-read wire state (node silence, partitions, omission and
   // performance rates) is *pre-registered* into the network's time-indexed
-  // timelines right now, dated at each action's own date. Reads are
-  // date-keyed, so this is semantically identical to flipping the toggle at
-  // the action date — but no worker thread can ever catch a timeline entry
-  // mid-insertion: by the time the run starts, the whole plan's wire truth
-  // is immutable. (The scheduled crash/recover actions below re-register
-  // the same same-date entries; the timeline is idempotent about that.)
+  // timelines right now, dated at each action's own date. Each setter
+  // copy-edits and publishes a fresh immutable snapshot (DESIGN.md, "Wire
+  // fast path"), and reads are date-keyed, so this is semantically
+  // identical to flipping the toggle at the action date — but by the time
+  // the run starts the whole plan's wire truth sits in one published
+  // snapshot, and a worker thread racing a runtime re-registration reads
+  // the old or the new snapshot with identical date-keyed answers. (The
+  // scheduled crash/recover actions below re-register the same same-date
+  // entries; the timeline's last-write-wins rule makes that idempotent.)
   for (const action& a : p.actions) {
     switch (a.kind) {
       case action_kind::crash_node:

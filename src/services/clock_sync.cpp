@@ -51,7 +51,7 @@ void clock_sync_service::begin_round(node_id n) {
 }
 
 void clock_sync_service::on_message(node_id n, const sim::message& m) {
-  const auto* p = std::any_cast<sync_payload>(&m.payload);
+  const auto* p = m.payload.get<sync_payload>();
   if (p == nullptr) return;
   if (p->round != round_of_[n]) return;  // stale round
   inbox_[n].push_back({m.src, p->clock_value, sys_->now()});

@@ -49,7 +49,7 @@ void consensus_service::round(int k) {
 
 void consensus_service::on_message(node_id n, const sim::message& m) {
   if (!running_) return;
-  const auto* rm = std::any_cast<round_msg>(&m.payload);
+  const auto* rm = m.payload.get<round_msg>();
   if (rm == nullptr) return;
   learned_[n].insert(rm->values.begin(), rm->values.end());
 }

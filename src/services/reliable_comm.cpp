@@ -20,7 +20,7 @@ reliable_p2p::reliable_p2p(core::system& sys, params p)
                              });
 }
 
-void reliable_p2p::send(node_id src, node_id dst, std::any payload,
+void reliable_p2p::send(node_id src, node_id dst, sim::wire_payload payload,
                         std::size_t size_bytes) {
   // Per-link sequences keep each receiver's stream contiguous, which is
   // what lets the dedup state collapse to a watermark.
@@ -40,7 +40,7 @@ void reliable_p2p::send(node_id src, node_id dst, std::any payload,
 }
 
 void reliable_p2p::on_message(node_id n, const sim::message& m) {
-  const auto* f = std::any_cast<frame>(&m.payload);
+  const auto* f = m.payload.get<frame>();
   if (f == nullptr) return;
   auto [it, created] = seen_[n].try_emplace(m.src);
   if (!it->second.insert(f->seq)) {
@@ -85,7 +85,7 @@ reliable_broadcast::reliable_broadcast(core::system& sys, params p)
                              });
 }
 
-void reliable_broadcast::broadcast(node_id src, std::any payload,
+void reliable_broadcast::broadcast(node_id src, sim::wire_payload payload,
                                    std::size_t size_bytes) {
   require(!params_.total_order || size_bytes <= params_.max_message_bytes,
           "reliable_broadcast: total-order payload exceeds max_message_bytes");
@@ -101,7 +101,7 @@ void reliable_broadcast::broadcast(node_id src, std::any payload,
 }
 
 void reliable_broadcast::on_message(node_id n, const sim::message& m) {
-  const auto* msg = std::any_cast<bcast_msg>(&m.payload);
+  const auto* msg = m.payload.get<bcast_msg>();
   if (msg == nullptr) return;
   accept(n, *msg);
 }

@@ -39,7 +39,6 @@
 // node's shard and must be shard-confined for worker-threaded runs.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -99,12 +98,13 @@ class reliable_p2p {
     duration retry_spacing = duration::microseconds(200);
   };
 
-  using deliver_fn = std::function<void(node_id src, const std::any& payload)>;
+  using deliver_fn =
+      std::function<void(node_id src, const sim::wire_payload& payload)>;
 
   reliable_p2p(core::system& sys, params p);
 
   void on_deliver(node_id n, deliver_fn fn) { handlers_[n] = std::move(fn); }
-  void send(node_id src, node_id dst, std::any payload,
+  void send(node_id src, node_id dst, sim::wire_payload payload,
             std::size_t size_bytes = 64);
 
   /// Worst-case fault-free + <=k-omission delivery bound for `size` bytes.
@@ -123,7 +123,7 @@ class reliable_p2p {
  private:
   struct frame {
     std::uint64_t seq;
-    std::any payload;
+    sim::wire_payload payload;  // nested: the user's pooled payload, shared
   };
   void on_message(node_id n, const sim::message& m);
 
@@ -159,7 +159,7 @@ class reliable_broadcast {
     std::uint64_t seq = 0;  // per-origin, starting at 1
     time_point sent_at;
     std::size_t size_bytes = 64;  // carried so relays pay the true wire cost
-    std::any payload;
+    sim::wire_payload payload;    // shared by refcount through relays
   };
 
   using deliver_fn = std::function<void(const bcast_msg&)>;
@@ -167,7 +167,8 @@ class reliable_broadcast {
   reliable_broadcast(core::system& sys, params p);
 
   void on_deliver(node_id n, deliver_fn fn) { handlers_[n] = std::move(fn); }
-  void broadcast(node_id src, std::any payload, std::size_t size_bytes = 64);
+  void broadcast(node_id src, sim::wire_payload payload,
+                 std::size_t size_bytes = 64);
 
   /// Worst-case delivery bound for `size` bytes: the diffusion path (one
   /// direct hop plus one relay hop, both at `size`), and under Delta-

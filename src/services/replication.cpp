@@ -66,7 +66,7 @@ void replicated_service::execute(node_id n, const request& r, node_id client,
 }
 
 void replicated_service::on_message(node_id n, const sim::message& m) {
-  const auto* w = std::any_cast<wire>(&m.payload);
+  const auto* w = m.payload.get<wire>();
   if (w == nullptr) return;
 
   switch (w->k) {

@@ -23,7 +23,6 @@
 // for the three styles.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <map>

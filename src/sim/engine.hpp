@@ -34,6 +34,12 @@ class engine final : public runtime {
   // --- runtime interface ---------------------------------------------------
   [[nodiscard]] time_point now() const override { return now_; }
   event_id at(time_point t, event_fn fn) override;
+  /// Single engine: the placement hint is moot, so skip the base class's
+  /// second virtual dispatch through `at` (the wire schedules one delivery
+  /// per message through here).
+  event_id at_node(node_id, time_point t, event_fn fn) override {
+    return at(t, std::move(fn));
+  }
   event_id schedule_periodic(time_point first, duration period,
                              event_fn fn) override;
   void cancel(event_id id) override;

@@ -1,36 +1,72 @@
 #include "sim/network.hpp"
 
-#include <algorithm>
-
 namespace hades::sim {
+
+network::~network() = default;
 
 std::vector<node_id> network::attached_nodes() const {
   std::vector<node_id> out;
   out.reserve(handlers_.size());
-  for (const auto& [n, h] : handlers_) out.push_back(n);
-  std::sort(out.begin(), out.end());
+  for (node_id n = 0; n < handlers_.size(); ++n)
+    if (handlers_[n]) out.push_back(n);
   return out;
 }
 
 void network::new_source() {
   const auto n = static_cast<std::uint64_t>(sources_.size());
+  // Seeds depend only on the source index, so growing the node set never
+  // disturbs an existing source's stream (rng stability across
+  // reserve_nodes growth).
   sources_.push_back(std::make_unique<source_state>(
       rng(seed_ ^ (0x9E3779B97F4A7C15ull * (n + 1)))));
+  widen(*sources_.back());
 }
 
-bool network::node_down_at(node_id n, time_point t) const {
-  auto it = node_down_.find(n);
-  if (it == node_down_.end()) return false;
-  const bool* v = it->second.at(t);
-  return v != nullptr && *v;
+void network::publish_initial() {
+  auto first = std::make_unique<global_state>();
+  global_.store(first.get(), std::memory_order_release);
+  retired_.push_back(std::move(first));
 }
 
-bool network::partitioned_at(node_id a, node_id b, time_point t) const {
-  const std::vector<std::uint32_t>* groups = partition_.at(t);
-  if (groups == nullptr || groups->empty()) return false;
-  const std::uint32_t ga = a < groups->size() ? (*groups)[a] : no_group;
-  const std::uint32_t gb = b < groups->size() ? (*groups)[b] : no_group;
-  return ga != no_group && gb != no_group && ga != gb;
+template <typename Edit>
+void network::mutate_global(Edit&& edit) {
+  std::lock_guard lk(publish_mu_);
+  auto next = std::make_unique<global_state>(
+      *global_.load(std::memory_order_relaxed));
+  edit(*next);
+  const global_state* ptr = next.get();
+  // Predecessors stay alive while any reader could hold one: a reader only
+  // keeps the pointer within a single event callback, so outside event
+  // execution (the injector pre-registering a plan from the driver thread,
+  // tests programming faults between runs — the overwhelmingly common
+  // case) no reader exists and the retired list collapses to nothing,
+  // keeping an E-edge plan's pre-registration at O(E) live snapshots...
+  // well, exactly one. Mutations from inside events (crash_node actions)
+  // retain their predecessors until the next outside-execution mutation or
+  // network destruction — bounded by the plan's action count.
+  if (!rt_->in_event_context()) retired_.clear();
+  retired_.push_back(std::move(next));
+  global_.store(ptr, std::memory_order_release);
+}
+
+void network::set_omission_rate_at(time_point t, double p) {
+  mutate_global([&](global_state& g) { g.omission_rate.set(t, p); });
+}
+
+void network::set_performance_fault_at(time_point t, double p, duration extra) {
+  mutate_global([&](global_state& g) { g.perf_fault_tl.set(t, {p, extra}); });
+}
+
+void network::set_node_down_at(time_point t, node_id n, bool down) {
+  mutate_global([&](global_state& g) {
+    if (g.node_down.size() <= n)
+      g.node_down.resize(static_cast<std::size_t>(n) + 1);
+    g.node_down[n].set(t, down);
+  });
+}
+
+void network::heal_partition_at(time_point t) {
+  mutate_global([&](global_state& g) { g.partition.set(t, {}); });
 }
 
 void network::partition_at(time_point t,
@@ -41,48 +77,67 @@ void network::partition_at(time_point t,
       if (n >= assign.size()) assign.resize(n + 1, no_group);
       assign[n] = static_cast<std::uint32_t>(g);
     }
-  std::unique_lock lk(global_mu_);
-  partition_.set(t, std::move(assign));
+  mutate_global(
+      [&](global_state& g) { g.partition.set(t, std::move(assign)); });
+}
+
+bool network::global_state::partitioned_at(node_id a, node_id b,
+                                           time_point t) const {
+  const std::vector<std::uint32_t>* groups = partition.at(t);
+  if (groups == nullptr || groups->empty()) return false;
+  const std::uint32_t ga = a < groups->size() ? (*groups)[a] : no_group;
+  const std::uint32_t gb = b < groups->size() ? (*groups)[b] : no_group;
+  return ga != no_group && gb != no_group && ga != gb;
 }
 
 void network::set_link_down(node_id src, node_id dst, bool down) {
-  ensure_source(src);
-  sources_[src]->link_down[dst].set(rt_->now(), down);
+  source_state& s = source(src);
+  ensure_fanout(s, dst);
+  s.link_down[dst].set(rt_->now(), down);
+}
+
+void network::drop_next(node_id src, node_id dst, int count, int channel) {
+  source_state& s = source(src);
+  ensure_fanout(s, dst);
+  auto& bursts = s.scripted_drops[dst];
+  for (auto& b : bursts)
+    if (b.channel == channel) {
+      b.remaining += count;
+      return;
+    }
+  bursts.push_back({channel, count});
 }
 
 bool network::should_drop(source_state& s, node_id src, node_id dst,
-                          int channel) {
+                          int channel, const global_state& g, time_point t) {
   // Deterministic (draw-free) drop causes first, so a dropped frame never
   // perturbs the per-source rng stream.
-  const time_point t = rt_->now();
-  {
-    std::shared_lock lk(global_mu_);
-    if (node_down_at(src, t) || node_down_at(dst, t)) return true;
-    if (partitioned_at(src, dst, t)) return true;
-  }
-  if (auto it = s.link_down.find(dst); it != s.link_down.end()) {
-    const bool* down = it->second.at(t);
+  if (g.node_down_at(src, t) || g.node_down_at(dst, t)) return true;
+  if (g.partitioned_at(src, dst, t)) return true;
+  if (!s.link_down[dst].empty()) {
+    const bool* down = s.link_down[dst].at(t);
     if (down != nullptr && *down) return true;
   }
-  for (const int key : {channel, any_channel}) {
-    if (auto it = s.scripted_drops.find({dst, key});
-        it != s.scripted_drops.end() && it->second > 0) {
-      --it->second;
-      return true;
-    }
+  if (auto& bursts = s.scripted_drops[dst]; !bursts.empty()) {
+    // Channel-scoped bursts are consumed before an any_channel burst on the
+    // same link, regardless of registration order.
+    for (const int key : {channel, any_channel})
+      for (auto& b : bursts)
+        if (b.channel == key && b.remaining > 0) {
+          --b.remaining;
+          return true;
+        }
   }
-  double p;
-  {
-    std::shared_lock lk(global_mu_);
-    const double* global = omission_rate_.at(t);
+  double p = s.link_omission[dst];
+  if (p < 0.0) {
+    const double* global = g.omission_rate.at(t);
     p = global != nullptr ? *global : 0.0;
   }
-  if (auto it = s.link_omission.find(dst); it != s.link_omission.end())
-    p = it->second;
   return p > 0.0 && s.stream.chance(p);
 }
 
 duration network::sample_latency(source_state& s, std::size_t size_bytes,
+                                 const global_state& g, time_point now,
                                  bool& late) {
   const std::int64_t jitter_span =
       (params_.delta_max - params_.delta_min).count();
@@ -92,19 +147,16 @@ duration network::sample_latency(source_state& s, std::size_t size_bytes,
           jitter_span > 0 ? s.stream.uniform_int(0, jitter_span) : 0) +
       params_.per_byte * static_cast<std::int64_t>(size_bytes);
   perf_fault pf;
-  {
-    std::shared_lock lk(global_mu_);
-    const perf_fault* p = perf_fault_.at(rt_->now());
-    if (p != nullptr) pf = *p;
-  }
+  if (const perf_fault* p = g.perf_fault_tl.at(now); p != nullptr) pf = *p;
   late = pf.rate > 0.0 && s.stream.chance(pf.rate);
   if (late) lat += pf.extra;
   return lat;
 }
 
-std::uint64_t network::unicast(node_id src, node_id dst, int channel,
-                               std::any payload, std::size_t size_bytes) {
-  source_state& s = source(src);
+std::uint64_t network::submit(source_state& s, const global_state& g,
+                              time_point now, node_id src, node_id dst,
+                              int channel, wire_payload payload,
+                              std::size_t size_bytes) {
   message m;
   m.src = src;
   m.dst = dst;
@@ -114,51 +166,76 @@ std::uint64_t network::unicast(node_id src, node_id dst, int channel,
   // Per-source ids keep the counter shard-confined while staying unique
   // system-wide (40 bits of per-source sequence).
   m.id = ((static_cast<std::uint64_t>(src) + 1) << 40) | ++s.next_seq;
-  m.sent_at = rt_->now();
-  sent_.fetch_add(1, std::memory_order_relaxed);
+  m.sent_at = now;
+  ++s.sent;
 
-  if (should_drop(s, src, dst, channel)) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (should_drop(s, src, dst, channel, g, now)) {
+    ++s.dropped;
     return m.id;
   }
 
   bool late = false;
-  const duration lat = sample_latency(s, size_bytes, late);
-  if (late) late_.fetch_add(1, std::memory_order_relaxed);
+  const duration lat = sample_latency(s, size_bytes, g, now, late);
+  if (late) ++s.late;
 
-  time_point deliver_at = rt_->now() + lat;
+  time_point deliver_at = now + lat;
   // ATM virtual circuits are FIFO: never deliver before an earlier frame on
   // the same link.
-  auto& last = s.last_delivery[dst];
+  time_point& last = s.last_delivery[dst];
   if (deliver_at < last) deliver_at = last;
   last = deliver_at;
 
   const std::uint64_t id = m.id;
   rt_->at_node(dst, deliver_at, [this, m = std::move(m)]() {
-    bool dst_down;
-    {
-      std::shared_lock lk(global_mu_);
-      dst_down = node_down_at(m.dst, rt_->now());
-    }
-    auto it = handlers_.find(m.dst);
-    if (it == handlers_.end() || !it->second || dst_down) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);  // crashed in flight
+    const bool dst_down = snapshot().node_down_at(m.dst, rt_->now());
+    if (m.dst >= handlers_.size() || !handlers_[m.dst] || dst_down) {
+      dropped_inflight_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    delivered_.fetch_add(1, std::memory_order_relaxed);
+    ++delivered_by_dst_[m.dst].delivered;  // destination-shard-confined
     if (observer_) observer_(m);
-    it->second(m);
+    handlers_[m.dst](m);
   });
   return id;
 }
 
+std::uint64_t network::unicast(node_id src, node_id dst, int channel,
+                               wire_payload payload, std::size_t size_bytes) {
+  source_state& s = source(src);
+  ensure_fanout(s, dst);
+  // One lock-free acquire of the published fault snapshot and one clock
+  // read serve every globally-read check of this send.
+  return submit(s, snapshot(), rt_->now(), src, dst, channel,
+                std::move(payload), size_bytes);
+}
+
+std::size_t network::fan_out(node_id src, int channel,
+                             const wire_payload& payload,
+                             std::size_t size_bytes) {
+  source_state& s = source(src);
+  // Hoisted once for the whole fan-out: the fault snapshot, the clock read,
+  // and the source lookup (attach() keeps fan-out width >= handler count).
+  const global_state& g = snapshot();
+  const time_point now = rt_->now();
+  std::size_t n = 0;
+  for (node_id dst = 0; dst < handlers_.size(); ++dst) {
+    if (dst == src || !handlers_[dst]) continue;
+    submit(s, g, now, src, dst, channel, payload, size_bytes);  // refcount
+    ++n;
+  }
+  return n;
+}
+
 std::vector<std::uint64_t> network::broadcast(node_id src, int channel,
-                                              const std::any& payload,
+                                              const wire_payload& payload,
                                               std::size_t size_bytes) {
+  source_state& s = source(src);
+  const global_state& g = snapshot();
+  const time_point now = rt_->now();
   std::vector<std::uint64_t> ids;
-  for (node_id n : attached_nodes()) {
-    if (n == src) continue;
-    ids.push_back(unicast(src, n, channel, payload, size_bytes));
+  for (node_id dst = 0; dst < handlers_.size(); ++dst) {
+    if (dst == src || !handlers_[dst]) continue;
+    ids.push_back(submit(s, g, now, src, dst, channel, payload, size_bytes));
   }
   return ids;
 }

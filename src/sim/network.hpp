@@ -16,51 +16,66 @@
 // are scheduled with `runtime::at_node(dst, ...)` so the sharded backend
 // can route each one to the shard owning the destination.
 //
-// Shard confinement (DESIGN.md): all per-link send-side state — the rng
-// stream, message sequence numbers, FIFO floors, per-link omissions,
-// scripted drop bursts, and the *directional* link-down timelines — lives
-// in one `source_state` per node, touched only at send time, i.e. on the
-// shard owning the sender (every send a node performs executes on its own
-// shard — the anchoring rule of DESIGN.md). Wire counters are atomics.
-// The remaining globally-read fault state (node up/down, partitions, the
-// global omission/performance rates) is kept as *time-indexed* toggle
-// timelines behind a reader/writer lock: a send at date t reads the state
+// Wire fast path (DESIGN.md, "Wire fast path"): a steady-state fault-free
+// send costs zero heap allocations and zero lock acquisitions. Payloads are
+// `wire_payload`s (slab-pooled, refcount-shared across broadcast fan-out —
+// never `std::any`'s per-copy heap box); all per-source send-side state is
+// dense `reserve_nodes`-sized vectors indexed by destination (FIFO floors,
+// per-link omission rates, scripted drop bursts, directional link-down
+// timelines) plus a flat handler table — no `std::map` node chasing on the
+// send or deliver path. Timeline lookups binary-search their sorted entries
+// (`std::upper_bound`), so long pre-registered fault plans do not tax every
+// send.
+//
+// Shard confinement (DESIGN.md): all per-link send-side state lives in one
+// `source_state` per node, touched only at send time, i.e. on the shard
+// owning the sender (every send a node performs executes on its own shard —
+// the anchoring rule of DESIGN.md). Wire counters are atomics. The
+// remaining globally-read fault state (node up/down, partitions, the global
+// omission/performance rates) is an *immutable snapshot* published through
+// one atomic pointer: every mutator copies the current snapshot, applies
+// its time-indexed edit, and publishes the copy, so the hot path performs a
+// single lock-free acquire-load instead of taking a reader/writer lock
+// twice. Reads stay date-keyed — a send at date t reads the state
 // configured for date t, never the state as of whichever wall-clock order
-// the shards happened to execute the mutation in. This is what lets the
+// the shards happened to execute the mutation in — which is what lets the
 // scenario layer replay a fault plan bit-identically across shard AND
-// worker counts. Call `reserve_nodes` before a worker-threaded run (the
-// owning `core::system` does): per-source slots then pre-exist and the
-// hot path performs no structural mutation of shared containers.
+// worker counts (`scenario::apply` pre-registers a plan's whole global wire
+// truth before the run; runtime re-registrations are same-date idempotent).
+//
+// Call `reserve_nodes` before a worker-threaded run (the owning
+// `core::system` does): per-source slots then pre-exist and the hot path
+// performs no structural mutation of shared containers. Structural
+// mutation — `attach`, `detach`, lazy source/fan-out growth — is
+// serial-only and *enforced*: doing it from inside event execution while
+// the backend runs worker threads throws instead of racing.
 #pragma once
 
-#include <any>
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <iterator>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
-#include <shared_mutex>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sim/runtime.hpp"
+#include "sim/wire_payload.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace hades::sim {
 
-/// One frame on the wire. Payloads are type-erased values (the simulation is
-/// in-process; services down-cast on their own channel).
+/// One frame on the wire. Payloads are type-erased pooled values (the
+/// simulation is in-process; services down-cast on their own channel with
+/// `payload.get<T>()`). Copying a message shares the payload by refcount.
 struct message {
   node_id src = invalid_node;
   node_id dst = invalid_node;
   int channel = 0;
-  std::any payload;
+  wire_payload payload;
   std::size_t size_bytes = 0;
   std::uint64_t id = 0;  // unique per source: (src + 1) << 40 | per-src seq
   time_point sent_at;
@@ -80,33 +95,61 @@ class network {
       : rt_(&rt), params_(p), seed_(seed) {
     validate(p.delta_min <= p.delta_max, "network: delta_min > delta_max");
     validate(!p.delta_max.is_infinite(), "network: delta_max must be finite");
+    publish_initial();
   }
+  ~network();
+  network(const network&) = delete;
+  network& operator=(const network&) = delete;
 
   /// Pre-create per-source send state for nodes [0, n). Required before a
-  /// worker-threaded run (lazy growth is single-threaded-only);
-  /// `core::system` calls it with its node count.
+  /// worker-threaded run (lazy growth is single-threaded-only and enforced
+  /// as such); `core::system` calls it with its node count.
   void reserve_nodes(std::size_t n) {
+    if (n > fanout_) fanout_ = n;
     while (sources_.size() < n) new_source();
+    for (auto& s : sources_) widen(*s);
+    if (handlers_.size() < fanout_) {
+      handlers_.resize(fanout_);
+      delivered_by_dst_.resize(fanout_);
+    }
   }
 
   /// Attach a node's receive handler. A node without a handler silently
-  /// drops inbound traffic (models a crashed or absent node).
+  /// drops inbound traffic (models a crashed or absent node). Structural:
+  /// serial-only once worker threads run (see header).
   void attach(node_id n, handler h) {
+    assert_structural("attach");
     ensure_source(n);
+    if (handlers_.size() <= n) {
+      handlers_.resize(static_cast<std::size_t>(n) + 1);
+      delivered_by_dst_.resize(handlers_.size());
+    }
     handlers_[n] = std::move(h);
   }
-  void detach(node_id n) { handlers_.erase(n); }
-  [[nodiscard]] bool attached(node_id n) const { return handlers_.contains(n); }
+  void detach(node_id n) {
+    assert_structural("detach");
+    if (n < handlers_.size()) handlers_[n] = nullptr;
+  }
+  [[nodiscard]] bool attached(node_id n) const {
+    return n < handlers_.size() && handlers_[n] != nullptr;
+  }
   [[nodiscard]] std::vector<node_id> attached_nodes() const;
 
   /// Send one message. Returns the message id (even when the frame is
   /// dropped at submit time).
-  std::uint64_t unicast(node_id src, node_id dst, int channel, std::any payload,
-                        std::size_t size_bytes = 64);
+  std::uint64_t unicast(node_id src, node_id dst, int channel,
+                        wire_payload payload, std::size_t size_bytes = 64);
 
-  /// Send to every attached node except the sender. Returns ids.
+  /// Send to every attached node except the sender, sharing one pooled
+  /// payload across the whole fan-out (refcount, not copies). Returns the
+  /// number of frames submitted; the zero-allocation broadcast path.
+  std::size_t fan_out(node_id src, int channel, const wire_payload& payload,
+                      std::size_t size_bytes = 64);
+
+  /// `fan_out` variant collecting per-destination message ids (allocates
+  /// the id vector; tests and diagnostics only).
   std::vector<std::uint64_t> broadcast(node_id src, int channel,
-                                       const std::any& payload,
+                                       const wire_payload& payload,
                                        std::size_t size_bytes = 64);
 
   // --- fault injection -------------------------------------------------
@@ -115,30 +158,28 @@ class network {
   // state ahead of time. The scenario injector uses those to register a
   // whole plan's wire state *before* the run: reads are date-keyed, so
   // pre-registration changes nothing semantically, but it removes every
-  // insert-vs-read race a worker-threaded round could otherwise hit when a
-  // relay send lands within one lookahead of a toggle.
+  // write-vs-read race a worker-threaded round could otherwise hit when a
+  // relay send lands within one lookahead of a toggle. Each mutation
+  // publishes a fresh immutable snapshot (see header comment).
 
   /// Probability that any message is lost (global omission rate). Takes
   /// effect from the current date onward (time-indexed toggle).
   void set_omission_rate(double p) { set_omission_rate_at(rt_->now(), p); }
   /// Program the omission rate to change at future date `t`.
-  void set_omission_rate_at(time_point t, double p) {
-    std::unique_lock lk(global_mu_);
-    omission_rate_.set(t, p);
-  }
+  void set_omission_rate_at(time_point t, double p);
   /// Per-link omission probability, overrides the global rate. Send-side
   /// state: call from the source's shard (the injector anchors on it).
   void set_link_omission(node_id src, node_id dst, double p) {
-    ensure_source(src);
-    sources_[src]->link_omission[dst] = p;
+    source_state& s = source(src);
+    ensure_fanout(s, dst);
+    s.link_omission[dst] = p;
   }
   /// Deterministically drop the next `count` messages src -> dst.
   /// `channel >= 0` restricts the burst to that channel (so a scripted
-  /// heartbeat burst cannot eat unrelated traffic on the same link).
-  void drop_next(node_id src, node_id dst, int count, int channel = any_channel) {
-    ensure_source(src);
-    sources_[src]->scripted_drops[{dst, channel}] += count;
-  }
+  /// heartbeat burst cannot eat unrelated traffic on the same link); a
+  /// channel-scoped burst is consumed before any `any_channel` burst on the
+  /// same link.
+  void drop_next(node_id src, node_id dst, int count, int channel = any_channel);
   /// Take one *direction* of a link down / up: frames src -> dst are dropped
   /// at submit time from this date onward, the reverse direction is
   /// untouched (asymmetric partitions are sets of these). Time-indexed: a
@@ -151,10 +192,7 @@ class network {
     set_performance_fault_at(rt_->now(), p, extra);
   }
   /// Program a performance-fault window edge at future date `t`.
-  void set_performance_fault_at(time_point t, double p, duration extra) {
-    std::unique_lock lk(global_mu_);
-    perf_fault_.set(t, {p, extra});
-  }
+  void set_performance_fault_at(time_point t, double p, duration extra);
 
   /// Take a whole node off the wire (both directions): outbound frames are
   /// dropped at submit time and inbound frames at delivery time, so a
@@ -167,13 +205,9 @@ class network {
   /// Program a node's wire silence to toggle at future date `t`. Same-date
   /// re-registration (the scheduled crash action repeating the injector's
   /// pre-registered entry) is idempotent.
-  void set_node_down_at(time_point t, node_id n, bool down) {
-    std::unique_lock lk(global_mu_);
-    node_down_[n].set(t, down);
-  }
+  void set_node_down_at(time_point t, node_id n, bool down);
   [[nodiscard]] bool node_down(node_id n) const {
-    std::shared_lock lk(global_mu_);
-    return node_down_at(n, rt_->now());
+    return snapshot().node_down_at(n, rt_->now());
   }
 
   /// Partition the LAN into isolated groups: frames whose endpoints are in
@@ -185,10 +219,7 @@ class network {
   void heal_partition() { heal_partition_at(rt_->now()); }
   /// Program a partition / heal at future date `t`.
   void partition_at(time_point t, const std::vector<std::vector<node_id>>& groups);
-  void heal_partition_at(time_point t) {
-    std::unique_lock lk(global_mu_);
-    partition_.set(t, {});
-  }
+  void heal_partition_at(time_point t);
 
   // --- observability ---------------------------------------------------
   struct counters {
@@ -197,13 +228,20 @@ class network {
     std::uint64_t dropped = 0;
     std::uint64_t late = 0;
   };
-  /// Snapshot of the wire counters (atomics; totals are worker-count
-  /// independent).
+  /// Snapshot of the wire counters. Send-side events (sent, submit-time
+  /// drops, lateness) are counted per source — shard-confined plain
+  /// increments, summed here — and only delivery-side events touch an
+  /// atomic; totals are worker-count independent either way. Read between
+  /// runs (the round barrier orders the per-source counts).
   [[nodiscard]] counters stats() const {
-    return {sent_.load(std::memory_order_relaxed),
-            delivered_.load(std::memory_order_relaxed),
-            dropped_.load(std::memory_order_relaxed),
-            late_.load(std::memory_order_relaxed)};
+    counters c{0, 0, dropped_inflight_.load(std::memory_order_relaxed), 0};
+    for (const auto& s : sources_) {
+      c.sent += s->sent;
+      c.dropped += s->dropped;
+      c.late += s->late;
+    }
+    for (const dst_counter& d : delivered_by_dst_) c.delivered += d.delivered;
+    return c;
   }
   [[nodiscard]] const params& config() const { return params_; }
 
@@ -226,29 +264,36 @@ class network {
   /// taking effect at date t, `at` reads the value in force at date t. All
   /// reads are order-independent — two shards may execute a mutation and a
   /// query in either wall order within a round and still agree, because the
-  /// query compares dates, not mutation order. (Concurrency of the
-  /// container itself is the caller's business: the globally-read
-  /// timelines live behind `global_mu_`, the per-source ones are confined
-  /// to the source's shard.)
+  /// query compares dates, not mutation order. Entries stay sorted by date,
+  /// same-date entries in registration order, and both `set` and `at`
+  /// binary-search (`std::upper_bound`) — `at` returns the *last* entry at
+  /// or before t, so same-date re-registration is last-write-wins.
+  /// (Concurrency of the container itself is the caller's business: the
+  /// globally-read timelines live inside immutable published snapshots, the
+  /// per-source ones are confined to the source's shard.)
   template <typename T>
   class timeline {
    public:
     void set(time_point t, T v) {
-      auto it = entries_.end();
-      while (it != entries_.begin() && std::prev(it)->first > t) --it;
-      entries_.insert(it, {t, std::move(v)});
+      entries_.insert(upper_bound(t), {t, std::move(v)});
     }
     [[nodiscard]] const T* at(time_point t) const {
-      const T* best = nullptr;
-      for (const auto& [when, v] : entries_) {
-        if (when > t) break;
-        best = &v;
-      }
-      return best;
+      auto it = upper_bound(t);
+      return it == entries_.begin() ? nullptr : &std::prev(it)->second;
     }
+    [[nodiscard]] bool empty() const { return entries_.empty(); }
 
    private:
-    std::vector<std::pair<time_point, T>> entries_;  // sorted by date
+    using entry = std::pair<time_point, T>;
+    // Const iterator serves both paths: vector::insert takes one.
+    [[nodiscard]] typename std::vector<entry>::const_iterator upper_bound(
+        time_point t) const {
+      return std::upper_bound(
+          entries_.begin(), entries_.end(), t,
+          [](time_point q, const entry& e) { return q < e.first; });
+    }
+
+    std::vector<entry> entries_;  // sorted by date
   };
 
   struct perf_fault {
@@ -256,56 +301,132 @@ class network {
     duration extra = duration::zero();
   };
 
+  /// Immutable globally-read fault state. Mutators copy-edit-publish under
+  /// `publish_mu_`; the hot path reads the current snapshot through one
+  /// atomic acquire-load and never blocks. Retired snapshots are kept until
+  /// network destruction, so a reader can never dangle (writes are bounded:
+  /// plan pre-registration plus rare runtime re-registrations).
+  struct global_state {
+    std::vector<timeline<bool>> node_down;  // node-indexed
+    // node -> group in force; no_group means unrestricted. Empty vector =
+    // no partition.
+    timeline<std::vector<std::uint32_t>> partition;
+    timeline<double> omission_rate;
+    timeline<perf_fault> perf_fault_tl;
+
+    [[nodiscard]] bool node_down_at(node_id n, time_point t) const {
+      if (n >= node_down.size()) return false;
+      const bool* v = node_down[n].at(t);
+      return v != nullptr && *v;
+    }
+    [[nodiscard]] bool partitioned_at(node_id a, node_id b, time_point t) const;
+  };
+
+  static constexpr std::uint32_t no_group = 0xFFFFFFFFu;
+
   /// Send-side state of one node, owned by the shard owning the node: only
   /// events executing there (the node's sends, injector actions anchored on
-  /// the node) may touch it.
+  /// the node) may touch it. All destination-keyed state is dense vectors
+  /// sized by `reserve_nodes` (growth is structural, serial-only).
   struct source_state {
     explicit source_state(rng r) : stream(std::move(r)) {}
     rng stream;
     std::uint64_t next_seq = 0;
-    std::map<node_id, time_point> last_delivery;          // FIFO per link
-    std::map<node_id, double> link_omission;
-    std::map<std::pair<node_id, int>, int> scripted_drops;  // {dst, channel}
-    std::map<node_id, timeline<bool>> link_down;          // src -> dst, dated
+    std::uint64_t sent = 0;     // frames submitted by this source
+    std::uint64_t dropped = 0;  // frames dropped at submit time
+    std::uint64_t late = 0;     // frames hit by a performance fault
+    std::vector<time_point> last_delivery;  // FIFO floor per destination
+    std::vector<double> link_omission;      // per destination; <0 = unset
+    struct drop_burst {
+      int channel = 0;  // any_channel = every channel
+      int remaining = 0;
+    };
+    std::vector<std::vector<drop_burst>> scripted_drops;  // per destination
+    std::vector<timeline<bool>> link_down;  // src -> dst, dated
   };
 
   void new_source();
+  void widen(source_state& s) const {
+    s.last_delivery.resize(fanout_, time_point::zero());
+    s.link_omission.resize(fanout_, -1.0);
+    s.scripted_drops.resize(fanout_);
+    s.link_down.resize(fanout_);
+  }
   void ensure_source(node_id n) {
-    while (sources_.size() <= n) new_source();
+    // Source-slot creation and fan-out widening are both structural: guard
+    // whichever is about to grow (fanout_ can exceed sources_.size() after
+    // a destination-only widening, so the checks are independent).
+    if (n >= fanout_ || n >= sources_.size()) {
+      assert_structural("per-source state growth");
+      if (n >= fanout_) {
+        fanout_ = static_cast<std::size_t>(n) + 1;
+        for (auto& s : sources_) widen(*s);
+      }
+      while (sources_.size() <= n) new_source();
+    }
   }
   source_state& source(node_id n) {
     ensure_source(n);
     return *sources_[n];
   }
+  void ensure_fanout(source_state& s, node_id dst) {
+    if (dst < s.last_delivery.size()) return;
+    assert_structural("per-source state growth");
+    if (dst >= fanout_) fanout_ = static_cast<std::size_t>(dst) + 1;
+    for (auto& src : sources_) widen(*src);
+  }
 
-  duration sample_latency(source_state& s, std::size_t size_bytes, bool& late);
-  bool should_drop(source_state& s, node_id src, node_id dst, int channel);
-  // Callers must hold global_mu_ (shared suffices).
-  [[nodiscard]] bool node_down_at(node_id n, time_point t) const;
-  [[nodiscard]] bool partitioned_at(node_id a, node_id b, time_point t) const;
+  /// Structural mutation of shared wire containers (handler table, source
+  /// slots, fan-out width) is serial-only: from inside event execution of a
+  /// worker-threaded backend it would race with concurrent sends on other
+  /// shards, so it throws instead. `reserve_nodes` pre-sizes everything.
+  void assert_structural(const char* what) const {
+    if (rt_->worker_count() > 0 && rt_->in_event_context())
+      throw error(std::string("network: ") + what +
+                  " from inside event execution with workers > 0; structural "
+                  "wire mutation is serial-only — pre-size with reserve_nodes "
+                  "before the run (see network.hpp)");
+  }
+
+  [[nodiscard]] const global_state& snapshot() const {
+    return *global_.load(std::memory_order_acquire);
+  }
+  /// Copy the current snapshot, apply `edit`, publish the copy, retire the
+  /// predecessor. Serialized by `publish_mu_`; never blocks readers.
+  template <typename Edit>
+  void mutate_global(Edit&& edit);
+  void publish_initial();
+
+  duration sample_latency(source_state& s, std::size_t size_bytes,
+                          const global_state& g, time_point now, bool& late);
+  bool should_drop(source_state& s, node_id src, node_id dst, int channel,
+                   const global_state& g, time_point now);
+  /// The send fast path. `fan_out`/`broadcast` hoist the snapshot load, the
+  /// clock read, and the source lookup out of their per-destination loop.
+  std::uint64_t submit(source_state& s, const global_state& g, time_point now,
+                       node_id src, node_id dst, int channel,
+                       wire_payload payload, std::size_t size_bytes);
 
   runtime* rt_;
   params params_;
   std::uint64_t seed_;
+  std::size_t fanout_ = 0;  // width of destination-indexed vectors
   std::vector<std::unique_ptr<source_state>> sources_;
-  std::unordered_map<node_id, handler> handlers_;
+  std::vector<handler> handlers_;  // node-indexed; null = not attached
+  /// Delivery counter of one destination, padded so worker threads
+  /// delivering on different shards never share a cache line.
+  struct alignas(64) dst_counter {
+    std::uint64_t delivered = 0;
+  };
+  std::vector<dst_counter> delivered_by_dst_;  // node-indexed, like handlers_
 
-  // Globally-read fault state: time-indexed, guarded by global_mu_ so that
-  // worker threads can read while an injector action writes. Determinism
-  // does not depend on the lock — reads compare dates.
-  mutable std::shared_mutex global_mu_;
-  std::map<node_id, timeline<bool>> node_down_;
-  // node -> group in force; no_group means unrestricted. Empty vector = no
-  // partition.
-  static constexpr std::uint32_t no_group = 0xFFFFFFFFu;
-  timeline<std::vector<std::uint32_t>> partition_;
-  timeline<double> omission_rate_;
-  timeline<perf_fault> perf_fault_;
+  std::atomic<const global_state*> global_{nullptr};
+  std::mutex publish_mu_;  // serializes mutators, never taken by readers
+  std::vector<std::unique_ptr<const global_state>> retired_;
 
-  std::atomic<std::uint64_t> sent_{0};
-  std::atomic<std::uint64_t> delivered_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-  std::atomic<std::uint64_t> late_{0};
+  // In-flight drops (destination crashed or detached before delivery) stay
+  // atomic: the edge is rare and not worth a padded per-node counter.
+  std::atomic<std::uint64_t> dropped_inflight_{0};
   std::function<void(const message&)> observer_;
 };
 

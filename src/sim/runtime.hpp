@@ -110,6 +110,14 @@ class runtime {
   }
   [[nodiscard]] virtual std::size_t shard_count() const { return 1; }
   [[nodiscard]] virtual std::uint32_t executing_shard() const { return 0; }
+  /// Worker threads concurrently advancing shards (0 = all events run on
+  /// the calling thread). Components with serial-only structural paths
+  /// (e.g. `sim::network` handler-table growth) gate on this.
+  [[nodiscard]] virtual std::size_t worker_count() const { return 0; }
+  /// True while the calling thread is inside one of this runtime's event
+  /// callbacks. Combined with `worker_count() > 0` it identifies the
+  /// contexts where structural mutation of shared state would race.
+  [[nodiscard]] virtual bool in_event_context() const { return false; }
 
   // --- same-instant batching ------------------------------------------------
   /// Open a burst anchored at absolute time `t` (must be >= now()).

@@ -28,8 +28,10 @@ sharded_engine::sharded_engine(sharded_params p)
   for (std::uint32_t s : node_shard_)
     validate(s < p.shards, "sharded_engine: node mapped to unknown shard");
   shards_.reserve(p.shards);
-  for (std::size_t s = 0; s < p.shards; ++s)
+  for (std::size_t s = 0; s < p.shards; ++s) {
     shards_.push_back(std::make_unique<shard>());
+    shards_.back()->outbox.resize(p.shards);
+  }
   const std::size_t workers = std::min(p.workers, p.shards);
   workers_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w)
@@ -84,18 +86,15 @@ event_id sharded_engine::at_node(node_id dst, time_point t, event_fn fn) {
   const std::uint32_t target = shard_of(dst);
   if (!in_callback() || target == current_shard())
     return tag(target, shards_[target]->core.at(t, std::move(fn)));
-  // Cross-shard: enqueue at the shard boundary. The lookahead requirement is
-  // what makes the conservative horizon sound — an event below the horizon
-  // can only create work at or beyond it.
+  // Cross-shard: append to the origin's per-target outbox (owner-only, no
+  // lock — see drain_outboxes for the boundary hand-off). The lookahead
+  // requirement is what makes the conservative horizon sound — an event
+  // below the horizon can only create work at or beyond it.
   shard& from = *shards_[current_shard()];
   require(t >= from.core.now() + lookahead_,
           "sharded_engine::at_node: cross-shard event below the lookahead");
-  shard& to = *shards_[target];
-  {
-    std::lock_guard lk(to.inbox_mu);
-    to.inbox.push_back(
-        cross_event{t, current_shard(), from.xmit_seq++, std::move(fn)});
-  }
+  from.outbox[target].push_back(
+      cross_event{t, current_shard(), from.xmit_seq++, std::move(fn)});
   return invalid_event;  // cross-shard events are fire-and-forget
 }
 
@@ -131,27 +130,33 @@ void sharded_engine::commit(event_batch& b) {
 
 // --- conservative rounds -----------------------------------------------------
 
-void sharded_engine::drain_inboxes() {
+// Round-boundary injection, run by the coordinator while every worker is
+// quiescent (the round barrier's mutex hand-off makes the workers' outbox
+// appends visible here — no per-event lock anywhere). Each target merges
+// the per-origin batches destined for it, sorted by the deterministic key.
+void sharded_engine::drain_outboxes() {
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     shard& sh = *shards_[s];
-    std::vector<cross_event> batch;
-    {
-      std::lock_guard lk(sh.inbox_mu);
-      batch.swap(sh.inbox);
+    drain_scratch_.clear();
+    for (auto& from : shards_) {
+      auto& box = from->outbox[s];
+      if (box.empty()) continue;
+      std::move(box.begin(), box.end(), std::back_inserter(drain_scratch_));
+      box.clear();
     }
-    if (batch.empty()) continue;
+    if (drain_scratch_.empty()) continue;
     // The deterministic merge: injection order (and so the core's FIFO
     // tie-break among same-instant arrivals) never depends on which thread
     // pushed first.
-    std::sort(batch.begin(), batch.end(),
+    std::sort(drain_scratch_.begin(), drain_scratch_.end(),
               [](const cross_event& a, const cross_event& b) {
                 if (a.t != b.t) return a.t < b.t;
                 if (a.origin_shard != b.origin_shard)
                   return a.origin_shard < b.origin_shard;
                 return a.origin_seq < b.origin_seq;
               });
-    cross_events_ += batch.size();
-    for (auto& ce : batch) sh.core.at(ce.t, std::move(ce.fn));
+    cross_events_ += drain_scratch_.size();
+    for (auto& ce : drain_scratch_) sh.core.at(ce.t, std::move(ce.fn));
   }
 }
 
@@ -213,7 +218,7 @@ std::size_t sharded_engine::run_rounds(time_point limit,
                                        std::size_t max_events) {
   std::size_t total = 0;
   while (total < max_events) {
-    drain_inboxes();
+    drain_outboxes();
     const time_point m = next_time_all();
     if (m.is_infinite() || m > limit) break;
     // Everything strictly below m + lookahead is safe; run_until is
@@ -229,7 +234,7 @@ std::size_t sharded_engine::run_rounds(time_point limit,
 // --- execution ---------------------------------------------------------------
 
 bool sharded_engine::step() {
-  drain_inboxes();
+  drain_outboxes();
   std::uint32_t best = 0;
   time_point bt = time_point::infinity();
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
@@ -263,10 +268,13 @@ std::size_t sharded_engine::run(std::size_t max_events) {
 }
 
 bool sharded_engine::empty() const {
+  // Outboxes are owner-confined during a round; like the cores themselves,
+  // these queries are meaningful from outside event execution (between
+  // rounds), where the round barrier has already ordered every append.
   for (const auto& sp : shards_) {
     if (!sp->core.empty()) return false;
-    std::lock_guard lk(sp->inbox_mu);
-    if (!sp->inbox.empty()) return false;
+    for (const auto& box : sp->outbox)
+      if (!box.empty()) return false;
   }
   return true;
 }
@@ -275,8 +283,7 @@ std::size_t sharded_engine::pending() const {
   std::size_t n = 0;
   for (const auto& sp : shards_) {
     n += sp->core.pending();
-    std::lock_guard lk(sp->inbox_mu);
-    n += sp->inbox.size();
+    for (const auto& box : sp->outbox) n += box.size();
   }
   return n;
 }

@@ -12,12 +12,16 @@
 // (`workers == 0`, always safe) or concurrently on a worker pool
 // (`workers > 0`, requires shard-confined event handlers).
 //
-// Cross-shard events (`at_node` targeting a foreign shard) are enqueued in
-// the target's inbox and injected at the next round boundary, ordered by
-// the deterministic key {time, origin shard, origin sequence} — so the
-// merged execution trace is independent of thread interleaving and, for
-// workloads whose same-instant events are shard-local, identical to the
-// single-engine run (see DESIGN.md for the exact determinism argument).
+// Cross-shard events (`at_node` targeting a foreign shard) are appended to
+// the *origin* shard's per-target outbox — owner-only state, so the send
+// side costs a plain vector push with no lock — and injected into the
+// target cores at the next round boundary by the coordinator (workers are
+// quiescent between rounds; the round barrier's mutex hand-off orders the
+// writes), sorted by the deterministic key {time, origin shard, origin
+// sequence} — so the merged execution trace is independent of thread
+// interleaving and, for workloads whose same-instant events are
+// shard-local, identical to the single-engine run (see DESIGN.md for the
+// exact determinism argument).
 //
 // Contract deviations from the single engine, all confined to cross-shard
 // use: `at_node` across shards requires `t >= now() + lookahead`, returns
@@ -73,11 +77,15 @@ class sharded_engine final : public runtime {
   [[nodiscard]] std::uint32_t executing_shard() const override {
     return current_shard();
   }
+  [[nodiscard]] std::size_t worker_count() const override {
+    return workers_.size();
+  }
+  [[nodiscard]] bool in_event_context() const override { return in_callback(); }
   [[nodiscard]] duration lookahead() const { return lookahead_; }
 
   struct shard_stats {
     std::uint64_t rounds = 0;        // conservative synchronization windows
-    std::uint64_t cross_events = 0;  // events routed through an inbox
+    std::uint64_t cross_events = 0;  // events routed through an outbox
     /// Events executed per shard — the max/mean ratio is the load balance,
     /// and sum/max bounds the achievable parallel speedup (critical path).
     std::vector<std::uint64_t> executed_per_shard;
@@ -86,7 +94,7 @@ class sharded_engine final : public runtime {
 
  private:
   // Events crossing a shard boundary carry a deterministic merge key:
-  // inboxes are drained sorted by {t, origin shard, origin seq}, so the
+  // outboxes are drained sorted by {t, origin shard, origin seq}, so the
   // injection order — and hence the target core's FIFO tie-break — never
   // depends on thread interleaving.
   struct cross_event {
@@ -100,8 +108,11 @@ class sharded_engine final : public runtime {
     engine core;
     std::uint64_t xmit_seq = 0;  // outgoing cross-event counter (owner-only)
     std::uint64_t ran = 0;       // events executed (owner-only during rounds)
-    mutable std::mutex inbox_mu;
-    std::vector<cross_event> inbox;
+    // Outgoing cross-shard events, one batch per target shard. Owner-only
+    // during a round (only the thread executing this shard appends), read
+    // and cleared by the coordinator at the round boundary — no lock on
+    // the per-event path; the round barrier orders the hand-off.
+    std::vector<std::vector<cross_event>> outbox;
   };
 
   // Shard ids are the inner engine's {slot+1, gen} id tagged with the shard
@@ -112,7 +123,7 @@ class sharded_engine final : public runtime {
   [[nodiscard]] std::uint32_t current_shard() const;
   [[nodiscard]] bool in_callback() const;
 
-  void drain_inboxes();
+  void drain_outboxes();
   [[nodiscard]] time_point next_time_all();
   std::size_t run_shard(std::uint32_t s, time_point bound);
   std::size_t round(time_point bound);  // serial or parallel per `workers_`
@@ -124,6 +135,7 @@ class sharded_engine final : public runtime {
   std::vector<std::unique_ptr<shard>> shards_;
   std::uint64_t rounds_ = 0;
   std::uint64_t cross_events_ = 0;
+  std::vector<cross_event> drain_scratch_;  // coordinator-only, reused
 
   // Worker pool (empty in serial mode). Rounds are dispatched by ticket:
   // workers claim shard indices until the round is exhausted, the last

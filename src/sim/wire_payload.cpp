@@ -1,0 +1,145 @@
+#include "sim/wire_payload.hpp"
+
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace hades::sim::detail {
+
+namespace {
+
+// Free-list striping: stripes only spread CAS contention between threads
+// (each thread pushes and pops its own stripe first), every list is safe
+// for any number of concurrent producers and consumers, so stripe
+// assignment needs no lifetime management — a recycled stripe id is merely
+// a shared stripe, never a correctness problem.
+constexpr std::size_t kStripes = 8;
+constexpr std::size_t kBlocksPerChunk = 256;
+constexpr std::size_t kMaxChunks = 4096;  // ~1M blocks per size class
+
+// Treiber head: {aba tag : 32 | block index + 1 : 32}; low word 0 = empty.
+struct alignas(64) free_list {
+  std::atomic<std::uint64_t> head{0};
+};
+
+struct class_state {
+  std::atomic<std::byte*> chunks[kMaxChunks] = {};
+  std::atomic<std::uint32_t> chunk_count{0};
+  free_list lists[kStripes];
+  std::mutex grow_mu;
+};
+
+class_state g_classes[payload_pool::num_classes];
+std::atomic<std::uint64_t> g_chunk_allocs{0};
+std::atomic<std::uint64_t> g_oversize_allocs{0};
+std::atomic<std::int64_t> g_pooled_live{0};
+std::atomic<std::uint32_t> g_stripe_seq{0};
+
+std::uint32_t my_stripe() {
+  thread_local const std::uint32_t stripe =
+      g_stripe_seq.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+constexpr std::size_t stride_of(std::size_t cls) {
+  return sizeof(payload_block) + payload_pool::class_sizes[cls];
+}
+
+payload_block* block_at(std::size_t cls, std::uint32_t index) {
+  std::byte* base =
+      g_classes[cls].chunks[index / kBlocksPerChunk].load(std::memory_order_acquire);
+  return reinterpret_cast<payload_block*>(
+      base + static_cast<std::size_t>(index % kBlocksPerChunk) * stride_of(cls));
+}
+
+void push(free_list& fl, payload_block* b) noexcept {
+  std::uint64_t h = fl.head.load(std::memory_order_relaxed);
+  for (;;) {
+    b->next.store(static_cast<std::uint32_t>(h),
+                  std::memory_order_relaxed);  // previous head's index + 1
+    const std::uint64_t nh =
+        (h & 0xFFFFFFFF00000000ull) | (static_cast<std::uint64_t>(b->index) + 1);
+    if (fl.head.compare_exchange_weak(h, nh, std::memory_order_release,
+                                      std::memory_order_relaxed))
+      return;
+  }
+}
+
+payload_block* pop(std::size_t cls, free_list& fl) noexcept {
+  std::uint64_t h = fl.head.load(std::memory_order_acquire);
+  for (;;) {
+    const auto idx1 = static_cast<std::uint32_t>(h);
+    if (idx1 == 0) return nullptr;
+    payload_block* b = block_at(cls, idx1 - 1);
+    // `next` may be overwritten by an unrelated push if another thread pops
+    // this block and frees it before our CAS; the bumped ABA tag then fails
+    // the CAS, so the stale read is never acted upon.
+    const std::uint32_t next = b->next.load(std::memory_order_relaxed);
+    const std::uint64_t nh =
+        ((h >> 32) + 1) << 32 | static_cast<std::uint64_t>(next);
+    if (fl.head.compare_exchange_weak(h, nh, std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+      return b;
+  }
+}
+
+/// Allocate one more chunk for `cls`, push all but one block onto the
+/// caller's stripe, and return the held-back block. Growth is the only
+/// locked path and stops once the pool matches the working set.
+payload_block* grow(std::size_t cls, std::uint32_t stripe) {
+  class_state& cs = g_classes[cls];
+  std::lock_guard lk(cs.grow_mu);
+  const std::uint32_t c = cs.chunk_count.load(std::memory_order_relaxed);
+  require(c < kMaxChunks, "wire_payload: slab pool exhausted (size class)");
+  auto* base = static_cast<std::byte*>(
+      ::operator new(kBlocksPerChunk * stride_of(cls)));
+  const auto first = static_cast<std::uint32_t>(c * kBlocksPerChunk);
+  for (std::size_t i = 0; i < kBlocksPerChunk; ++i) {
+    auto* b = ::new (base + i * stride_of(cls)) payload_block{};
+    b->index = first + static_cast<std::uint32_t>(i);
+    b->size_class = static_cast<std::uint8_t>(cls);
+  }
+  cs.chunks[c].store(base, std::memory_order_release);
+  cs.chunk_count.store(c + 1, std::memory_order_release);
+  g_chunk_allocs.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 1; i < kBlocksPerChunk; ++i)
+    push(cs.lists[stripe],
+         reinterpret_cast<payload_block*>(base + i * stride_of(cls)));
+  return reinterpret_cast<payload_block*>(base);
+}
+
+}  // namespace
+
+payload_block* payload_pool::acquire(std::size_t bytes) {
+  std::size_t cls = 0;
+  while (cls < num_classes && class_sizes[cls] < bytes) ++cls;
+  if (cls == num_classes) return nullptr;
+  class_state& cs = g_classes[cls];
+  const std::uint32_t home = my_stripe();
+  payload_block* b = pop(cls, cs.lists[home]);
+  for (std::size_t probe = 1; b == nullptr && probe < kStripes; ++probe)
+    b = pop(cls, cs.lists[(home + probe) % kStripes]);
+  if (b == nullptr) b = grow(cls, home);
+  b->refs.store(1, std::memory_order_relaxed);
+  b->on_heap = 0;
+  g_pooled_live.fetch_add(1, std::memory_order_relaxed);
+  return b;
+}
+
+void payload_pool::release(payload_block* b) noexcept {
+  g_pooled_live.fetch_sub(1, std::memory_order_relaxed);
+  push(g_classes[b->size_class].lists[my_stripe()], b);
+}
+
+payload_pool::pool_stats payload_pool::stats() noexcept {
+  return {g_chunk_allocs.load(std::memory_order_relaxed),
+          g_oversize_allocs.load(std::memory_order_relaxed),
+          static_cast<std::uint64_t>(
+              g_pooled_live.load(std::memory_order_relaxed))};
+}
+
+void payload_pool::count_oversize() noexcept {
+  g_oversize_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hades::sim::detail

@@ -22,11 +22,20 @@ class invariant_violation : public std::logic_error {
 };
 
 /// Precondition / invariant check. Always on (safety-critical domain).
+/// The `const char*` overloads matter: literal messages must not construct
+/// a temporary std::string on the hot path when the condition holds (the
+/// event core and the wire are gated on zero steady-state allocations).
+inline void require(bool condition, const char* message) {
+  if (!condition) throw invariant_violation(message);
+}
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw invariant_violation(message);
 }
 
 /// Configuration validation helper: throws hades::error on failure.
+inline void validate(bool condition, const char* message) {
+  if (!condition) throw error(message);
+}
 inline void validate(bool condition, const std::string& message) {
   if (!condition) throw error(message);
 }

@@ -39,12 +39,16 @@ class rng {
     return result;
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Range reduction is Lemire's
+  /// multiply-shift (a 128-bit multiply instead of a 64-bit division —
+  /// the division dominated the wire's latency-jitter draw).
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
     require(lo <= hi, "rng::uniform_int: empty range");
     const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
     if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
-    return lo + static_cast<std::int64_t>(next_u64() % span);
+    const auto scaled = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * span) >> 64);
+    return lo + static_cast<std::int64_t>(scaled);
   }
 
   /// Uniform real in [0, 1).

@@ -586,7 +586,7 @@ TEST(DispatcherTest, AppMessagingThroughExecutionContext) {
   system sys(2, zero_cost());
   std::vector<int> got;
   sys.net(1).on_channel(42, [&](const sim::message& m) {
-    got.push_back(std::any_cast<int>(m.payload));
+    got.push_back(*m.payload.get<int>());
   });
   task_builder b("sender");
   code_eu e;

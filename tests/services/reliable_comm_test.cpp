@@ -23,8 +23,8 @@ TEST(ReliableP2pTest, DeliversOnceDespiteRedundantCopies) {
   core::system sys(2, lan());
   reliable_p2p svc(sys, {2, 200_us});
   std::vector<int> got;
-  svc.on_deliver(1, [&](node_id, const std::any& p) {
-    got.push_back(std::any_cast<int>(p));
+  svc.on_deliver(1, [&](node_id, const sim::wire_payload& p) {
+    got.push_back(*p.get<int>());
   });
   svc.send(0, 1, 42);
   sys.run_for(10_ms);
@@ -36,7 +36,7 @@ TEST(ReliableP2pTest, MasksOmissionsUpToDegree) {
   core::system sys(2, lan());
   reliable_p2p svc(sys, {2, 200_us});  // k=2: 3 copies
   int got = 0;
-  svc.on_deliver(1, [&](node_id, const std::any&) { ++got; });
+  svc.on_deliver(1, [&](node_id, const sim::wire_payload&) { ++got; });
   sys.network().drop_next(0, 1, 2);  // kill the first two copies
   svc.send(0, 1, 7);
   sys.run_for(10_ms);
@@ -48,7 +48,7 @@ TEST(ReliableP2pTest, DeliveryWithinBound) {
   reliable_p2p svc(sys, {3, 150_us});
   std::vector<duration> latencies;
   time_point sent;
-  svc.on_deliver(1, [&](node_id, const std::any&) {
+  svc.on_deliver(1, [&](node_id, const sim::wire_payload&) {
     latencies.push_back(sys.now() - sent);
   });
   rng r(5);

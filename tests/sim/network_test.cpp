@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace hades::sim {
 namespace {
@@ -40,7 +42,7 @@ TEST(NetworkTest, PayloadRoundTrips) {
   network net(e, tight());
   std::string got;
   net.attach(1, [&](const message& m) {
-    got = std::any_cast<std::string>(m.payload);
+    got = *m.payload.get<std::string>();
   });
   net.unicast(0, 1, 7, std::string("payload!"), 16);
   e.run();
@@ -163,7 +165,7 @@ TEST(NetworkTest, FifoPerLinkEvenWithLateness) {
   network net(e, p, 7);
   std::vector<int> order;
   net.attach(1, [&](const message& m) {
-    order.push_back(std::any_cast<int>(m.payload));
+    order.push_back(*m.payload.get<int>());
   });
   net.set_performance_fault(1.0, 500_us);  // first message very late
   net.unicast(0, 1, 0, 1, 8);
@@ -277,6 +279,191 @@ TEST(NetworkTest, DeterministicAcrossRuns) {
     return arrivals;
   };
   EXPECT_EQ(run(), run());
+}
+
+// Regression: timeline entries programmed at the SAME date must resolve
+// last-write-wins (the injector re-registers a plan's entries at their own
+// dates; the scheduled action repeating a pre-registered edge is idempotent
+// only if the later registration is the one read back).
+TEST(NetworkTest, SameDateToggleIsLastWriteWins) {
+  engine e;
+  network net(e, tight());
+  int received = 0;
+  net.attach(1, [&](const message&) { ++received; });
+  const time_point t = time_point::zero();
+  net.set_omission_rate_at(t, 1.0);
+  net.set_omission_rate_at(t, 0.0);  // same date, later registration wins
+  for (int i = 0; i < 20; ++i) net.unicast(0, 1, 0, i, 8);
+  e.run();
+  EXPECT_EQ(received, 20);
+
+  engine e2;
+  network net2(e2, tight());
+  int received2 = 0;
+  net2.attach(1, [&](const message&) { ++received2; });
+  net2.set_omission_rate_at(t, 0.0);
+  net2.set_omission_rate_at(t, 1.0);  // reversed order: drop everything
+  for (int i = 0; i < 20; ++i) net2.unicast(0, 1, 0, i, 8);
+  e2.run();
+  EXPECT_EQ(received2, 0);
+}
+
+// A channel-scoped burst is consumed before an any_channel burst on the
+// same link, regardless of the order the bursts were registered in.
+TEST(NetworkTest, ChannelBurstConsumedBeforeAnyChannelBurst) {
+  engine e;
+  network net(e, tight());
+  std::vector<int> channels;
+  net.attach(1, [&](const message& m) { channels.push_back(m.channel); });
+  net.drop_next(0, 1, 1);                  // any_channel, registered first
+  net.drop_next(0, 1, 1, /*channel=*/7);   // channel-scoped
+  net.unicast(0, 1, 7, 1, 8);  // eaten by the channel-7 burst, not any_channel
+  net.unicast(0, 1, 9, 2, 8);  // eaten by the any_channel burst
+  net.unicast(0, 1, 7, 3, 8);  // both bursts exhausted: delivered
+  net.unicast(0, 1, 9, 4, 8);  // delivered
+  e.run();
+  EXPECT_EQ(channels, (std::vector<int>{7, 9}));
+  EXPECT_EQ(net.stats().dropped, 2u);
+}
+
+// Per-link FIFO floors are independent across destinations: holding one
+// link back (lateness) must not delay another link of the same source.
+TEST(NetworkTest, FifoFloorsArePerDestination) {
+  engine e;
+  network::params p;
+  p.delta_min = p.delta_max = 10_us;
+  p.per_byte = 0_ns;
+  network net(e, p, 7);
+  std::vector<std::pair<node_id, int>> order;
+  for (node_id n = 1; n <= 2; ++n)
+    net.attach(n, [&, n](const message& m) {
+      order.emplace_back(n, *m.payload.get<int>());
+    });
+  net.set_performance_fault(1.0, 500_us);
+  net.unicast(0, 1, 0, 1, 8);  // link 0->1 floor pushed to ~510us
+  net.set_performance_fault(0.0, duration::zero());
+  net.unicast(0, 2, 0, 2, 8);  // link 0->2 unaffected: arrives at 10us
+  net.unicast(0, 1, 0, 3, 8);  // held behind the 0->1 floor
+  e.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], (std::pair<node_id, int>{2, 2}));
+  EXPECT_EQ(order[1], (std::pair<node_id, int>{1, 1}));
+  EXPECT_EQ(order[2], (std::pair<node_id, int>{1, 3}));
+}
+
+// Growing the node set (reserve_nodes) must not disturb the rng stream —
+// and therefore the delivery schedule — of an existing source.
+TEST(NetworkTest, RngStreamStableAcrossReserveNodesGrowth) {
+  auto run = [](bool grow_midway) {
+    engine e;
+    network net(e, tight(), 99);
+    net.reserve_nodes(2);
+    std::vector<std::int64_t> arrivals;
+    net.attach(1, [&](const message&) {
+      arrivals.push_back(e.now().nanoseconds());
+    });
+    for (int i = 0; i < 50; ++i) net.unicast(0, 1, 0, i, 8);
+    if (grow_midway) net.reserve_nodes(48);  // widen fan-out state
+    for (int i = 0; i < 50; ++i) net.unicast(0, 1, 0, i, 8);
+    e.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// Broadcast fan-out shares ONE pooled payload by refcount: every receiver
+// observes the same block, and the steady state allocates nothing.
+TEST(NetworkTest, BroadcastSharesOnePooledPayloadAndAllocatesNothing) {
+  struct envelope {
+    std::uint64_t a, b, c;
+  };
+  engine e;
+  network net(e, tight());
+  net.reserve_nodes(4);
+  std::vector<const envelope*> seen;
+  for (node_id n = 0; n < 4; ++n)
+    net.attach(n, [&](const message& m) {
+      seen.push_back(m.payload.get<envelope>());
+    });
+  net.fan_out(0, 1, envelope{1, 2, 3}, 32);
+  e.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_NE(seen[0], nullptr);
+  EXPECT_EQ(seen[0], seen[1]);  // one block, shared across the fan-out
+  EXPECT_EQ(seen[1], seen[2]);
+
+  // Steady state: no pool growth, no heap fallback, no event-closure heap.
+  for (int i = 0; i < 16; ++i) {  // warm
+    net.fan_out(0, 1, envelope{1, 2, 3}, 32);
+    e.run();
+  }
+  const auto pool_before = wire_payload::stats();
+  const auto cb_before = event_callback::heap_allocations();
+  for (int i = 0; i < 1000; ++i) {
+    net.fan_out(0, 1, envelope{static_cast<std::uint64_t>(i), 2, 3}, 32);
+    e.run();
+  }
+  const auto pool_after = wire_payload::stats();
+  EXPECT_EQ(pool_after.chunk_allocs, pool_before.chunk_allocs);
+  EXPECT_EQ(pool_after.oversize_allocs, pool_before.oversize_allocs);
+  EXPECT_EQ(pool_after.pooled_live, pool_before.pooled_live);
+  EXPECT_EQ(event_callback::heap_allocations(), cb_before);
+}
+
+// Structural wire mutation (attach/detach/lazy growth) from inside event
+// execution is a silent race once worker threads run; the network must
+// reject it loudly instead.
+TEST(NetworkTest, StructuralMutationGuardedUnderWorkers) {
+  sharded_params sp;
+  sp.shards = 2;
+  sp.workers = 2;
+  sp.lookahead = 10_us;
+  sp.node_shard = {0, 1};
+  sharded_engine eng(sp);
+  network net(eng, tight());
+  net.reserve_nodes(2);
+  net.attach(0, [](const message&) {});
+  net.attach(1, [](const message&) {});
+  // Serial setup may widen the fan-out beyond the source count: node 9 gets
+  // destination slots in every source, but no source of its own.
+  net.set_link_omission(0, 9, 0.0);
+
+  std::atomic<int> guarded{0};
+  eng.at_node(0, time_point::at(1_us), [&] {
+    try {
+      net.attach(0, [](const message&) {});  // structural: must throw
+    } catch (const error&) {
+      guarded.fetch_add(1);
+    }
+    try {
+      net.unicast(0, 20, 0, 1, 8);  // lazy fan-out growth: must throw too
+    } catch (const error&) {
+      guarded.fetch_add(1);
+    }
+    try {
+      // Source-slot creation with the fan-out already wide enough (node 9
+      // is within fanout_ but has no source yet): still structural.
+      net.unicast(9, 1, 0, 1, 8);
+    } catch (const error&) {
+      guarded.fetch_add(1);
+    }
+    net.unicast(0, 1, 0, 2, 8);  // pre-sized send path stays fine
+  });
+  eng.run_until(time_point::at(1_ms));
+  EXPECT_EQ(guarded.load(), 3);
+  EXPECT_EQ(net.stats().delivered, 1u);
+
+  // Serial rounds (workers == 0): structural growth stays allowed.
+  sharded_params sp2 = sp;
+  sp2.workers = 0;
+  sharded_engine eng2(sp2);
+  network net2(eng2, tight());
+  net2.reserve_nodes(2);
+  int got = 0;
+  net2.attach(1, [&](const message&) { ++got; });
+  eng2.at_node(0, time_point::at(1_us), [&] { net2.unicast(0, 9, 0, 1, 8); });
+  eng2.run_until(time_point::at(1_ms));
+  EXPECT_EQ(got, 0);  // node 9 unattached; the send itself was legal
 }
 
 }  // namespace
