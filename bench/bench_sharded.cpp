@@ -24,27 +24,118 @@
 // count; wall-clock speedup is reported against the 4-shard serial
 // baseline.
 //
+// A third, *scale-curve* workload measures how the full system scales in
+// node count (DESIGN.md, "Scalable topology layer"): hierarchical fault
+// detection (clusters of 50), clustered clock sync, and spanning-tree
+// Delta-ordered broadcast from 8 spread origins, run at 256/1k/4k/10k
+// nodes on 4 shards / 4 workers. Peak live heap is tracked by counting
+// operator new/delete replacements, and the per-point bytes/node is the
+// number the CI scaling gate holds near-linear: `--require-scaling` fails
+// unless bytes/node at 10k stays within 2x of the 1k point and the 10k
+// point still clears a throughput floor.
+//
 // Usage: bench_sharded [--smoke] [--require-2x] [--json PATH]
-//   --smoke       ~20x fewer events (CI compile/perf-path check)
-//   --require-2x  exit non-zero unless the 4-shard wall speedup >= 2x on
-//                 BOTH workloads (needs >= 4 hardware threads)
-//   --json PATH   write machine-readable BENCH_sharded results to PATH
+//                      [--scale-curve] [--nodes N] [--require-scaling]
+//   --smoke           ~20x fewer events (CI compile/perf-path check)
+//   --require-2x      exit non-zero unless the 4-shard wall speedup >= 2x
+//                     on BOTH workloads (needs >= 4 hardware threads)
+//   --json PATH       write machine-readable BENCH_sharded results to PATH
+//   --scale-curve     run ONLY the node-count scaling curve (256/1k/4k/10k;
+//                     256/1k under --smoke)
+//   --nodes N         run ONLY one ad-hoc scale point at N nodes
+//   --require-scaling run the full curve and exit non-zero unless
+//                     bytes/node(10k) <= 2x bytes/node(1k) and the 10k
+//                     point sustains >= 50k events/s
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <malloc.h>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/json_out.hpp"
 #include "core/system.hpp"
+#include "services/clock_sync.hpp"
 #include "services/fault_detector.hpp"
 #include "services/reliable_comm.hpp"
 #include "sim/sharded_engine.hpp"
 
 using namespace hades;
 using namespace hades::literals;
+
+// --- peak-live-heap tracking -------------------------------------------------
+// The scale curve gates on memory per node, so this binary replaces the
+// global allocation functions with thin counting wrappers around malloc.
+// Live bytes use malloc_usable_size (what the allocator actually holds, not
+// the request); the peak is maintained with a CAS loop so worker threads
+// can allocate concurrently. The aligned forms matter: the per-node padded
+// state structs are alignas(64) and live in vectors, and the default
+// aligned operator delete does NOT fall back to the unsized plain one.
+
+namespace heap_track {
+
+inline std::atomic<std::uint64_t> live{0};
+inline std::atomic<std::uint64_t> peak{0};
+
+inline void count(void* p) {
+  if (p == nullptr) return;
+  const std::uint64_t sz = malloc_usable_size(p);
+  const std::uint64_t now =
+      live.fetch_add(sz, std::memory_order_relaxed) + sz;
+  std::uint64_t prev = peak.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !peak.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+inline void uncount(void* p) {
+  if (p != nullptr)
+    live.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+}
+/// Forget the historical peak: it restarts from the current live size.
+inline void reset_peak() {
+  peak.store(live.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+}
+
+}  // namespace heap_track
+
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size > 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  heap_track::count(p);
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  const std::size_t al =
+      std::max(static_cast<std::size_t>(align), sizeof(void*));
+  void* p = nullptr;
+  if (posix_memalign(&p, al, size > 0 ? size : al) != 0)
+    throw std::bad_alloc();
+  heap_track::count(p);
+  return p;
+}
+void operator delete(void* p) noexcept {
+  heap_track::uncount(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  heap_track::uncount(p);
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  heap_track::uncount(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  heap_track::uncount(p);
+  std::free(p);
+}
 
 namespace {
 
@@ -214,21 +305,195 @@ bench_result run_full_system(std::size_t shards, std::size_t workers,
   return r;
 }
 
+// --- scale-curve workload ----------------------------------------------------
+
+struct scale_result {
+  double wall_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t peak_bytes = 0;  // peak live heap above the pre-run baseline
+  std::uint64_t checksum = 0;
+};
+
+// One full-system point of the node-count scaling curve: hierarchical
+// detector + clustered clock sync (clusters of 50) + tree-diffusion
+// Delta-ordered broadcast from 8 spread origins, on 4 shards / 4 workers.
+// Delivery logs are off (unbounded by design, they would dominate the
+// memory number); the suspicion oracle is wired so re-parenting is on the
+// path even though no faults are injected here.
+scale_result run_scale_point(std::size_t nodes, duration horizon) {
+  const std::uint64_t baseline =
+      heap_track::live.load(std::memory_order_relaxed);
+  heap_track::reset_peak();
+
+  scale_result r;
+  {
+    core::system::config cfg;
+    cfg.costs = core::cost_model::zero();
+    cfg.kernel_background = false;
+    cfg.tracing = false;
+    cfg.seed = 11;
+    cfg.net.delta_min = 20_us;
+    cfg.net.delta_max = 60_us;
+    cfg.net.per_byte = 0_ns;
+    cfg.shards = 4;
+    cfg.workers = 4;
+    core::system sys(nodes, cfg);
+
+    svc::fault_detector fd(sys, {10_ms, 35_ms, 50});
+    svc::reliable_broadcast::params bp;
+    bp.total_order = true;
+    bp.stability_delay = 2_ms;
+    bp.record_deliveries = false;
+    bp.diffusion = svc::reliable_broadcast::diffusion_kind::tree;
+    svc::reliable_broadcast bcast(sys, bp);
+    bcast.set_suspicion_oracle(
+        [&fd](node_id o, node_id s) { return fd.suspects(o, s); });
+    svc::clock_sync_service::params sp;
+    sp.cluster_size = 50;
+    sp.max_faulty = 1;
+    svc::clock_sync_service clocks(sys, sp);
+
+    std::vector<app_state> state(nodes);
+    for (node_id n = 0; n < nodes; ++n)
+      bcast.on_deliver(n, [st = &state[n]](
+                              const svc::reliable_broadcast::bcast_msg& m) {
+        ++st->delivered;
+        st->hash = (st->hash ^ (static_cast<std::uint64_t>(m.origin) << 32) ^
+                    m.seq) *
+                   0xBF58476D1CE4E5B9ull;
+      });
+
+    constexpr std::size_t kOrigins = 8;
+    for (std::size_t i = 0; i < kOrigins && i < nodes; ++i) {
+      const node_id n = static_cast<node_id>(i * nodes / kOrigins);
+      sys.engine().periodic_at_node(
+          n, time_point::at(20_ms + 413_us * i + 7_us),
+          9500_us + 613_us * static_cast<std::int64_t>(i),
+          [&sys, &bcast, n] {
+            if (!sys.crashed(n)) bcast.broadcast(n, static_cast<int>(n));
+          });
+    }
+    fd.start();
+    clocks.start();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.run_until(time_point::at(horizon));
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+
+    r.wall_s = dt.count();
+    r.events = sys.engine().executed();
+    for (const app_state& s : state) r.checksum ^= s.hash + s.delivered;
+    r.checksum ^= fd.heartbeats_sent() * 3 + bcast.delivered() * 5 +
+                  clocks.rounds_completed() * 7;
+    const auto ns = sys.network().stats();
+    r.checksum ^= ns.sent * 13 + ns.delivered * 17;
+    // Read the peak while the system is still alive: it is the high-water
+    // mark of system + services + in-flight events over the whole run.
+    const std::uint64_t peak = heap_track::peak.load(std::memory_order_relaxed);
+    r.peak_bytes = peak > baseline ? peak - baseline : 0;
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   duration horizon = duration::milliseconds(400);
+  bool smoke = false;
   bool require_2x = false;
+  bool scale_curve = false;
+  bool require_scaling = false;
+  std::size_t scale_nodes = 0;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0)
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
       horizon = duration::milliseconds(20);
+    }
     if (std::strcmp(argv[i], "--require-2x") == 0) require_2x = true;
+    if (std::strcmp(argv[i], "--scale-curve") == 0) scale_curve = true;
+    if (std::strcmp(argv[i], "--require-scaling") == 0) require_scaling = true;
+    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      scale_nodes = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (scale_nodes == 0) {
+        std::fprintf(stderr, "bench_sharded: --nodes needs a count >= 1\n");
+        return 2;
+      }
+    }
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
   }
   hades::bench::json_doc json;
   json.str("bench", "sharded");
+
+  if (scale_curve || require_scaling || scale_nodes > 0) {
+    std::vector<std::size_t> points;
+    if (scale_nodes > 0)
+      points.push_back(scale_nodes);
+    else if (smoke && !require_scaling)
+      points = {256, 1000};
+    else
+      points = {256, 1000, 4000, 10000};
+    const duration sc_horizon = smoke && !require_scaling
+                                    ? duration::milliseconds(120)
+                                    : duration::milliseconds(300);
+    hades::bench::stamp(json, points.back(), 4, 4);
+    std::printf(
+        "node-count scale curve: hierarchical detector (clusters of 50) + "
+        "clustered clock sync + tree broadcast, 4 shards / 4 workers, "
+        "%lld ms horizon\n",
+        static_cast<long long>(sc_horizon.count() / 1000000));
+    double bpn_1k = 0, bpn_10k = 0, evs_10k = 0;
+    for (std::size_t n : points) {
+      const scale_result r = run_scale_point(n, sc_horizon);
+      const double bpn =
+          n > 0 ? static_cast<double>(r.peak_bytes) / static_cast<double>(n)
+                : 0.0;
+      const double evs =
+          r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0.0;
+      std::printf(
+          "  %6zu nodes: %9.0f ev/s  (%9llu events, %6.3fs)  peak heap "
+          "%7.1f MiB  %8.0f bytes/node\n",
+          n, evs, static_cast<unsigned long long>(r.events), r.wall_s,
+          static_cast<double>(r.peak_bytes) / (1024.0 * 1024.0), bpn);
+      const std::string suffix = std::to_string(n);
+      json.num("scale_events_per_sec_" + suffix, evs);
+      json.num("scale_bytes_per_node_" + suffix, bpn);
+      json.num("scale_peak_heap_bytes_" + suffix, r.peak_bytes);
+      if (n == 1000) bpn_1k = bpn;
+      if (n == 10000) {
+        bpn_10k = bpn;
+        evs_10k = evs;
+      }
+    }
+    if (!json_path.empty()) json.write(json_path);
+    if (require_scaling) {
+      if (bpn_1k <= 0 || bpn_10k <= 0) {
+        std::printf("FAIL: scaling gate needs both the 1k and 10k points\n");
+        return 1;
+      }
+      if (bpn_10k > 2.0 * bpn_1k) {
+        std::printf(
+            "FAIL: memory per node grew superlinearly: %.0f bytes/node at "
+            "10k vs %.0f at 1k (> 2x)\n",
+            bpn_10k, bpn_1k);
+        return 1;
+      }
+      if (evs_10k < 50000.0) {
+        std::printf("FAIL: 10k-node throughput %.0f ev/s below the 50k "
+                    "floor\n",
+                    evs_10k);
+        return 1;
+      }
+      std::printf(
+          "scaling gate OK: %.2fx bytes/node 1k->10k (<= 2x), %.0f ev/s at "
+          "10k (>= 50k)\n",
+          bpn_10k / bpn_1k, evs_10k);
+    }
+    return 0;
+  }
+  hades::bench::stamp(json, kSysNodes, 4, 4);
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf(

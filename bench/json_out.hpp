@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,5 +48,21 @@ class json_doc {
  private:
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Provenance stamp every BENCH_*.json should lead with, so artifacts from
+/// different runs/machines are comparable: the workload's node count, the
+/// shard/worker configuration, and the git revision (CI's GITHUB_SHA when
+/// set, else the configure-time HADES_GIT_SHA, else "unknown").
+inline void stamp(json_doc& d, std::size_t nodes, std::size_t shards,
+                  std::size_t workers) {
+  d.num("nodes", static_cast<std::uint64_t>(nodes));
+  d.num("shards", static_cast<std::uint64_t>(shards));
+  d.num("workers", static_cast<std::uint64_t>(workers));
+  const char* sha = std::getenv("GITHUB_SHA");
+#ifdef HADES_GIT_SHA
+  if (sha == nullptr || *sha == '\0') sha = HADES_GIT_SHA;
+#endif
+  d.str("git_sha", sha != nullptr && *sha != '\0' ? sha : "unknown");
+}
 
 }  // namespace hades::bench

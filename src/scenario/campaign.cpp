@@ -108,6 +108,10 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
 
   svc::fault_detector fd(sys, spec.fd);
   svc::reliable_broadcast bcast(sys, spec.bcast);
+  // Tree diffusion re-parents around suspected relays; harmless no-op for
+  // flood cells. fd outlives bcast (declared first), so the capture is safe.
+  bcast.set_suspicion_oracle(
+      [&fd](node_id o, node_id s) { return fd.suspects(o, s); });
   svc::mode_manager modes(sys, spec.thresholds);
   std::unique_ptr<svc::clock_sync_service> sync;
   if (spec.with_clock_sync) {
@@ -115,6 +119,7 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
     sp.resync_period = 100_ms;
     sp.collect_window = 2_ms;
     sp.max_faulty = spec.clock_sync_max_faulty;
+    sp.cluster_size = spec.clock_sync_cluster;
     sync = std::make_unique<svc::clock_sync_service>(sys, sp);
   }
 
@@ -126,9 +131,10 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
   observation& obs = cell.obs;
   obs.nodes = spec.nodes;
   obs.horizon = time_point::at(spec.horizon);
-  obs.detect_bound =
-      spec.fd.timeout + spec.fd.heartbeat_period + cfg.net.delta_max + 1_ms;
-  obs.recover_bound = spec.fd.heartbeat_period + cfg.net.delta_max + 1_ms;
+  // The detector knows its own worst case for whichever topology the spec
+  // configured (flat or hierarchical); 1ms of checker margin on top.
+  obs.detect_bound = fd.detection_bound() + 1_ms;
+  obs.recover_bound = fd.recovery_bound() + 1_ms;
   obs.delivery_bound = bcast.delivery_bound(64) + 1_ms;
   obs.skew_bound = spec.skew_bound;
 
@@ -163,9 +169,22 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
   obs.sent_at.assign(spec.nodes, {});
   bcast_driver driver{&sys, &bcast, &obs.sent_at,
                       obs.horizon - obs.delivery_bound - 5_ms};
-  for (node_id n = 0; n < spec.nodes; ++n)
-    driver.arm(n, time_point::at(20_ms + 413_us * n + 7_us),
-               4700_us + 613_us * static_cast<std::int64_t>(n));
+  // bcast_nodes == 0: the standing 8-node family, every node an origin (the
+  // exact historical dates — checksums depend on them). Otherwise only
+  // `bcast_nodes` origins, spread evenly so different clusters and tree
+  // positions send.
+  const std::size_t senders =
+      spec.bcast_nodes == 0 ? spec.nodes
+                            : std::min(spec.bcast_nodes, spec.nodes);
+  for (std::size_t i = 0; i < senders; ++i) {
+    const node_id n = spec.bcast_nodes == 0
+                          ? static_cast<node_id>(i)
+                          : static_cast<node_id>(i * spec.nodes / senders);
+    driver.arm(n,
+               time_point::at(20_ms + 413_us * static_cast<std::int64_t>(i) +
+                              7_us),
+               4700_us + 613_us * static_cast<std::int64_t>(i));
+  }
 
   fd.start();
   if (sync) sync->start();
@@ -315,10 +334,14 @@ campaign_result run_campaign(const campaign_options& opt) {
   std::vector<scenario_spec> specs;
   if (opt.scenarios.empty()) {
     specs = all_scenarios();
+    if (opt.include_scale)
+      for (scenario_spec& s : scale_scenarios()) specs.push_back(std::move(s));
   } else {
     for (const std::string& name : opt.scenarios)
       specs.push_back(find_scenario(name));
   }
+  if (opt.nodes > 0)
+    for (scenario_spec& s : specs) s.nodes = opt.nodes;
 
   if (!opt.out_dir.empty())
     std::filesystem::create_directories(opt.out_dir);

@@ -209,8 +209,65 @@ std::vector<scenario_spec> all_scenarios() {
   return out;
 }
 
+std::vector<scenario_spec> scale_scenarios() {
+  std::vector<scenario_spec> out;
+
+  // Common 1k-node configuration: hierarchical detection and clustered
+  // clock sync over 20 clusters of 50, tree diffusion with 4 spread
+  // origins. Fault windows are long enough to outlive the hierarchical
+  // detection bound (~110ms at these parameters) and disjoint in time, so
+  // every (observer, subject) suspicion/recovery pair grades cleanly.
+  auto scale_base = [](std::string name, std::string description) {
+    scenario_spec s = base(std::move(name), std::move(description));
+    s.nodes = 1000;
+    s.horizon = 1300_ms;
+    s.fd.cluster_size = 50;
+    s.bcast.diffusion = svc::reliable_broadcast::diffusion_kind::tree;
+    s.bcast_nodes = 4;
+    s.with_clock_sync = true;
+    s.clock_sync_cluster = 50;
+    return s;
+  };
+
+  {
+    scenario_spec s = scale_base(
+        "cluster_crash_1k",
+        "1k nodes, 20 clusters of 50: a plain member and later a cluster "
+        "aggregator crash and recover; every correct observer must suspect "
+        "each within the two-hop hierarchical bound (digest adoption for "
+        "foreign observers, implicit succession for the aggregator) and "
+        "clear within the recovery bound after the restart");
+    s.p.crash(time_point::at(250_ms + 131_us), 137)
+        .recover(time_point::at(500_ms + 151_us), 137)
+        .crash(time_point::at(600_ms + 137_us), 300)  // aggregator of c6
+        .recover(time_point::at(850_ms + 173_us), 300);
+    s.modes.final_mode = svc::op_mode::degraded;  // degraded is sticky
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = scale_base(
+        "cluster_partition_1k",
+        "1k nodes: clusters 18-19 (nodes 900..999) partition away and heal; "
+        "both sides must presume the other unreachable via cluster-silence "
+        "within the bound, and the first post-heal digest exchange must "
+        "clear every cross-side suspicion within the recovery bound");
+    std::vector<node_id> low, high;
+    for (node_id n = 0; n < 900; ++n) low.push_back(n);
+    for (node_id n = 900; n < 1000; ++n) high.push_back(n);
+    s.p.split(time_point::at(300_ms + 137_us), {std::move(low), std::move(high)})
+        .heal(time_point::at(700_ms + 157_us));
+    // A partition is not a crash (suspicion policy disabled): stays NORMAL.
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
 scenario_spec find_scenario(const std::string& name) {
   for (scenario_spec& s : all_scenarios())
+    if (s.name == name) return std::move(s);
+  for (scenario_spec& s : scale_scenarios())
     if (s.name == name) return std::move(s);
   throw invariant_violation("unknown scenario: " + name);
 }

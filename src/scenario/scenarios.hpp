@@ -45,6 +45,12 @@ struct scenario_spec {
   /// scenario injects up to f Byzantine crystals and the skew checker
   /// grades only the correct-clock nodes.
   int clock_sync_max_faulty = 0;
+  /// 0 = flat clock-sync rounds; C > 0 = clustered two-phase rounds.
+  std::size_t clock_sync_cluster = 0;
+  /// 0 = every node runs the broadcast workload; k > 0 = only k origins,
+  /// spread evenly over [0, nodes) — at 1k nodes an all-origins workload
+  /// would swamp the run without grading anything extra.
+  std::size_t bcast_nodes = 0;
   bool with_task_load = false;     // overloaded EDF task on node 0
   bool expect_order_faults = false;  // performance faults may breach Delta
   duration skew_bound = duration::microseconds(300);
@@ -55,7 +61,14 @@ struct scenario_spec {
 /// All registered scenarios, in campaign order.
 std::vector<scenario_spec> all_scenarios();
 
-/// Look up one scenario by name; throws hades::invariant_violation if absent.
+/// The 1k-node scale family (hierarchical detector, tree diffusion,
+/// clustered clock sync). Registered separately so the default campaign,
+/// the smoke gate and the tier-1 scenario tests keep their 8-node runtime;
+/// `hades_campaign --scale` (or naming them with --scenario) sweeps them.
+std::vector<scenario_spec> scale_scenarios();
+
+/// Look up one scenario by name (standing or scale family); throws
+/// hades::invariant_violation if absent.
 scenario_spec find_scenario(const std::string& name);
 
 }  // namespace hades::scenario

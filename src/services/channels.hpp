@@ -12,5 +12,6 @@ inline constexpr int ch_reliable_bcast = 13;
 inline constexpr int ch_consensus = 14;
 inline constexpr int ch_replication = 15;
 inline constexpr int ch_replication_client = 16;
+inline constexpr int ch_fd_digest = 17;  // aggregator liveness digests
 
 }  // namespace hades::svc

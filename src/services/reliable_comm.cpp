@@ -42,8 +42,7 @@ void reliable_p2p::send(node_id src, node_id dst, sim::wire_payload payload,
 void reliable_p2p::on_message(node_id n, const sim::message& m) {
   const auto* f = m.payload.get<frame>();
   if (f == nullptr) return;
-  auto [it, created] = seen_[n].try_emplace(m.src);
-  if (!it->second.insert(f->seq)) {
+  if (!seen_[n][m.src].insert(f->seq)) {
     ++dups_[n];
     return;
   }
@@ -59,10 +58,13 @@ duration reliable_p2p::p2p_bound(std::size_t size_bytes) const {
 
 std::size_t reliable_p2p::state_bytes() const {
   std::size_t bytes = 0;
-  for (const auto& per_recv : seen_)
-    for (const auto& [src, w] : per_recv) bytes += sizeof(src) + w.state_bytes();
-  for (const auto& per_src : next_seq_)
-    bytes += per_src.size() * (sizeof(node_id) + sizeof(std::uint64_t));
+  for (const auto& per_recv : seen_) {
+    bytes += per_recv.capacity_bytes();
+    per_recv.for_each([&](node_id, const dedup_window& w) {
+      bytes += w.state_bytes();
+    });
+  }
+  for (const auto& per_src : next_seq_) bytes += per_src.capacity_bytes();
   return bytes;
 }
 
@@ -97,7 +99,7 @@ void reliable_broadcast::broadcast(node_id src, sim::wire_payload payload,
   msg.payload = std::move(payload);
   // Local delivery first (the sender is a destination too), then diffusion.
   accept(src, msg);
-  sys_->net(src).send_all(ch_reliable_bcast, msg, size_bytes);
+  relay(src, msg);
 }
 
 void reliable_broadcast::on_message(node_id n, const sim::message& m) {
@@ -106,27 +108,85 @@ void reliable_broadcast::on_message(node_id n, const sim::message& m) {
   accept(n, *msg);
 }
 
+std::size_t reliable_broadcast::diffusion_hops() const {
+  if (params_.diffusion == diffusion_kind::flood) return 2;
+  const topo::kary_tree tree{sys_->node_count(), params_.tree_fanout};
+  const std::size_t h = tree.height();
+  return h > 1 ? h : 1;
+}
+
+std::vector<node_id> reliable_broadcast::relay_targets(node_id n,
+                                                       node_id origin) const {
+  const topo::kary_tree tree{sys_->node_count(), params_.tree_fanout};
+  const std::size_t l = tree.label_of(origin, n);
+  std::vector<std::size_t> labels;
+  // Forward to a label, and — if this relayer suspects the node holding
+  // it — adopt its children too (transitively), so a suspected relay's
+  // subtree is re-parented here without waiting on it. The suspect itself
+  // still gets its copy in case the suspicion is false: skipping only ever
+  // ADDS targets, it never starves a correct node.
+  auto collect = [&](auto&& self, std::size_t lbl) -> void {
+    labels.push_back(lbl);
+    if (suspicion_ && suspicion_(n, tree.node_at(origin, lbl))) {
+      const std::size_t fc = tree.first_child(lbl);
+      for (std::size_t ch = fc; ch < fc + tree.fanout && ch < tree.nodes;
+           ++ch)
+        self(self, ch);
+    }
+  };
+  const std::size_t fc = tree.first_child(l);
+  for (std::size_t cl = fc; cl < fc + tree.fanout && cl < tree.nodes; ++cl) {
+    collect(collect, cl);
+    // Unconditional grandchildren: masks a child that crashed but is not
+    // yet suspected — its subtree hears the message from here directly.
+    const std::size_t gc = tree.first_child(cl);
+    for (std::size_t gl = gc; gl < gc + tree.fanout && gl < tree.nodes; ++gl)
+      collect(collect, gl);
+  }
+  // Suspicion recursion duplicates labels that are also plain grandchildren;
+  // dedupe, and keep label order so the send order (and with it the
+  // per-source rng stream) is deterministic.
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  std::vector<node_id> targets;
+  targets.reserve(labels.size());
+  for (std::size_t lbl : labels) targets.push_back(tree.node_at(origin, lbl));
+  return targets;
+}
+
+void reliable_broadcast::relay(node_id n, const bcast_msg& msg) {
+  if (params_.diffusion == diffusion_kind::flood) {
+    sys_->net(n).send_all(ch_reliable_bcast, msg, msg.size_bytes);
+    return;
+  }
+  const sim::wire_payload payload(msg);  // one pooled copy, shared by ref
+  auto& net = sys_->net(n);
+  for (node_id t : relay_targets(n, msg.origin))
+    net.send(t, ch_reliable_bcast, payload, msg.size_bytes);
+}
+
 time_point reliable_broadcast::release_time(const bcast_msg& msg) const {
   // A message may only be released once no earlier-keyed message can still
   // arrive: Delta, stretched to the worst-case diffusion path (direct hop
-  // plus relay hop) of the LARGEST admitted payload when that is longer.
-  // Using the message's own size here would release a later small message
-  // while an earlier large one is still legitimately in flight.
+  // plus relay hop under flooding, tree height hops under tree relay) of
+  // the LARGEST admitted payload when that is longer. Using the message's
+  // own size here would release a later small message while an earlier
+  // large one is still legitimately in flight.
   const duration diffusion =
-      sys_->network().worst_case_latency(params_.max_message_bytes) * 2;
+      sys_->network().worst_case_latency(params_.max_message_bytes) *
+      static_cast<int>(diffusion_hops());
   return msg.sent_at + std::max(params_.stability_delay, diffusion);
 }
 
 void reliable_broadcast::accept(node_id n, const bcast_msg& msg) {
-  auto [sit, created] = seen_[n].try_emplace(msg.origin);
-  if (!sit->second.insert(msg.seq)) return;  // duplicate
+  if (!seen_[n][msg.origin].insert(msg.seq)) return;  // duplicate
   // Relay on first receipt, at the message's true size (a relayed 4KB frame
   // costs 4KB on the wire): this is what makes the primitive tolerate a
   // sender crash after a partial send (agreement) without undercutting the
   // per-byte latency model.
   if (n != msg.origin) {
     ++relays_[n];
-    sys_->net(n).send_all(ch_reliable_bcast, msg, msg.size_bytes);
+    relay(n, msg);
   }
   if (!params_.total_order) {
     deliver(n, msg);
@@ -168,21 +228,25 @@ void reliable_broadcast::deliver(node_id n, const bcast_msg& msg) {
 }
 
 duration reliable_broadcast::delivery_bound(std::size_t size_bytes) const {
+  const int hops = static_cast<int>(diffusion_hops());
   if (!params_.total_order)
-    return sys_->network().worst_case_latency(size_bytes) * 2;
+    return sys_->network().worst_case_latency(size_bytes) * hops;
   // Delta-delivery releases every message at sent_at + max(Delta, diffusion
   // of the largest admitted payload): when the relay path exceeds
   // stability_delay, the relay path is the bound — for every size.
   const duration diffusion =
-      sys_->network().worst_case_latency(params_.max_message_bytes) * 2;
+      sys_->network().worst_case_latency(params_.max_message_bytes) * hops;
   return std::max(params_.stability_delay, diffusion);
 }
 
 std::size_t reliable_broadcast::state_bytes() const {
   std::size_t bytes = 0;
-  for (const auto& per_node : seen_)
-    for (const auto& [origin, w] : per_node)
-      bytes += sizeof(origin) + w.state_bytes();
+  for (const auto& per_node : seen_) {
+    bytes += per_node.capacity_bytes();
+    per_node.for_each([&](node_id, const dedup_window& w) {
+      bytes += w.state_bytes();
+    });
+  }
   for (const auto& held : holdback_)
     bytes += held.size() * (sizeof(order_key) + sizeof(bcast_msg) + 32);
   bytes += next_seq_.size() * sizeof(std::uint64_t);

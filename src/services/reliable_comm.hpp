@@ -6,17 +6,33 @@
 // copies spaced by `retry_spacing`; receivers deduplicate on (src, seq),
 // with sequence numbers counted per (src, dst) link so the dedup state can
 // be kept as a contiguous-prefix watermark plus a bounded out-of-order
-// window (`dedup_window`) instead of an ever-growing set. Worst-case
-// delivery latency is
+// window (`dedup_window`) instead of an ever-growing set. Per-link send and
+// dedup state lives in open-addressed sparse maps keyed by the peers
+// actually talked to (util/sparse_map.hpp) — O(active links), never O(N)
+// per node. Worst-case delivery latency is
 //     k * retry_spacing + delta_max + per-byte cost
 // which `p2p_bound()` exposes for feasibility integration.
 //
-// Broadcast: flooding diffusion — on first receipt every node relays the
-// message once (at the message's true size: relays pay the same wire cost
-// as the original copy), so if any correct node delivers, every correct
-// node delivers even when the sender crashes mid-broadcast (agreement).
-// The worst-case diffusion path is one direct hop plus one relay hop at the
-// message's size.
+// Broadcast diffusion comes in two modes (params::diffusion):
+//
+//   * flood (default) — on first receipt every node relays the message once
+//     (at the message's true size: relays pay the same wire cost as the
+//     original copy), so if any correct node delivers, every correct node
+//     delivers even when the sender crashes mid-broadcast (agreement).
+//     O(N²) sends per broadcast; worst-case diffusion is one direct hop
+//     plus one relay hop.
+//   * tree — deterministic origin-rotated k-ary spanning-tree relay
+//     (topo::kary_tree, DESIGN.md "Scalable topology layer"): every node
+//     forwards its first copy to its tree children AND grandchildren, so a
+//     single crashed-but-not-yet-suspected interior node is masked
+//     deterministically — the orphaned subtree hears the message from its
+//     grandparent with no detector latency in the delivery bound. Nodes the
+//     relayer currently *suspects* (via `set_suspicion_oracle`, wired to
+//     the fault detector) are additionally resolved through: their children
+//     are adopted into the forward set transitively (re-parenting), while
+//     the suspect itself still gets its copy in case the suspicion is
+//     false. ~2N sends per broadcast; worst-case diffusion is the tree
+//     height in hops.
 //
 // Optional Delta-delivery imposes total order with a per-node hold-back
 // queue: a message becomes releasable at
@@ -24,19 +40,25 @@
 // and messages are released strictly in (sent_at, origin, seq) order. The
 // max() term is what keeps the order total when the relay path exceeds
 // stability_delay (a relay arriving after sent_at + Delta used to be
-// delivered at arrival, interleaving behind younger messages);
-// `delivery_bound()` reports the same max, so the advertised bound and the
-// release rule agree. Only a performance-faulty network (delivery beyond
-// delta_max) can breach the hold-back; such stragglers are delivered
-// immediately and counted in `order_faults()`.
+// delivered at arrival, interleaving behind younger messages); the
+// worst-case diffusion term is hop-count-aware — two hops under flooding,
+// `tree height` hops under tree relay — and `delivery_bound()` reports the
+// same max, so the advertised bound and the release rule agree. Only a
+// performance-faulty network (delivery beyond delta_max) can breach the
+// hold-back; such stragglers are delivered immediately and counted in
+// `order_faults()`.
 //
 // Shard confinement (DESIGN.md): every container is indexed by the node the
 // handler executes on — dedup windows, hold-back queues and delivery logs
 // by receiver, broadcast sequence numbers by origin — and pre-sized at
 // construction, so worker threads advancing different shards never share a
-// map node. Counters are per-node and summed at read time, making totals
+// map node (sparse-map slot growth happens on the owning node's shard).
+// Counters are per-node and summed at read time, making totals
 // worker-count independent. `on_deliver` handlers run on the delivering
-// node's shard and must be shard-confined for worker-threaded runs.
+// node's shard and must be shard-confined for worker-threaded runs. The
+// suspicion oracle is called as (observer = relaying node, subject) from
+// the relayer's shard — the fault detector's observer-confined state
+// satisfies this by construction.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +69,8 @@
 
 #include "core/system.hpp"
 #include "services/channels.hpp"
+#include "services/topology.hpp"
+#include "util/sparse_map.hpp"
 #include "util/stats.hpp"
 
 namespace hades::svc {
@@ -130,14 +154,20 @@ class reliable_p2p {
   core::system* sys_;
   params params_;
   std::map<node_id, deliver_fn> handlers_;
-  std::vector<std::map<node_id, std::uint64_t>> next_seq_;  // [src][dst]
-  std::vector<std::map<node_id, dedup_window>> seen_;       // [recv][src]
+  // Sparse per-link state, keyed by the peers actually communicated with.
+  std::vector<util::sparse_node_map<std::uint64_t>> next_seq_;  // [src]: dst
+  std::vector<util::sparse_node_map<dedup_window>> seen_;       // [recv]: src
   std::vector<std::uint64_t> dups_;       // per receiver
   std::vector<std::uint64_t> delivered_;  // per receiver
 };
 
 class reliable_broadcast {
  public:
+  enum class diffusion_kind {
+    flood,  // every node relays once to everyone: O(N²) sends, 2 hops
+    tree,   // origin-rotated k-ary tree relay: ~2N sends, height hops
+  };
+
   struct params {
     bool total_order = false;
     duration stability_delay = duration::milliseconds(2);  // Delta
@@ -152,6 +182,9 @@ class reliable_broadcast {
     /// Unbounded by design (one entry per delivery) — disable for long
     /// soaks; `state_bytes()` accounts for it while enabled.
     bool record_deliveries = true;
+    diffusion_kind diffusion = diffusion_kind::flood;
+    /// k of the spanning tree (diffusion_kind::tree only).
+    std::size_t tree_fanout = 4;
   };
 
   struct bcast_msg {
@@ -170,10 +203,18 @@ class reliable_broadcast {
   void broadcast(node_id src, sim::wire_payload payload,
                  std::size_t size_bytes = 64);
 
-  /// Worst-case delivery bound for `size` bytes: the diffusion path (one
-  /// direct hop plus one relay hop, both at `size`), and under Delta-
-  /// delivery the release date max(stability_delay, diffusion) — the relay
-  /// path dominates the bound whenever it exceeds stability_delay.
+  /// Tree mode: consult `fn(observer, subject)` when computing forward
+  /// sets — a suspected relay's children are adopted by its parent
+  /// (re-parenting). Wire it to `fault_detector::suspects`. The oracle is
+  /// called from the observer's shard only.
+  void set_suspicion_oracle(std::function<bool(node_id, node_id)> fn) {
+    suspicion_ = std::move(fn);
+  }
+
+  /// Worst-case delivery bound for `size` bytes: the diffusion path —
+  /// direct hop + relay hop under flooding, tree-height hops under tree
+  /// relay, all at `size` — and under Delta-delivery the release date
+  /// max(stability_delay, diffusion of the largest admitted payload).
   [[nodiscard]] duration delivery_bound(std::size_t size_bytes) const;
 
   [[nodiscard]] std::uint64_t relays() const { return sum_counters(relays_); }
@@ -210,12 +251,21 @@ class reliable_broadcast {
   void accept(node_id n, const bcast_msg& msg);
   void deliver(node_id n, const bcast_msg& msg);
   void flush(node_id n);
+  void relay(node_id n, const bcast_msg& msg);
+  /// Tree forward set of node `n` for a broadcast rooted at `origin`:
+  /// children + grandchildren, suspected entries resolved through to their
+  /// children transitively, deduplicated, in label order (deterministic
+  /// send order — the per-source rng stream depends on it).
+  [[nodiscard]] std::vector<node_id> relay_targets(node_id n,
+                                                   node_id origin) const;
+  [[nodiscard]] std::size_t diffusion_hops() const;
   [[nodiscard]] time_point release_time(const bcast_msg& msg) const;
 
   core::system* sys_;
   params params_;
   std::map<node_id, deliver_fn> handlers_;
-  std::vector<std::map<node_id, dedup_window>> seen_;  // [node][origin]
+  std::function<bool(node_id, node_id)> suspicion_;
+  std::vector<util::sparse_node_map<dedup_window>> seen_;  // [node]: origin
   std::vector<std::map<order_key, bcast_msg>> holdback_;  // per node
   std::vector<std::vector<std::pair<node_id, std::uint64_t>>> logs_;
   std::vector<std::uint64_t> next_seq_;      // per origin

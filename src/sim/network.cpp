@@ -19,7 +19,6 @@ void network::new_source() {
   // reserve_nodes growth).
   sources_.push_back(std::make_unique<source_state>(
       rng(seed_ ^ (0x9E3779B97F4A7C15ull * (n + 1)))));
-  widen(*sources_.back());
 }
 
 void network::publish_initial() {
@@ -91,15 +90,11 @@ bool network::global_state::partitioned_at(node_id a, node_id b,
 }
 
 void network::set_link_down(node_id src, node_id dst, bool down) {
-  source_state& s = source(src);
-  ensure_fanout(s, dst);
-  s.link_down[dst].set(rt_->now(), down);
+  source(src).dst[dst].link_down.set(rt_->now(), down);
 }
 
 void network::drop_next(node_id src, node_id dst, int count, int channel) {
-  source_state& s = source(src);
-  ensure_fanout(s, dst);
-  auto& bursts = s.scripted_drops[dst];
+  auto& bursts = source(src).dst[dst].scripted_drops;
   for (auto& b : bursts)
     if (b.channel == channel) {
       b.remaining += count;
@@ -108,17 +103,18 @@ void network::drop_next(node_id src, node_id dst, int count, int channel) {
   bursts.push_back({channel, count});
 }
 
-bool network::should_drop(source_state& s, node_id src, node_id dst,
-                          int channel, const global_state& g, time_point t) {
+bool network::should_drop(source_state& s, dst_state& ds, node_id src,
+                          node_id dst, int channel, const global_state& g,
+                          time_point t) {
   // Deterministic (draw-free) drop causes first, so a dropped frame never
   // perturbs the per-source rng stream.
   if (g.node_down_at(src, t) || g.node_down_at(dst, t)) return true;
   if (g.partitioned_at(src, dst, t)) return true;
-  if (!s.link_down[dst].empty()) {
-    const bool* down = s.link_down[dst].at(t);
+  if (!ds.link_down.empty()) {
+    const bool* down = ds.link_down.at(t);
     if (down != nullptr && *down) return true;
   }
-  if (auto& bursts = s.scripted_drops[dst]; !bursts.empty()) {
+  if (auto& bursts = ds.scripted_drops; !bursts.empty()) {
     // Channel-scoped bursts are consumed before an any_channel burst on the
     // same link, regardless of registration order.
     for (const int key : {channel, any_channel})
@@ -128,7 +124,7 @@ bool network::should_drop(source_state& s, node_id src, node_id dst,
           return true;
         }
   }
-  double p = s.link_omission[dst];
+  double p = ds.link_omission;
   if (p < 0.0) {
     const double* global = g.omission_rate.at(t);
     p = global != nullptr ? *global : 0.0;
@@ -169,7 +165,11 @@ std::uint64_t network::submit(source_state& s, const global_state& g,
   m.sent_at = now;
   ++s.sent;
 
-  if (should_drop(s, src, dst, channel, g, now)) {
+  // One probe serves the drop checks and the FIFO floor. First contact with
+  // a destination creates its slot — on this source's shard, so legal under
+  // worker threads; afterwards the path allocates nothing.
+  dst_state& ds = s.dst[dst];
+  if (should_drop(s, ds, src, dst, channel, g, now)) {
     ++s.dropped;
     return m.id;
   }
@@ -181,9 +181,8 @@ std::uint64_t network::submit(source_state& s, const global_state& g,
   time_point deliver_at = now + lat;
   // ATM virtual circuits are FIFO: never deliver before an earlier frame on
   // the same link.
-  time_point& last = s.last_delivery[dst];
-  if (deliver_at < last) deliver_at = last;
-  last = deliver_at;
+  if (deliver_at < ds.last_delivery) deliver_at = ds.last_delivery;
+  ds.last_delivery = deliver_at;
 
   const std::uint64_t id = m.id;
   rt_->at_node(dst, deliver_at, [this, m = std::move(m)]() {
@@ -202,7 +201,6 @@ std::uint64_t network::submit(source_state& s, const global_state& g,
 std::uint64_t network::unicast(node_id src, node_id dst, int channel,
                                wire_payload payload, std::size_t size_bytes) {
   source_state& s = source(src);
-  ensure_fanout(s, dst);
   // One lock-free acquire of the published fault snapshot and one clock
   // read serve every globally-read check of this send.
   return submit(s, snapshot(), rt_->now(), src, dst, channel,

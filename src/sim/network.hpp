@@ -19,11 +19,16 @@
 // Wire fast path (DESIGN.md, "Wire fast path"): a steady-state fault-free
 // send costs zero heap allocations and zero lock acquisitions. Payloads are
 // `wire_payload`s (slab-pooled, refcount-shared across broadcast fan-out —
-// never `std::any`'s per-copy heap box); all per-source send-side state is
-// dense `reserve_nodes`-sized vectors indexed by destination (FIFO floors,
-// per-link omission rates, scripted drop bursts, directional link-down
-// timelines) plus a flat handler table — no `std::map` node chasing on the
-// send or deliver path. Timeline lookups binary-search their sorted entries
+// never `std::any`'s per-copy heap box). Per-source destination-keyed state
+// (FIFO floor, per-link omission rate, scripted drop bursts, directional
+// link-down timeline) lives in one open-addressed `sparse_node_map` slot
+// per destination *actually sent to* — sized by the topology's neighbour
+// set, not by N, so 10k-node runs with clustered/tree topologies keep wire
+// state near-linear system-wide instead of the O(N²) a dense
+// [source][destination] layout costs (DESIGN.md, "Scalable topology
+// layer"). One probe per send replaces four vector indexings; after the
+// first send to a destination the slot exists and the path allocates
+// nothing. Timeline lookups binary-search their sorted entries
 // (`std::upper_bound`), so long pre-registered fault plans do not tax every
 // send.
 //
@@ -44,11 +49,15 @@
 // truth before the run; runtime re-registrations are same-date idempotent).
 //
 // Call `reserve_nodes` before a worker-threaded run (the owning
-// `core::system` does): per-source slots then pre-exist and the hot path
-// performs no structural mutation of shared containers. Structural
-// mutation — `attach`, `detach`, lazy source/fan-out growth — is
-// serial-only and *enforced*: doing it from inside event execution while
-// the backend runs worker threads throws instead of racing.
+// `core::system` does): source slots and the handler table then pre-exist
+// and the hot path performs no structural mutation of *shared* containers.
+// Per-destination slots inside a source's sparse map still grow on first
+// contact, but that growth is confined to the shard owning the source (the
+// only shard that ever touches its send state), so it is legal under
+// worker threads — unlike growing the shared handler table. Structural
+// mutation of shared state — `attach`, `detach`, lazy source-slot growth —
+// is serial-only and *enforced*: doing it from inside event execution
+// while the backend runs worker threads throws instead of racing.
 #pragma once
 
 #include <algorithm>
@@ -64,6 +73,7 @@
 #include "sim/wire_payload.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/sparse_map.hpp"
 #include "util/types.hpp"
 
 namespace hades::sim {
@@ -101,13 +111,15 @@ class network {
   network(const network&) = delete;
   network& operator=(const network&) = delete;
 
-  /// Pre-create per-source send state for nodes [0, n). Required before a
-  /// worker-threaded run (lazy growth is single-threaded-only and enforced
-  /// as such); `core::system` calls it with its node count.
+  /// Pre-create per-source slots and the handler table for nodes [0, n).
+  /// Required before a worker-threaded run (shared-structure growth is
+  /// single-threaded-only and enforced as such); `core::system` calls it
+  /// with its node count. Destination slots inside each source's sparse map
+  /// are *not* pre-created — they grow on first contact, on the source's
+  /// own shard.
   void reserve_nodes(std::size_t n) {
     if (n > fanout_) fanout_ = n;
     while (sources_.size() < n) new_source();
-    for (auto& s : sources_) widen(*s);
     if (handlers_.size() < fanout_) {
       handlers_.resize(fanout_);
       delivered_by_dst_.resize(fanout_);
@@ -170,9 +182,7 @@ class network {
   /// Per-link omission probability, overrides the global rate. Send-side
   /// state: call from the source's shard (the injector anchors on it).
   void set_link_omission(node_id src, node_id dst, double p) {
-    source_state& s = source(src);
-    ensure_fanout(s, dst);
-    s.link_omission[dst] = p;
+    source(src).dst[dst].link_omission = p;
   }
   /// Deterministically drop the next `count` messages src -> dst.
   /// `channel >= 0` restricts the burst to that channel (so a scripted
@@ -244,6 +254,16 @@ class network {
     return c;
   }
   [[nodiscard]] const params& config() const { return params_; }
+
+  /// Bytes of send-side destination-keyed state across all sources — the
+  /// scaling benches' check that wire state tracks the neighbour set, not
+  /// N² (read between runs; walks per-source maps).
+  [[nodiscard]] std::size_t send_state_bytes() const {
+    std::size_t b = 0;
+    for (const auto& s : sources_)
+      b += sizeof(source_state) + s->dst.capacity_bytes();
+    return b;
+  }
 
   /// Worst-case fault-free delivery latency for a message of `size` bytes.
   [[nodiscard]] duration worst_case_latency(std::size_t size_bytes) const {
@@ -324,10 +344,26 @@ class network {
 
   static constexpr std::uint32_t no_group = 0xFFFFFFFFu;
 
+  struct drop_burst {
+    int channel = 0;  // any_channel = every channel
+    int remaining = 0;
+  };
+
+  /// Everything this source keeps about one destination: the FIFO floor and
+  /// the per-link fault program. One sparse-map slot per destination ever
+  /// sent to (or fault-programmed) — the neighbour set, not N.
+  struct dst_state {
+    time_point last_delivery;        // FIFO floor on this link
+    double link_omission = -1.0;     // <0 = unset, fall back to global rate
+    std::vector<drop_burst> scripted_drops;
+    timeline<bool> link_down;        // src -> dst, dated
+  };
+
   /// Send-side state of one node, owned by the shard owning the node: only
   /// events executing there (the node's sends, injector actions anchored on
-  /// the node) may touch it. All destination-keyed state is dense vectors
-  /// sized by `reserve_nodes` (growth is structural, serial-only).
+  /// the node) may touch it. Destination-keyed state is a sparse map keyed
+  /// by the destinations this source talks to; slot growth happens on the
+  /// owning shard and is therefore worker-safe (see header).
   struct source_state {
     explicit source_state(rng r) : stream(std::move(r)) {}
     rng stream;
@@ -335,45 +371,20 @@ class network {
     std::uint64_t sent = 0;     // frames submitted by this source
     std::uint64_t dropped = 0;  // frames dropped at submit time
     std::uint64_t late = 0;     // frames hit by a performance fault
-    std::vector<time_point> last_delivery;  // FIFO floor per destination
-    std::vector<double> link_omission;      // per destination; <0 = unset
-    struct drop_burst {
-      int channel = 0;  // any_channel = every channel
-      int remaining = 0;
-    };
-    std::vector<std::vector<drop_burst>> scripted_drops;  // per destination
-    std::vector<timeline<bool>> link_down;  // src -> dst, dated
+    util::sparse_node_map<dst_state> dst;
   };
 
   void new_source();
-  void widen(source_state& s) const {
-    s.last_delivery.resize(fanout_, time_point::zero());
-    s.link_omission.resize(fanout_, -1.0);
-    s.scripted_drops.resize(fanout_);
-    s.link_down.resize(fanout_);
-  }
   void ensure_source(node_id n) {
-    // Source-slot creation and fan-out widening are both structural: guard
-    // whichever is about to grow (fanout_ can exceed sources_.size() after
-    // a destination-only widening, so the checks are independent).
-    if (n >= fanout_ || n >= sources_.size()) {
-      assert_structural("per-source state growth");
-      if (n >= fanout_) {
-        fanout_ = static_cast<std::size_t>(n) + 1;
-        for (auto& s : sources_) widen(*s);
-      }
+    // Source-slot creation grows the shared sources_ vector: structural.
+    if (n >= sources_.size()) {
+      assert_structural("source-slot growth");
       while (sources_.size() <= n) new_source();
     }
   }
   source_state& source(node_id n) {
     ensure_source(n);
     return *sources_[n];
-  }
-  void ensure_fanout(source_state& s, node_id dst) {
-    if (dst < s.last_delivery.size()) return;
-    assert_structural("per-source state growth");
-    if (dst >= fanout_) fanout_ = static_cast<std::size_t>(dst) + 1;
-    for (auto& src : sources_) widen(*src);
   }
 
   /// Structural mutation of shared wire containers (handler table, source
@@ -399,8 +410,8 @@ class network {
 
   duration sample_latency(source_state& s, std::size_t size_bytes,
                           const global_state& g, time_point now, bool& late);
-  bool should_drop(source_state& s, node_id src, node_id dst, int channel,
-                   const global_state& g, time_point now);
+  bool should_drop(source_state& s, dst_state& ds, node_id src, node_id dst,
+                   int channel, const global_state& g, time_point now);
   /// The send fast path. `fan_out`/`broadcast` hoist the snapshot load, the
   /// clock read, and the source lookup out of their per-destination loop.
   std::uint64_t submit(source_state& s, const global_state& g, time_point now,

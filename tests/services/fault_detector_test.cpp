@@ -145,6 +145,111 @@ TEST(FaultDetectorTest, CrashRecoverCycleObserved) {
   EXPECT_FALSE(fd.suspects(2, 1));
 }
 
+// --- hierarchical cluster supervision (256 nodes) ---------------------------
+//
+// With params.cluster_size = 32 the 256 nodes form 8 clusters. Members
+// heartbeat to their aggregator only; everything else travels as digests.
+// The two-hop supervision path re-derives the perfection bound as
+// timeout > period * (omission_degree + 1) + 2 * delta_max (30.12ms for a
+// k = 2 burst at 10ms/60us), probed one tick either side below.
+
+TEST(FaultDetectorTest, Hierarchical256NodesHealthyNoFalseSuspicion) {
+  core::system sys(256, lan());
+  fault_detector fd(sys, {10_ms, 25_ms, 32});
+  int suspicions = 0;
+  fd.on_suspect([&](node_id, node_id, time_point) { ++suspicions; });
+  fd.start();
+  sys.run_for(500_ms);
+  EXPECT_EQ(suspicions, 0);
+}
+
+TEST(FaultDetectorTest, HierarchicalBoundaryTimeoutAboveTwoHopBoundStaysPerfect) {
+  core::system sys(256, lan());
+  // One tick above the two-hop bound: an exactly-k burst on the
+  // member -> aggregator leg must never trip the aggregator.
+  fault_detector fd(sys, {10_ms, 30_ms + 120_us + 1_ns, 32});
+  int suspicions = 0;
+  fd.on_suspect([&](node_id, node_id, time_point) { ++suspicions; });
+  fd.start();
+  // Node 33's aggregator is node 32 (cluster 1 spans 32..63). Lose the
+  // 100ms and 110ms heartbeats on that leg.
+  sys.engine().at(time_point::at(95_ms), [&] {
+    sys.network().drop_next(33, 32, 2, ch_heartbeat);
+  });
+  sys.run_for(500_ms);
+  EXPECT_EQ(suspicions, 0);
+  EXPECT_FALSE(fd.suspects(32, 33));
+}
+
+TEST(FaultDetectorTest, HierarchicalBoundaryTimeoutBelowBoundFalseSuspects) {
+  core::system sys(256, lan());
+  // Below the bound (minus the latency band) the same burst opens a silence
+  // the timeout cannot cover: the aggregator false-suspects its member at
+  // the 120ms check and must clear it off the very next heartbeat.
+  fault_detector fd(sys, {10_ms, 30_ms - 120_us, 32});
+  std::vector<std::pair<node_id, node_id>> suspicions;
+  fd.on_suspect([&](node_id o, node_id s, time_point) {
+    suspicions.emplace_back(o, s);
+  });
+  fd.start();
+  sys.engine().at(time_point::at(95_ms), [&] {
+    sys.network().drop_next(33, 32, 2, ch_heartbeat);
+  });
+  sys.run_for(500_ms);
+  ASSERT_EQ(suspicions.size(), 1u);
+  EXPECT_EQ(suspicions[0], (std::pair<node_id, node_id>{32, 33}));
+  EXPECT_FALSE(fd.suspects(32, 33));
+  EXPECT_GE(fd.recoveries_observed(), 1u);
+}
+
+TEST(FaultDetectorTest, HierarchicalCrashDetectedThroughAggregatorHop) {
+  core::system sys(256, lan());
+  fault_detector fd(sys, {10_ms, 25_ms, 32});
+  std::vector<std::pair<node_id, time_point>> suspicions_of_40;
+  fd.on_suspect([&](node_id o, node_id s, time_point at) {
+    if (s == 40) suspicions_of_40.emplace_back(o, at);
+  });
+  fd.start();
+  sys.run_for(100_ms);
+  sys.crash_node(40);  // a plain member of cluster 1
+  sys.run_for(200_ms);
+  // Every correct observer ends up suspecting the crashed member: its
+  // aggregator directly, everyone else through the digest relay.
+  for (node_id o = 0; o < 256; ++o)
+    if (o != 40) EXPECT_TRUE(fd.suspects(o, 40)) << "observer " << o;
+  const time_point crash = time_point::at(100_ms);
+  bool agg_seen = false;
+  for (const auto& [o, at] : suspicions_of_40) {
+    EXPECT_LE(at - crash, fd.detection_bound());
+    if (o == 32) {  // the direct supervisor: one-hop latency
+      agg_seen = true;
+      EXPECT_LE(at - crash, 25_ms + 10_ms + 1_ms);
+    }
+  }
+  EXPECT_TRUE(agg_seen);
+}
+
+TEST(FaultDetectorTest, HierarchicalAggregatorCrashSuccessionNoCollateral) {
+  core::system sys(256, lan());
+  fault_detector fd(sys, {10_ms, 25_ms, 32});
+  fd.start();
+  sys.run_for(100_ms);
+  sys.crash_node(32);  // aggregator of cluster 1; node 33 succeeds it
+  sys.run_for(200_ms);
+  for (node_id o = 0; o < 256; ++o) {
+    if (o == 32) continue;
+    EXPECT_TRUE(fd.suspects(o, 32)) << "observer " << o;
+    // Succession (including the promoted 33's grace horizons) must not
+    // create collateral suspicion of correct nodes.
+    EXPECT_FALSE(fd.suspects(o, 33)) << "observer " << o;
+    EXPECT_FALSE(fd.suspects(o, 34)) << "observer " << o;
+  }
+  sys.recover_node(32);
+  sys.run_for(200_ms);
+  for (node_id o = 0; o < 256; ++o)
+    if (o != 32) EXPECT_FALSE(fd.suspects(o, 32)) << "observer " << o;
+}
+
 TEST(FaultDetectorTest, SuspicionIsRecordedOnce) {
   core::system sys(2, lan());
   fault_detector fd(sys, {10_ms, 25_ms});

@@ -7,14 +7,20 @@
 // per cell. CI runs `hades_campaign --smoke --out <dir>` as a required
 // step: any checker violation or checksum mismatch exits non-zero.
 //
-// Usage: hades_campaign [--smoke] [--list] [--scenario NAME]...
-//                       [--seeds N] [--workers CSV] [--out DIR] [--quiet]
+// Usage: hades_campaign [--smoke] [--scale] [--list] [--scenario NAME]...
+//                       [--seeds N] [--nodes N] [--workers CSV] [--out DIR]
+//                       [--quiet]
 //   --smoke         CI matrix: every scenario, seeds {1, 2}, shards {1,2,4},
 //                   workers {0,2,4} (the default is the same sweep with
 //                   seeds {1..4})
-//   --list          print the registered scenarios and exit
-//   --scenario NAME restrict to one scenario (repeatable)
+//   --scale         also sweep the 1k-node scale family (cluster_crash_1k,
+//                   cluster_partition_1k) — hierarchical detector, tree
+//                   diffusion, clustered clock sync
+//   --list          print the registered scenarios (both families) and exit
+//   --scenario NAME restrict to one scenario (repeatable; scale names work)
 //   --seeds N       sweep seeds 1..N
+//   --nodes N       override every selected scenario's node count (raise
+//                   only: plans reference their original node ids)
 //   --workers CSV   worker counts for sharded cells, e.g. "0,4" (default
 //                   "0,2,4"; "0" = serial rounds only)
 //   --out DIR       write per-cell verdict JSONs + summary.json to DIR
@@ -36,12 +42,21 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       max_seed = 2;
+    } else if (arg == "--scale") {
+      opt.include_scale = true;
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--scenario" && i + 1 < argc) {
       opt.scenarios.emplace_back(argv[++i]);
     } else if (arg == "--seeds" && i + 1 < argc) {
       max_seed = std::atoi(argv[++i]);
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "--nodes must be >= 1\n");
+        return 2;
+      }
+      opt.nodes = static_cast<std::size_t>(n);
     } else if (arg == "--workers" && i + 1 < argc) {
       opt.worker_counts.clear();
       std::stringstream ss(argv[++i]);
@@ -72,7 +87,9 @@ int main(int argc, char** argv) {
 
   if (list) {
     for (const auto& s : hades::scenario::all_scenarios())
-      std::printf("%-18s %s\n", s.name.c_str(), s.description.c_str());
+      std::printf("%-20s %s\n", s.name.c_str(), s.description.c_str());
+    for (const auto& s : hades::scenario::scale_scenarios())
+      std::printf("%-20s %s\n", s.name.c_str(), s.description.c_str());
     return 0;
   }
 
