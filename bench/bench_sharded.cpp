@@ -18,11 +18,13 @@
 // A second, *full-system* workload exercises the shard-confinement story
 // end to end (DESIGN.md, "Shard confinement"): a real `core::system`
 // deployment — fault detector heartbeats, Delta-ordered reliable broadcast
-// with flood relays, per-delivery application burn — swept over
-// worker counts on the 4-shard backend. The observable checksum must be
-// identical across the single-engine run, serial rounds, and every worker
-// count; wall-clock speedup is reported against the 4-shard serial
-// baseline.
+// with flood relays, per-delivery application burn — swept as a worker
+// scaling curve: workers {0, 2, 4, 8, 16} always, {32, 64} where the
+// hardware has that many threads, with shards scaled to the worker count.
+// The observable checksum must be identical across the single-engine run,
+// serial rounds, and every curve point; wall-clock speedup is reported
+// against the 4-shard serial baseline, and each point reports the SPSC
+// outbox traffic (cross events, ring spills, sort-skipped drains).
 //
 // A third, *scale-curve* workload measures how the full system scales in
 // node count (DESIGN.md, "Scalable topology layer"): hierarchical fault
@@ -37,8 +39,10 @@
 // Usage: bench_sharded [--smoke] [--require-2x] [--json PATH]
 //                      [--scale-curve] [--nodes N] [--require-scaling]
 //   --smoke           ~20x fewer events (CI compile/perf-path check)
-//   --require-2x      exit non-zero unless the 4-shard wall speedup >= 2x
-//                     on BOTH workloads (needs >= 4 hardware threads)
+//   --require-2x      exit non-zero unless the raw 4-shard wall speedup and
+//                     the full-system highest-worker speedup are both >= 2x;
+//                     each gate SKIPs (and passes) below the hardware it
+//                     needs (4 / 8 threads) instead of failing small runners
 //   --json PATH       write machine-readable BENCH_sharded results to PATH
 //   --scale-curve     run ONLY the node-count scaling curve (256/1k/4k/10k;
 //                     256/1k under --smoke)
@@ -156,6 +160,9 @@ struct bench_result {
   std::uint64_t checksum = 0;
   double balance = 1.0;        // max/mean per-shard events
   double critical_path = 1.0;  // total/max per-shard events
+  std::uint64_t cross = 0;     // events routed through an SPSC outbox ring
+  std::uint64_t spilled = 0;   // ring overflows (barrier-ordered fallback)
+  std::uint64_t single_source_drains = 0;  // merges that skipped the sort
 };
 
 // Roughly a microsecond of real work, the handler-cost stand-in.
@@ -231,6 +238,9 @@ bench_result run_config(std::size_t shards, std::size_t workers,
                 static_cast<double>(total);
     r.critical_path = static_cast<double>(total) / static_cast<double>(mx);
   }
+  r.cross = st.cross_events;
+  r.spilled = st.spilled;
+  r.single_source_drains = st.single_source_drains;
   return r;
 }
 
@@ -302,6 +312,13 @@ bench_result run_full_system(std::size_t shards, std::size_t workers,
   }
   const auto ns = sys.network().stats();
   r.checksum ^= ns.sent * 3 + ns.delivered * 5 + ns.dropped * 7 + ns.late * 11;
+  if (const auto* se =
+          dynamic_cast<const sim::sharded_engine*>(&sys.engine())) {
+    const auto st = se->stats();
+    r.cross = st.cross_events;
+    r.spilled = st.spilled;
+    r.single_source_drains = st.single_source_drains;
+  }
   return r;
 }
 
@@ -493,9 +510,15 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  hades::bench::stamp(json, kSysNodes, 4, 4);
-
   const unsigned hw = std::thread::hardware_concurrency();
+  // Stamp with the largest configuration the curve below will include on
+  // this hardware (the worker axis is hardware-capped past 16).
+  const std::size_t stamp_workers = hw >= 64 ? 64 : hw >= 32 ? 32 : 16;
+  hades::bench::stamp(
+      json, kSysNodes,
+      std::min(std::max<std::size_t>(4, stamp_workers), kSysNodes),
+      stamp_workers);
+
   std::printf(
       "sharded-engine throughput, %zu nodes, ~3%% cross-shard traffic, "
       "%u hardware thread(s)\n",
@@ -519,10 +542,13 @@ int main(int argc, char** argv) {
              static_cast<double>(r.events) / r.wall_s);
     std::printf(
         "  %zu shard(s) %zu worker(s): %9.0f ev/s  (%7llu events, %.3fs)  "
-        "wall speedup %.2fx  balance %.2f  critical-path %.2fx\n",
+        "wall speedup %.2fx  balance %.2f  critical-path %.2fx  "
+        "cross %llu (spilled %llu, sort-skipped drains %llu)\n",
         shards, workers, static_cast<double>(r.events) / r.wall_s,
         static_cast<unsigned long long>(r.events), r.wall_s, speedup,
-        r.balance, r.critical_path);
+        r.balance, r.critical_path, static_cast<unsigned long long>(r.cross),
+        static_cast<unsigned long long>(r.spilled),
+        static_cast<unsigned long long>(r.single_source_drains));
     if (r.checksum != base.checksum) {
       std::printf("FAIL: checksum mismatch at %zu shards — determinism "
                   "broken (%llx vs %llx)\n",
@@ -533,29 +559,44 @@ int main(int argc, char** argv) {
   }
   std::printf("  checksums identical across all configurations\n");
 
-  // --- full-system workload: core::system + services, workers swept --------
+  // --- full-system worker scaling curve ------------------------------------
+  // The same core::system deployment swept over worker counts: a single-
+  // engine reference, the serial-rounds baseline, then workers
+  // {2, 4, 8, 16} always and {32, 64} where the hardware has that many
+  // threads. Shards scale with the worker count (never past the node
+  // count), so every point is configured the way a user with that many
+  // cores would run it — and every point's checksum must still equal the
+  // single-engine reference, whatever the shard count.
   const duration sys_horizon = horizon == duration::milliseconds(400)
                                    ? duration::milliseconds(400)
                                    : duration::milliseconds(60);
   std::printf(
-      "\nfull-system workload: %zu-node core::system, heartbeats + "
+      "\nfull-system worker curve: %zu-node core::system, heartbeats + "
       "Delta-ordered broadcast + per-delivery burn\n",
       kSysNodes);
   struct sys_config {
-    const char* label;
+    std::string label;
     std::size_t shards;
     std::size_t workers;
   };
-  const sys_config sys_configs[] = {
+  std::vector<sys_config> sys_configs = {
       {"single engine", 0, 0},
       {"4 shards serial", 4, 0},
-      {"4 shards 2 workers", 4, 2},
-      {"4 shards 4 workers", 4, 4},
   };
+  std::size_t max_curve_workers = 0;
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    if (w > 16 && hw < w) continue;  // 32/64 only where hardware allows
+    const std::size_t s = std::min(std::max<std::size_t>(4, w), kSysNodes);
+    sys_configs.push_back({std::to_string(s) + " shards " + std::to_string(w) +
+                               " workers",
+                           s, w});
+    max_curve_workers = w;
+  }
   bench_result sys_base;
-  double sys_speedup_at_4 = 0.0;
+  double sys_best_speedup = 0.0;
   bool first = true;
   std::uint64_t reference_checksum = 0;
+  std::size_t curve_points = 0;
   for (const sys_config& c : sys_configs) {
     const bench_result r = run_full_system(c.shards, c.workers, sys_horizon);
     if (first) {
@@ -567,20 +608,33 @@ int main(int argc, char** argv) {
     if (sys_base.wall_s > 0 && !(c.shards == 4 && c.workers == 0))
       speedup = (static_cast<double>(r.events) / r.wall_s) /
                 (static_cast<double>(sys_base.events) / sys_base.wall_s);
-    if (c.shards == 4 && c.workers == 4) sys_speedup_at_4 = speedup;
-    json.num("full_system_events_per_sec_" + std::to_string(c.shards) +
-                 "shards_" + std::to_string(c.workers) + "workers",
-             static_cast<double>(r.events) / r.wall_s);
-    std::printf("  %-20s %9.0f ev/s  (%7llu events, %.3fs)", c.label,
+    if (c.workers == max_curve_workers) sys_best_speedup = speedup;
+    if (c.shards > 0) {
+      ++curve_points;
+      json.num("full_system_events_per_sec_" + std::to_string(c.shards) +
+                   "shards_" + std::to_string(c.workers) + "workers",
+               static_cast<double>(r.events) / r.wall_s);
+      json.num("full_system_speedup_" + std::to_string(c.workers) + "workers",
+               speedup);
+    } else {
+      json.num("full_system_events_per_sec_single_engine",
+               static_cast<double>(r.events) / r.wall_s);
+    }
+    std::printf("  %-20s %9.0f ev/s  (%7llu events, %.3fs)", c.label.c_str(),
                 static_cast<double>(r.events) / r.wall_s,
                 static_cast<unsigned long long>(r.events), r.wall_s);
-    if (c.shards == 4 && c.workers > 0)
+    if (c.shards > 0 && c.workers > 0)
       std::printf("  wall speedup vs serial rounds %.2fx", speedup);
+    if (c.shards > 0)
+      std::printf("  cross %llu (spilled %llu, sort-skipped drains %llu)",
+                  static_cast<unsigned long long>(r.cross),
+                  static_cast<unsigned long long>(r.spilled),
+                  static_cast<unsigned long long>(r.single_source_drains));
     std::printf("\n");
     if (r.checksum != reference_checksum) {
       std::printf("FAIL: full-system checksum mismatch at %s — shard "
                   "confinement broken (%llx vs %llx)\n",
-                  c.label, static_cast<unsigned long long>(r.checksum),
+                  c.label.c_str(), static_cast<unsigned long long>(r.checksum),
                   static_cast<unsigned long long>(reference_checksum));
       return 1;
     }
@@ -588,19 +642,37 @@ int main(int argc, char** argv) {
   std::printf("  full-system checksums identical across all configurations\n");
 
   json.num("wall_speedup_at_4_shards", speedup_at_4);
-  json.num("full_system_wall_speedup_at_4_workers", sys_speedup_at_4);
+  json.num("full_system_worker_curve_points", static_cast<double>(curve_points));
+  json.num("full_system_max_curve_workers",
+           static_cast<double>(max_curve_workers));
+  json.num("full_system_best_worker_speedup", sys_best_speedup);
   if (!json_path.empty()) json.write(json_path);
-  if (require_2x && speedup_at_4 < 2.0) {
-    std::printf("FAIL: 4-shard wall speedup %.2fx < 2x (hw threads: %u)\n",
-                speedup_at_4, hw);
-    return 1;
-  }
-  if (require_2x && sys_speedup_at_4 < 2.0) {
-    std::printf(
-        "FAIL: full-system 4-shard/4-worker wall speedup %.2fx < 2x "
-        "(hw threads: %u)\n",
-        sys_speedup_at_4, hw);
-    return 1;
+  // The 2x gates need real parallel hardware: on fewer threads than the
+  // gated configuration the speedup is physically unreachable, so the gate
+  // skips loudly rather than failing the build on a small runner.
+  if (require_2x) {
+    if (hw < 4) {
+      std::printf(
+          "SKIP: --require-2x raw-workload gate needs >= 4 hardware "
+          "threads (have %u)\n",
+          hw);
+    } else if (speedup_at_4 < 2.0) {
+      std::printf("FAIL: 4-shard wall speedup %.2fx < 2x (hw threads: %u)\n",
+                  speedup_at_4, hw);
+      return 1;
+    }
+    if (hw < 8) {
+      std::printf(
+          "SKIP: --require-2x full-system worker gate needs >= 8 hardware "
+          "threads (have %u)\n",
+          hw);
+    } else if (sys_best_speedup < 2.0) {
+      std::printf(
+          "FAIL: full-system %zu-worker wall speedup %.2fx < 2x "
+          "(hw threads: %u)\n",
+          max_curve_workers, sys_best_speedup, hw);
+      return 1;
+    }
   }
   return 0;
 }

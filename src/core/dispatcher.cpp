@@ -1,6 +1,8 @@
 #include "core/dispatcher.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 
 #include "core/system.hpp"
 
@@ -15,11 +17,11 @@ duration execution_context::local_clock() const {
 }
 
 void execution_context::set_condition(condition_id c) {
-  sys_->set_condition(c);
+  sys_->set_condition_from(node_, c);
 }
 
 void execution_context::clear_condition(condition_id c) {
-  sys_->clear_condition(c);
+  sys_->clear_condition_from(node_, c);
 }
 
 void execution_context::send(node_id dst, int channel,
@@ -46,8 +48,12 @@ dispatcher::dispatcher(system& sys, runtime& rt, node_id node,
   net_->on_channel(control_channel, [this](const sim::message& m) {
     const auto* tok = m.payload.get<control_token>();
     require(tok != nullptr, "dispatcher: malformed control token");
+    // Kinds needing the frame's source node are demuxed here; everything
+    // else goes through on_token (shared with early-token replay).
     if (tok->k == control_token::kind::shard_complete) {
       sys_->on_shard_complete(tok->task, tok->instance, m.src);
+    } else if (tok->k == control_token::kind::dl_probe) {
+      if (!halted_) sys_->on_deadlock_probe(node_, tok->aux, m.src);
     } else {
       on_token(*tok);
     }
@@ -87,6 +93,18 @@ void dispatcher::create_shard(const task_graph& g, instance_number k,
   if (halted_) return;
   const shard_key key{g.id(), k};
   require(!shards_.contains(key), "dispatcher: duplicate shard");
+
+  // Advance the creation watermark first (see stash_if_early) and drop
+  // stashes for older instances of this task — their creates were skipped
+  // (abort before start, crash), so their tokens can never be consumed.
+  instance_number& next = created_next_[g.id()];
+  next = std::max(next, k + 1);
+  for (auto it = early_tokens_.begin(); it != early_tokens_.end();) {
+    if (it->first.first == g.id() && it->first.second < k)
+      it = early_tokens_.erase(it);
+    else
+      ++it;
+  }
 
   shard s;
   s.graph = &g;
@@ -166,7 +184,11 @@ void dispatcher::create_shard(const task_graph& g, instance_number k,
     // omissions: a remote precedence that still has not arrived when the
     // consumer must start).
     if (!c.attrs.latest_offset.is_infinite()) {
-      const time_point latest = at + c.attrs.latest_offset;
+      // A remote create token may arrive after at + latest_offset (the
+      // activation date travels with the token); clamp so the violation
+      // check still fires — immediately — instead of scheduling in the past.
+      const time_point latest =
+          std::max(at + c.attrs.latest_offset, rt_->now());
       eu.latest_timer = rt_->at(latest, [this, key, idx] {
         shard* sp = find_shard(key);
         if (sp == nullptr) return;
@@ -213,6 +235,14 @@ void dispatcher::create_shard(const task_graph& g, instance_number k,
     if (sp == nullptr) break;
     auto eit = sp->eus.find(idx);
     if (eit != sp->eus.end()) evaluate(*sp, eit->second);
+  }
+
+  // Replay tokens that outran this create (nothing above may touch local
+  // state afterwards: a replayed abort_shard can erase the shard).
+  if (auto eit = early_tokens_.find(key); eit != early_tokens_.end()) {
+    std::vector<control_token> replay = std::move(eit->second);
+    early_tokens_.erase(eit);
+    for (const control_token& tok : replay) on_token(tok);
   }
 }
 
@@ -287,6 +317,7 @@ void dispatcher::halt() {
     }
   }
   shards_.clear();
+  early_tokens_.clear();  // created_next_ survives: pre-crash tokens are late
   by_thread_.clear();
   resource_waiters_.clear();
   cond_waiters_.clear();
@@ -337,7 +368,7 @@ bool dispatcher::conds_satisfied(shard& s, eu_rt& eu) {
   if (eu.code == nullptr) return true;
   bool ok = true;
   for (condition_id c : eu.code->waits_all) {
-    if (sys_->condition(c)) continue;
+    if (sys_->condition_on(node_, c)) continue;
     ok = false;
     auto& refs = cond_waiters_[c];
     const eu_ref ref{{s.graph->id(), s.instance}, eu.idx};
@@ -521,8 +552,8 @@ void dispatcher::eu_complete(shard_key key, eu_index idx) {
     execution_context ctx(*sys_, node_, key.first, key.second);
     eu.code->body(ctx);
   }
-  for (condition_id c : eu.code->sets) sys_->set_condition(c);
-  for (condition_id c : eu.code->clears) sys_->clear_condition(c);
+  for (condition_id c : eu.code->sets) sys_->set_condition_from(node_, c);
+  for (condition_id c : eu.code->clears) sys_->clear_condition_from(node_, c);
 
   if (eu.resources_granted) {
     release_resources(s, eu);
@@ -564,8 +595,27 @@ void dispatcher::propagate(shard_key key, eu_index from, const task_graph& g) {
   }
 }
 
+bool dispatcher::stash_if_early(const control_token& tok) {
+  auto it = created_next_.find(tok.task);
+  const instance_number next = it == created_next_.end() ? 0 : it->second;
+  if (tok.instance < next) return false;  // created already (possibly gone)
+  early_tokens_[{tok.task, tok.instance}].push_back(tok);
+  return true;
+}
+
 void dispatcher::on_token(const control_token& tok) {
   if (halted_) return;
+  switch (tok.k) {
+    case control_token::kind::precedence:
+    case control_token::kind::sync_return:
+    case control_token::kind::sync_started:
+    case control_token::kind::abort_shard:
+      // Per-instance tokens may arrive before their shard's create token.
+      if (stash_if_early(tok)) return;
+      break;
+    default:
+      break;
+  }
   switch (tok.k) {
     case control_token::kind::precedence: {
       shard* s = find_shard({tok.task, tok.instance});
@@ -579,16 +629,81 @@ void dispatcher::on_token(const control_token& tok) {
     case control_token::kind::sync_return:
       on_sync_return(tok.task, tok.instance, tok.to);
       return;
+    case control_token::kind::sync_started: {
+      // Ack from a remote activation: record the child instance so the
+      // deadlock scan sees the inv-wait edge (the return itself arrives as
+      // sync_return; per-link FIFO orders the two).
+      shard* s = find_shard({tok.task, tok.instance});
+      if (s == nullptr) return;
+      auto it = s->eus.find(tok.to);
+      if (it == s->eus.end()) return;
+      if (it->second.st == eu_state::inv_waiting)
+        it->second.sync_child_instance = tok.aux;
+      return;
+    }
+    case control_token::kind::create_shard:
+      // Idempotent: a home that is also an involved node creates directly.
+      if (!shards_.contains({tok.task, tok.instance}))
+        create_shard(sys_->graph(tok.task), tok.instance, tok.at);
+      return;
+    case control_token::kind::abort_shard:
+      abort_shard(tok.task, tok.instance,
+                  std::string(tok.reason,
+                              ::strnlen(tok.reason, sizeof tok.reason)));
+      return;
+    case control_token::kind::abort_request:
+      sys_->abort_instance(tok.task, tok.instance,
+                           std::string(tok.reason,
+                                       ::strnlen(tok.reason,
+                                                 sizeof tok.reason)),
+                           /*as_rejection=*/true);
+      return;
+    case control_token::kind::activate_request:
+      sys_->on_activate_request(node_, tok);
+      return;
+    case control_token::kind::cond_set:
+    case control_token::kind::cond_clear:
+    case control_token::kind::cond_update:
+      sys_->on_condition_token(node_, tok);
+      return;
     case control_token::kind::shard_complete:
-      return;  // handled at the channel layer (needs the source node)
+    case control_token::kind::dl_probe:
+      return;  // handled at the channel layer (need the source node)
   }
 }
 
 void dispatcher::fire_invocation(shard& s, eu_rt& eu) {
   const inv_eu& inv = *eu.inv;
+  const shard_key key{s.graph->id(), s.instance};
+  const node_id target_home = sys_->graph(inv.target).home_node();
+  if (target_home != node_) {
+    // The target's home owns the arrival-law check and instance
+    // bookkeeping, so a remote activation rides the wire instead of
+    // calling into a possibly concurrently-running shard. A synchronous
+    // invoker parks in inv_waiting; the home answers with sync_started
+    // (accepted, carrying the child instance for the deadlock scan) or an
+    // immediate sync_return (rejected) — and a crashed home answers with
+    // silence, the same observable as any lost remote instance: the
+    // invoker's own latest-start/deadline monitors flag it.
+    control_token tok;
+    tok.k = control_token::kind::activate_request;
+    tok.task = inv.target;
+    if (inv.kind == invocation_kind::synchronous) {
+      tok.flag = true;
+      tok.waiter_node = node_;
+      tok.waiter_task = key.first;
+      tok.waiter_instance = key.second;
+      tok.waiter_inv = eu.idx;
+      eu.st = eu_state::inv_waiting;
+      eu.sync_child_instance = 0;  // learned from the sync_started ack
+    }
+    net_->send(target_home, control_channel, tok, 48);
+    if (inv.kind != invocation_kind::synchronous)
+      finish_inv(key, eu.idx);
+    return;
+  }
   system::activation_origin origin;
   origin.k = system::activation_origin::kind::invocation;
-  const shard_key key{s.graph->id(), s.instance};
   if (inv.kind == invocation_kind::synchronous) {
     origin.waiter_node = node_;
     origin.waiter_task = key.first;
@@ -730,7 +845,20 @@ void dispatcher::reject_instance(kthread_id t, const std::string& reason) {
   auto it = by_thread_.find(t);
   if (it == by_thread_.end()) return;
   const shard_key key = it->second.key;
-  sys_->abort_instance(key.first, key.second, reason, /*as_rejection=*/true);
+  const node_id home = sys_->graph(key.first).home_node();
+  if (home == node_) {
+    sys_->abort_instance(key.first, key.second, reason, /*as_rejection=*/true);
+    return;
+  }
+  // Instance bookkeeping lives on the home shard: a policy rejecting a
+  // remote task's shard asks the home to abort instead of mutating
+  // instances_ from this shard.
+  control_token tok;
+  tok.k = control_token::kind::abort_request;
+  tok.task = key.first;
+  tok.instance = key.second;
+  std::snprintf(tok.reason, sizeof tok.reason, "%s", reason.c_str());
+  net_->send(home, control_channel, tok, 64);
 }
 
 // ------------------------------------------------------------- observability
@@ -749,7 +877,7 @@ std::vector<dispatcher::waiting_eu> dispatcher::waiting_eus() const {
         if (!eu.preds_done.contains(p)) w.waiting_preds.push_back(p);
       if (eu.code != nullptr)
         for (condition_id c : eu.code->waits_all)
-          if (!sys_->condition(c)) w.waiting_conds.push_back(c);
+          if (!sys_->condition_on(node_, c)) w.waiting_conds.push_back(c);
       if (eu.st == eu_state::inv_waiting) {
         w.sync_target = eu.inv->target;
         w.sync_target_instance = eu.sync_child_instance;

@@ -56,17 +56,48 @@ namespace hades::core {
 class system;
 class dispatcher;
 
-/// Control tokens exchanged between dispatchers on channel 0.
+/// Control tokens exchanged between dispatchers on channel 0. They carry
+/// every cross-node structural effect of the core — shard creation and
+/// abortion, invocation activation, condition updates, deadlock probes —
+/// so that no event handler ever calls into another node's dispatcher
+/// directly (DESIGN.md, "Cross-shard control tokens"). The struct stays
+/// trivially copyable and under the wire payload's pooled-class ceiling.
 struct control_token {
-  enum class kind { precedence, shard_complete, sync_return };
+  enum class kind {
+    precedence,        // from -> to precedence edge satisfied
+    shard_complete,    // a non-home shard of (task, instance) finished
+    sync_return,       // synchronous invocation made by `to` returned
+    create_shard,      // home -> involved node: build the local shard at `at`
+    abort_shard,       // home -> involved node: kill the local shard
+    abort_request,     // policy node -> home: abort the whole instance
+    activate_request,  // invoking node -> target's home: activate `task`
+    sync_started,      // target's home -> sync invoker: child instance = aux
+    cond_set,          // origin -> condition authority: set `cond`
+    cond_clear,        // origin -> condition authority: clear `cond`
+    cond_update,       // condition authority -> everyone: `cond` is now `flag`
+    dl_probe,          // deadlock-scan home -> node: report stalled EUs (epoch aux)
+  };
   kind k = kind::precedence;
   task_id task = invalid_task;
   instance_number instance = 0;
   eu_index from = 0;
   eu_index to = 0;
+  time_point at;              // create_shard: the shared activation date
+  condition_id cond = 0;      // cond_*: the subject condition variable
+  bool flag = false;          // cond_update: new value; activate_request: has waiter
+  std::uint64_t aux = 0;      // sync_started: child instance; dl_probe: epoch
+  node_id waiter_node = 0;    // activate_request: synchronous continuation
+  task_id waiter_task = invalid_task;
+  instance_number waiter_instance = 0;
+  eu_index waiter_inv = 0;
+  char reason[24] = {};       // abort_*: truncated human-readable cause
 };
 
 inline constexpr int control_channel = 0;
+/// System-level replies that are not fixed-size tokens (deadlock-scan
+/// reports carrying variable-length waiter lists) ride channel 1, handled
+/// by the owning `system`.
+inline constexpr int system_channel = 1;
 
 /// Handed to Code_EU bodies when they complete: the window through which
 /// application code interacts with HADES.
@@ -258,6 +289,16 @@ class dispatcher final : public scheduler_context {
 
   // tokens
   void on_token(const control_token& tok);
+  /// A per-instance token (precedence, sync_*, abort_shard) can outrun its
+  /// own shard's create_shard token: the two ride different links (home->A
+  /// then A->B vs home->B) whose latencies are independent. Tokens for
+  /// instances this node has not created yet are stashed and replayed at
+  /// the end of create_shard; tokens for instances *below* the creation
+  /// watermark are late (shard completed or aborted) and flow through the
+  /// normal find_shard miss path. Per-link FIFO guarantees creates for one
+  /// (task, target) pair arrive in increasing instance order, which is what
+  /// makes the watermark sound.
+  bool stash_if_early(const control_token& tok);
 
   void record_trace(sim::trace_kind k, const std::string& subject,
                     std::string detail = {});
@@ -280,6 +321,13 @@ class dispatcher final : public scheduler_context {
   std::deque<notification> fifo_;
 
   std::map<shard_key, shard> shards_;
+  // Early-token machinery (see stash_if_early): the next instance number
+  // each task is expected to create here, and tokens that arrived ahead of
+  // their create. The watermark survives halt() — it tracks what the home
+  // already sent, and a recovered node must still treat pre-crash instances
+  // as late.
+  std::map<task_id, instance_number> created_next_;
+  std::map<shard_key, std::vector<control_token>> early_tokens_;
   std::map<kthread_id, eu_ref> by_thread_;
   std::map<resource_id, resource_state> resources_;
   std::vector<eu_ref> resource_waiters_;

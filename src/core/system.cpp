@@ -1,6 +1,8 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 
 namespace hades::core {
@@ -15,9 +17,9 @@ std::unique_ptr<hades::runtime> system::make_backend(const config& cfg,
   sim::sharded_params sp;
   sp.shards = std::min(cfg.shards, node_count);
   // System state is shard-confined (per-shard monitor/trace partitions,
-  // home-shard task bookkeeping, per-source network state), so worker
-  // threads are safe; register_task rejects the residual cross-shard case
-  // (a task graph spanning shards) when workers are requested.
+  // home-shard task bookkeeping, per-source network state) and every
+  // cross-node structural effect rides a wire control token, so worker
+  // threads are safe for any task placement, shard-spanning included.
   sp.workers = cfg.workers;
   sp.lookahead = cfg.net.delta_min;  // every cross-node event rides the LAN
   // Contiguous balanced node groups: applications place tightly coupled
@@ -58,6 +60,18 @@ system::system(std::size_t node_count, config cfg) : cfg_(std::move(cfg)) {
     nodes_.push_back(std::move(ctx));
     arm_clock_interrupts(static_cast<node_id>(n));
   }
+  node_conditions_.resize(node_count);
+  // Deadlock-scan replies (variable-length stalled-EU lists) ride the
+  // system channel; only the scan home consumes them, but every node gets
+  // the handler so the scan home is not hard-wired into the wire format.
+  for (std::size_t n = 0; n < node_count; ++n)
+    nodes_[n]->net->on_channel(system_channel, [this](const sim::message& m) {
+      const auto* r = m.payload.get<dl_reply>();
+      require(r != nullptr, "system: malformed system-channel message");
+      auto it = dl_pending_.find(r->epoch);
+      if (it == dl_pending_.end()) return;  // epoch already analyzed
+      for (const auto& w : r->waits) it->second.push_back({r->from, w});
+    });
 }
 
 system::~system() = default;
@@ -105,26 +119,11 @@ task_id system::register_task(task_graph g) {
                "task '" + g.name() + "' invokes unregistered task id " +
                    std::to_string(inv->target));
 
-  // Worker-threaded runs require shard-confined handlers: a task whose EUs
-  // (or invocation targets) live on another shard would make the home
-  // shard's instance machinery call into a concurrently-running dispatcher.
-  // Cross-node *precedences* ride the wire and stay legal; shard *creation*
-  // and invocation activation are direct calls, so they must stay within
-  // the home shard when workers are on.
-  if (cfg_.workers > 0 && cfg_.shards > 0) {
-    const std::uint32_t home_shard = rt_->shard_of(g.home_node());
-    for (node_id p : g.processors())
-      validate(rt_->shard_of(p) == home_shard,
-               "task '" + g.name() + "' spans shards; worker-threaded runs "
-               "(config.workers > 0) require shard-confined task graphs");
-    for (eu_index i = 0; i < g.eu_count(); ++i)
-      if (const auto* inv = g.as_inv(i))
-        validate(rt_->shard_of(graphs_.at(inv->target)->home_node()) ==
-                     home_shard,
-                 "task '" + g.name() + "' invokes a task homed on another "
-                 "shard; worker-threaded runs require shard-confined graphs");
-  }
-
+  // Shard-spanning task graphs are legal under any worker count: shard
+  // creation/abortion and invocation activation across nodes ride wire
+  // control tokens (create_shard / abort_shard / activate_request), so the
+  // home shard's instance machinery never calls into a concurrently-running
+  // dispatcher.
   const task_id id = next_task_++;
   g.id_ = id;
   auto shared = std::make_shared<const task_graph>(std::move(g));
@@ -229,26 +228,52 @@ std::optional<instance_number> system::activate_internal(
   if (origin.waiter_node.has_value()) rec.sync_waiter = origin;
   // Completing exactly at the deadline is timely: the check runs one tick
   // after a+D so that same-instant completion events are processed first.
+  // Anchored at the home node so the timer lands on the home shard even
+  // when armed from outside event execution.
   if (!g.deadline().is_infinite())
     rec.deadline_timer =
-        rt_->at(now + g.deadline() + duration::nanoseconds(1),
-                [this, t, k] { on_deadline(t, k); });
+        rt_->at_node(home, now + g.deadline() + duration::nanoseconds(1),
+                     [this, t, k] { on_deadline(t, k); });
   instances_.at(t).emplace(k, std::move(rec));
   ++st.activations;
   trace_.record(now, home, sim::trace_kind::instance_activated,
                 g.name() + "#" + std::to_string(k));
 
   // Charge c_inv_start in kernel context on the home node, then create the
-  // shards on every involved node (they share the activation date `now`).
-  cpu(home).post_interrupt(
-      "inv_start:" + g.name(), cfg_.costs.c_inv_start,
-      [this, t, k, now, procs = std::move(procs)] {
-        auto it = graphs_.find(t);
-        if (it == graphs_.end()) return;
-        if (!instance_live(t, k)) return;  // aborted before start
-        for (node_id n : procs)
-          if (!disp(n).halted()) disp(n).create_shard(*it->second, k, now);
-      });
+  // shards on every involved node (they share the activation date `now`):
+  // the home's own shard directly, remote nodes by create_shard token —
+  // the only cross-node effect is a message, so worker threads never call
+  // into a foreign dispatcher.
+  const auto start_shards = [this, t, k, now, home,
+                             procs = std::move(procs)] {
+    cpu(home).post_interrupt(
+        "inv_start:" + graphs_.at(t)->name(), cfg_.costs.c_inv_start,
+        [this, t, k, now, home, procs] {
+          auto it = graphs_.find(t);
+          if (it == graphs_.end()) return;
+          if (!instance_live(t, k)) return;  // aborted before start
+          for (node_id n : procs) {
+            if (n == home) {
+              if (!disp(n).halted()) disp(n).create_shard(*it->second, k, now);
+            } else {
+              control_token tok;
+              tok.k = control_token::kind::create_shard;
+              tok.task = t;
+              tok.instance = k;
+              tok.at = now;
+              net(home).send(n, control_channel, tok, 48);
+            }
+          }
+        });
+  };
+  if (rt_->in_event_context()) {
+    // Already on the home shard (periodic chains, invocation handlers and
+    // token handlers all execute there).
+    start_shards();
+  } else {
+    // External activation between events: route onto the home shard first.
+    rt_->at_node(home, now, start_shards);
+  }
   return k;
 }
 
@@ -309,12 +334,15 @@ void system::finish_instance(task_id t, instance_number k) {
 void system::deliver_sync_return(node_id from,
                                  const activation_origin& origin) {
   const node_id wn = *origin.waiter_node;
-  if (disp(wn).halted()) return;
   if (wn == from) {
+    if (disp(wn).halted()) return;
     disp(wn).on_sync_return(origin.waiter_task, origin.waiter_instance,
                             origin.waiter_inv);
     return;
   }
+  // Remote waiter: send unconditionally — the network drops frames to down
+  // nodes and the receiver's token handler checks halted_, so no
+  // cross-shard read of the waiter's state is needed here.
   control_token tok;
   tok.k = control_token::kind::sync_return;
   tok.task = origin.waiter_task;
@@ -334,10 +362,22 @@ void system::abort_instance(task_id t, instance_number k,
   tit->second.erase(it);
 
   const task_graph& g = *graphs_.at(t);
-  for (node_id n : g.processors())
-    if (!disp(n).halted()) disp(n).abort_shard(t, k, reason);
-  if (g.processors().empty() && !disp(g.home_node()).halted())
-    disp(g.home_node()).abort_shard(t, k, reason);
+  const node_id home = g.home_node();
+  auto procs = g.processors();
+  if (procs.empty()) procs.push_back(home);
+  for (node_id n : procs) {
+    if (n == home) {
+      if (!disp(n).halted()) disp(n).abort_shard(t, k, reason);
+    } else {
+      // Remote shards die by token, mirroring how they were created.
+      control_token tok;
+      tok.k = control_token::kind::abort_shard;
+      tok.task = t;
+      tok.instance = k;
+      std::snprintf(tok.reason, sizeof tok.reason, "%s", reason.c_str());
+      net(home).send(n, control_channel, tok, 64);
+    }
+  }
 
   if (as_rejection) {
     auto& st = task_stats_[t];
@@ -354,21 +394,139 @@ void system::abort_instance(task_id t, instance_number k,
   }
 }
 
-// ------------------------------------------------------ condition variables --
-
-void system::set_condition(condition_id c) {
-  bool& v = conditions_[c];
-  if (v) return;
-  v = true;
-  for (auto& n : nodes_)
-    if (!n->disp->halted()) n->disp->on_condition_set(c);
+void system::on_activate_request(node_id home, const control_token& tok) {
+  activation_origin origin;
+  origin.k = activation_origin::kind::invocation;
+  if (tok.flag) {
+    origin.waiter_node = tok.waiter_node;
+    origin.waiter_task = tok.waiter_task;
+    origin.waiter_instance = tok.waiter_instance;
+    origin.waiter_inv = tok.waiter_inv;
+  }
+  const auto child = activate_internal(tok.task, origin);
+  if (!tok.flag) return;
+  // Answer a synchronous invoker: sync_started carries the child instance
+  // (for the deadlock scan's inv-wait edge); a rejection unblocks the
+  // invoker immediately with sync_return, matching the local path where a
+  // failed activate_internal finishes the Inv_EU at once.
+  control_token back;
+  back.task = tok.waiter_task;
+  back.instance = tok.waiter_instance;
+  back.to = tok.waiter_inv;
+  if (child.has_value()) {
+    back.k = control_token::kind::sync_started;
+    back.aux = *child;
+  } else {
+    back.k = control_token::kind::sync_return;
+  }
+  net(home).send(tok.waiter_node, control_channel, back, 32);
 }
 
-void system::clear_condition(condition_id c) { conditions_[c] = false; }
+// ------------------------------------------------------ condition variables --
+
+namespace {
+// The condition authority: a fixed home keeps single-setter timing
+// identical across node counts and makes ownership backend-independent.
+constexpr node_id cond_home = 0;
+}  // namespace
+
+void system::apply_condition_home(condition_id c, bool v) {
+  // Runs on the authority's shard. Dedupe before broadcasting: a no-op
+  // set/clear must not generate wire traffic (or wakeups).
+  bool& cur = node_conditions_[cond_home][c];
+  if (cur == v) return;
+  cur = v;
+  if (v && !disp(cond_home).halted()) disp(cond_home).on_condition_set(c);
+  if (nodes_.size() == 1) return;
+  control_token tok;
+  tok.k = control_token::kind::cond_update;
+  tok.cond = c;
+  tok.flag = v;
+  net(cond_home).send_all(control_channel, tok, 32);
+}
+
+void system::apply_condition_everywhere(condition_id c, bool v) {
+  // Outside event execution every shard is quiescent: update all views at
+  // once (the historical serial semantics of the public setters).
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    bool& cur = node_conditions_[n][c];
+    if (cur == v) continue;
+    cur = v;
+    if (v && !nodes_[n]->disp->halted())
+      nodes_[n]->disp->on_condition_set(c);
+  }
+}
+
+void system::set_condition(condition_id c) {
+  if (rt_->in_event_context())
+    apply_condition_home(c, true);
+  else
+    apply_condition_everywhere(c, true);
+}
+
+void system::clear_condition(condition_id c) {
+  if (rt_->in_event_context())
+    apply_condition_home(c, false);
+  else
+    apply_condition_everywhere(c, false);
+}
+
+void system::set_condition_from(node_id origin, condition_id c) {
+  if (!rt_->in_event_context()) {
+    apply_condition_everywhere(c, true);
+    return;
+  }
+  if (origin == cond_home) {
+    apply_condition_home(c, true);
+    return;
+  }
+  control_token tok;
+  tok.k = control_token::kind::cond_set;
+  tok.cond = c;
+  net(origin).send(cond_home, control_channel, tok, 32);
+}
+
+void system::clear_condition_from(node_id origin, condition_id c) {
+  if (!rt_->in_event_context()) {
+    apply_condition_everywhere(c, false);
+    return;
+  }
+  if (origin == cond_home) {
+    apply_condition_home(c, false);
+    return;
+  }
+  control_token tok;
+  tok.k = control_token::kind::cond_clear;
+  tok.cond = c;
+  net(origin).send(cond_home, control_channel, tok, 32);
+}
+
+void system::on_condition_token(node_id n, const control_token& tok) {
+  switch (tok.k) {
+    case control_token::kind::cond_set:
+      apply_condition_home(tok.cond, true);
+      return;
+    case control_token::kind::cond_clear:
+      apply_condition_home(tok.cond, false);
+      return;
+    case control_token::kind::cond_update: {
+      node_conditions_[n][tok.cond] = tok.flag;
+      if (tok.flag) disp(n).on_condition_set(tok.cond);
+      return;
+    }
+    default:
+      return;
+  }
+}
 
 bool system::condition(condition_id c) const {
-  auto it = conditions_.find(c);
-  return it != conditions_.end() && it->second;
+  return condition_on(cond_home, c);
+}
+
+bool system::condition_on(node_id n, condition_id c) const {
+  const auto& view = node_conditions_.at(n);
+  auto it = view.find(c);
+  return it != view.end() && it->second;
 }
 
 // ------------------------------------------------------------------- faults --
@@ -407,17 +565,16 @@ void system::recover_node(node_id n) {
 // -------------------------------------------------------- deadlock detection --
 
 std::size_t system::detect_deadlocks() {
-  struct stalled {
-    node_id node;
-    dispatcher::waiting_eu w;
-  };
-  std::vector<stalled> all;
+  std::vector<stalled_eu> all;
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     if (crashed(static_cast<node_id>(n))) continue;
     for (auto& w : disp(static_cast<node_id>(n)).waiting_eus())
       all.push_back({static_cast<node_id>(n), std::move(w)});
   }
+  return analyze_stalled(all);
+}
 
+std::size_t system::analyze_stalled(std::vector<stalled_eu>& all) {
   // Index stalled EUs by (task, instance, eu).
   auto key_of = [](task_id t, instance_number k, eu_index e) {
     std::ostringstream os;
@@ -509,7 +666,65 @@ std::size_t system::detect_deadlocks() {
 }
 
 void system::arm_deadlock_scan(duration period) {
-  rt_->every(period, [this] { detect_deadlocks(); });
+  // Anchored at the scan home so every tick — and the analysis it leads
+  // to — executes on one shard.
+  const node_id scan_home = 0;
+  rt_->periodic_at_node(scan_home, rt_->now() + period, period,
+                        [this] { deadlock_scan_tick(); });
+}
+
+void system::deadlock_scan_tick() {
+  const node_id scan_home = 0;
+  if (crashed(scan_home)) return;  // resumes on the next tick after recovery
+  if (nodes_.size() == 1) {
+    // No wire needed: the home's own waiters are the whole graph.
+    detect_deadlocks();
+    return;
+  }
+  const std::uint64_t epoch = ++dl_epoch_;
+  auto& pending = dl_pending_[epoch];
+  for (auto& w : disp(scan_home).waiting_eus())
+    pending.push_back({scan_home, std::move(w)});
+  control_token tok;
+  tok.k = control_token::kind::dl_probe;
+  tok.aux = epoch;
+  net(scan_home).send_all(control_channel, tok, 32);
+  // Probe out plus reply back bounds the collect window: two worst-case
+  // hops (with the modeled per-byte cost of the 64-byte reply) plus a
+  // margin for net-task processing — a backend-independent date, so the
+  // analysis time is identical across shard and worker counts.
+  const duration hop =
+      cfg_.net.delta_max + cfg_.net.per_byte * 64 + cfg_.costs.w_net * 4;
+  rt_->at_node(scan_home, rt_->now() + hop + hop + duration::microseconds(10),
+               [this, epoch] { finish_deadlock_scan(epoch); });
+}
+
+void system::on_deadlock_probe(node_id n, std::uint64_t epoch,
+                               node_id reply_to) {
+  dl_reply r;
+  r.epoch = epoch;
+  r.from = n;
+  r.waits = disp(n).waiting_eus();
+  net(n).send(reply_to, system_channel, std::move(r), 64);
+}
+
+void system::finish_deadlock_scan(std::uint64_t epoch) {
+  auto it = dl_pending_.find(epoch);
+  if (it == dl_pending_.end()) return;
+  std::vector<stalled_eu> all = std::move(it->second);
+  dl_pending_.erase(it);
+  // Canonical order: cross-link arrival order is a network property, so
+  // sort by content before analyzing — the recorded events (and the DFS)
+  // then depend only on *what* is stalled, not on reply interleaving.
+  std::sort(all.begin(), all.end(),
+            [](const stalled_eu& a, const stalled_eu& b) {
+              if (a.node != b.node) return a.node < b.node;
+              if (a.w.task != b.w.task) return a.w.task < b.w.task;
+              if (a.w.instance != b.w.instance)
+                return a.w.instance < b.w.instance;
+              return a.w.eu < b.w.eu;
+            });
+  analyze_stalled(all);
 }
 
 }  // namespace hades::core

@@ -50,14 +50,14 @@ class system {
     /// lookahead = net.delta_min (which must then be > 0).
     std::size_t shards = 0;
     /// Worker threads advancing shards concurrently (sharded backend only;
-    /// ignored when shards == 0). The system's own state is shard-confined
+    /// ignored when shards == 0). The system's state is shard-confined
     /// (DESIGN.md, "Shard confinement"): per-shard monitor/trace partitions,
     /// per-task bookkeeping owned by the task's home shard, per-source
-    /// network state — so any worker count produces bit-identical runs.
-    /// Residual cross-shard features are guarded: `register_task` rejects
-    /// task graphs spanning shards when workers > 0, and condition
-    /// variables / deadlock scans remain serial-only (they walk every
-    /// dispatcher).
+    /// network state, and every cross-node structural effect — shard
+    /// creation, invocation activation, condition updates, deadlock probes —
+    /// rides a wire control token (DESIGN.md, "Cross-shard control tokens"),
+    /// so any worker count, including on shard-spanning task graphs,
+    /// produces bit-identical runs.
     std::size_t workers = 0;
   };
 
@@ -108,12 +108,24 @@ class system {
   void activate_at(task_id t, time_point at);
 
   // --- condition variables (system-wide booleans, paper 3.1.1) -------------
-  // Conditions are inherently cross-node (setting one re-evaluates every
-  // dispatcher's waiters) and therefore serial-only: do not set conditions
-  // from event handlers of a worker-threaded run.
+  // Conditions are home-owned: node 0's shard is the authority. An in-event
+  // set/clear from another node rides a cond_set/cond_clear token to the
+  // authority, which applies the change and broadcasts cond_update tokens,
+  // so every waiter wakeup is evaluated by the waiter's own shard —
+  // worker-legal on every backend. The public set/clear entry points below
+  // are for use from *outside* event execution (test setup, between runs):
+  // there they update every node's view directly, the historical serial
+  // semantics. Event handlers go through execution_context::set_condition,
+  // which routes by origin node.
   void set_condition(condition_id c);
   void clear_condition(condition_id c);
+  /// The authority's view (node 0) — what outside-event callers observe.
   [[nodiscard]] bool condition(condition_id c) const;
+  /// In-event entry points, routed by origin (dispatcher-internal).
+  void set_condition_from(node_id origin, condition_id c);
+  void clear_condition_from(node_id origin, condition_id c);
+  /// A node's local view — what its dispatcher's readiness checks read.
+  [[nodiscard]] bool condition_on(node_id n, condition_id c) const;
 
   // --- execution -------------------------------------------------------------
   void run_until(time_point t) { rt_->run_until(t); }
@@ -147,12 +159,19 @@ class system {
 
   /// Scan all dispatchers for stalled-EU cycles (deadlock detection,
   /// monitoring activity (iv) of paper 3.2.1). Records deadlock_suspected
-  /// events and returns the number of EUs involved in cycles. Walks every
-  /// node's dispatcher, so it is serial-only (call between runs, or arm the
-  /// scan only on workers == 0 configurations).
+  /// events and returns the number of EUs involved in cycles. This
+  /// synchronous form walks every node's dispatcher, so call it from
+  /// outside event execution (between runs); periodic in-run scans armed
+  /// with arm_deadlock_scan use the distributed probe/reply protocol and
+  /// are worker-legal.
   std::size_t detect_deadlocks();
 
-  /// Arm periodic deadlock scans.
+  /// Arm periodic deadlock scans. Multi-node systems run the distributed
+  /// protocol: the scan home (node 0) probes every node with dl_probe
+  /// tokens, nodes reply with their stalled EUs on the system channel, and
+  /// the merged wait-for graph is analyzed on the home shard after a
+  /// bounded collect window (two network hops) — sorted canonically, so
+  /// the recorded events are backend- and worker-independent.
   void arm_deadlock_scan(duration period);
 
   // --- internal API for dispatchers (public for the component, not users) ---
@@ -169,6 +188,14 @@ class system {
   void on_shard_complete(task_id t, instance_number k, node_id from);
   void abort_instance(task_id t, instance_number k, const std::string& reason,
                       bool as_rejection);
+  /// An activate_request token landed on `home` (the target task's home
+  /// node): run the activation there and answer a synchronous invoker with
+  /// sync_started (accepted) or sync_return (rejected).
+  void on_activate_request(node_id home, const control_token& tok);
+  /// A cond_set/cond_clear/cond_update token landed on `n`.
+  void on_condition_token(node_id n, const control_token& tok);
+  /// A dl_probe token landed on `n`: report its stalled EUs to `reply_to`.
+  void on_deadlock_probe(node_id n, std::uint64_t epoch, node_id reply_to);
   [[nodiscard]] bool instance_live(task_id t, instance_number k) const {
     auto it = instances_.find(t);
     return it != instances_.end() && it->second.contains(k);
@@ -192,12 +219,30 @@ class system {
     std::optional<activation_origin> sync_waiter;
   };
 
+  // A stalled EU as seen by the deadlock analysis, tagged with its node.
+  struct stalled_eu {
+    node_id node;
+    dispatcher::waiting_eu w;
+  };
+  /// Reply to a dl_probe: one node's stalled EUs, tagged with the scan
+  /// epoch. Rides the system channel as a wire payload (variable length).
+  struct dl_reply {
+    std::uint64_t epoch = 0;
+    node_id from = 0;
+    std::vector<dispatcher::waiting_eu> waits;
+  };
+
   void arm_periodic(task_id t);
   void arm_clock_interrupts(node_id n);
   void schedule_clock_tick(node_id n, time_point at);
   void on_deadline(task_id t, instance_number k);
   void finish_instance(task_id t, instance_number k);
   void deliver_sync_return(node_id from, const activation_origin& origin);
+  void apply_condition_home(condition_id c, bool v);
+  void apply_condition_everywhere(condition_id c, bool v);
+  std::size_t analyze_stalled(std::vector<stalled_eu>& all);
+  void deadlock_scan_tick();
+  void finish_deadlock_scan(std::uint64_t epoch);
 
   static std::unique_ptr<hades::runtime> make_backend(const config& cfg,
                                                       std::size_t node_count);
@@ -220,10 +265,21 @@ class system {
   std::map<task_id, bool> ever_activated_;
   std::map<resource_id, node_id> resource_home_;
   std::map<task_id, std::map<instance_number, instance_record>> instances_;
-  std::map<condition_id, bool> conditions_;  // serial-only (see set_condition)
+  // Per-node condition views (see set_condition): index [node][cond]. The
+  // authority is node 0's view; the others converge one cond_update hop
+  // later. Each inner map is only touched by its node's shard during a
+  // run; outside event execution (tests, between runs) the public
+  // setters update all views at once.
+  std::vector<std::map<condition_id, bool>> node_conditions_;
   std::map<task_id, std::any> task_states_;
   std::map<task_id, task_stats> task_stats_;
   task_id next_task_ = 1;
+
+  // Distributed deadlock-scan state, owned by the scan home's shard
+  // (node 0): per-epoch collected stalled EUs; an epoch is erased when
+  // analyzed, so a straggler reply for a finished epoch is dropped.
+  std::uint64_t dl_epoch_ = 0;
+  std::map<std::uint64_t, std::vector<stalled_eu>> dl_pending_;
 };
 
 }  // namespace hades::core

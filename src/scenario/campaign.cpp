@@ -165,6 +165,39 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
     sys.register_task(overload.build());
     sys.attach_policy(0, std::make_shared<sched::edf_policy>());
   }
+  if (spec.spanning_task_load) {
+    // Shard-spanning load (worker-mode completeness gate): a graph whose
+    // EUs alternate between node 0 and the far node — registration sends
+    // creation tokens to the remote home, the precedences cross shards in
+    // both directions, and the far EU sets a condition that a watcher on a
+    // middle node waits on (cond_set -> authority -> cond_update wakeup).
+    // Infinite deadlines keep these out of the overload's miss accounting.
+    const auto far = static_cast<node_id>(spec.nodes - 1);
+    const auto mid = static_cast<node_id>(spec.nodes / 2);
+    core::task_builder span("span");
+    span.law(core::arrival_law::periodic(15_ms, 300_ms + 137_us));
+    const auto a = span.add_code_eu("a", 0, 150_us);
+    core::code_eu far_eu;
+    far_eu.name = "b";
+    far_eu.processor = far;
+    far_eu.wcet = 150_us;
+    far_eu.sets = {1};
+    const auto b = span.add_code_eu(std::move(far_eu));
+    const auto c = span.add_code_eu("c", 0, 150_us);
+    span.precede(a, b, 64).precede(b, c, 64);
+    sys.register_task(span.build());
+
+    core::task_builder watch("watch");
+    watch.law(core::arrival_law::periodic(15_ms, 300_ms + 251_us));
+    core::code_eu w_eu;
+    w_eu.name = "w";
+    w_eu.processor = mid;
+    w_eu.wcet = 100_us;
+    w_eu.waits_all = {1};
+    w_eu.clears = {1};
+    watch.add_code_eu(std::move(w_eu));
+    sys.register_task(watch.build());
+  }
 
   obs.sent_at.assign(spec.nodes, {});
   bcast_driver driver{&sys, &bcast, &obs.sent_at,
@@ -269,6 +302,18 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
   d.mix(bcast.relays());
   d.mix(fd.heartbeats_sent());
   d.mix(fd.recoveries_observed());
+  // Per-task stats and the mode manager's capture digest fold the whole
+  // task pipeline (creation/activation tokens, condition wakeups, capture
+  // request/reply) into the determinism gate.
+  for (const task_id t : sys.tasks()) {
+    const auto& st = sys.stats_for(t);
+    d.mix(t);
+    d.mix(st.activations);
+    d.mix(st.completions);
+    d.mix(st.rejections);
+    d.mix(st.response_times.count());
+  }
+  d.mix(modes.capture_digest());
   const auto& ns = sys.network().stats();
   d.mix(ns.sent);
   d.mix(ns.delivered);

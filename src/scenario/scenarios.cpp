@@ -206,6 +206,26 @@ std::vector<scenario_spec> all_scenarios() {
     out.push_back(std::move(s));
   }
 
+  {
+    scenario_spec s = base("degraded_overload_spanning",
+                           "the same EDF overload, plus a shard-spanning "
+                           "task graph (EUs alternating node 0 and the last "
+                           "node) and a condition-coupled watcher on a "
+                           "middle node: creation/activation tokens, "
+                           "cross-shard condition wakeups and mode-switch "
+                           "state capture must all reproduce the serial "
+                           "checksum while the mode manager degrades and "
+                           "reaches SAFE");
+    s.with_task_load = true;
+    s.spanning_task_load = true;
+    s.thresholds.misses_for_degraded = 1;
+    s.thresholds.misses_for_safe = 4;
+    s.thresholds.crashes_for_degraded = 1;
+    s.thresholds.crashes_for_safe = 3;
+    s.modes.final_mode = svc::op_mode::safe;
+    out.push_back(std::move(s));
+  }
+
   return out;
 }
 

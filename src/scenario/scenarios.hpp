@@ -52,6 +52,12 @@ struct scenario_spec {
   /// would swamp the run without grading anything extra.
   std::size_t bcast_nodes = 0;
   bool with_task_load = false;     // overloaded EDF task on node 0
+  /// Adds a shard-spanning task pair on top of the overload: a periodic
+  /// graph whose EUs alternate between node 0 and the last node (remote
+  /// precedences both directions) and a condition-coupled watcher on a
+  /// middle node — exercising creation/activation tokens, cross-shard
+  /// condition wakeups and mode-switch capture under worker threads.
+  bool spanning_task_load = false;
   bool expect_order_faults = false;  // performance faults may breach Delta
   duration skew_bound = duration::microseconds(300);
 

@@ -13,5 +13,6 @@ inline constexpr int ch_consensus = 14;
 inline constexpr int ch_replication = 15;
 inline constexpr int ch_replication_client = 16;
 inline constexpr int ch_fd_digest = 17;  // aggregator liveness digests
+inline constexpr int ch_mode_capture = 18;  // mode-switch state capture
 
 }  // namespace hades::svc

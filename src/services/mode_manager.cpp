@@ -1,6 +1,29 @@
 #include "services/mode_manager.hpp"
 
+#include <utility>
+
+#include "services/channels.hpp"
+
 namespace hades::svc {
+
+namespace {
+
+// Capture protocol frames (ch_mode_capture). The request asks a task's
+// home node to read the state blob on its own shard; the reply carries the
+// blob back tagged with the switch epoch that asked for it.
+struct capture_request {
+  std::uint64_t epoch = 0;
+  task_id task = invalid_task;
+  node_id reply_to = 0;
+};
+
+struct capture_reply {
+  std::uint64_t epoch = 0;
+  task_id task = invalid_task;
+  std::any state;
+};
+
+}  // namespace
 
 mode_manager::mode_manager(core::system& sys, thresholds t, node_id home)
     : sys_(&sys), thresholds_(t), home_(home) {
@@ -10,6 +33,27 @@ mode_manager::mode_manager(core::system& sys, thresholds t, node_id home)
   sys_->mon().subscribe_at_node(
       home_, sys_->network().config().delta_min,
       [this](const core::monitor_event& e) { consider(e); });
+  // Capture protocol: every node answers requests for the tasks it homes;
+  // replies only matter on `home`, where the capture map lives.
+  for (std::size_t n = 0; n < sys_->node_count(); ++n) {
+    const auto nid = static_cast<node_id>(n);
+    sys_->net(nid).on_channel(
+        ch_mode_capture, [this, nid](const sim::message& m) {
+          if (const auto* rq = m.payload.get<capture_request>()) {
+            capture_reply rep;
+            rep.epoch = rq->epoch;
+            rep.task = rq->task;
+            rep.state = sys_->task_state(rq->task);  // read on the owning shard
+            sys_->net(nid).send(rq->reply_to, ch_mode_capture,
+                                std::move(rep), 64);
+            return;
+          }
+          const auto* rp = m.payload.get<capture_reply>();
+          if (rp == nullptr) return;
+          if (rp->epoch != switches_) return;  // superseded switch: drop
+          captured_[rp->task] = sim::wire_payload(std::any(rp->state));
+        });
+  }
 }
 
 void mode_manager::consider(const core::monitor_event& e) {
@@ -55,13 +99,42 @@ void mode_manager::switch_to(op_mode m) {
   mode_ = m;
   ++switches_;
   last_switch_ = sys_->now();
-  // State capture at the switch point.
+  // State capture at the switch point (paper 3.2.1): home-shard tasks are
+  // snapshotted synchronously, remote tasks through the epoch-tagged
+  // request/reply — no cross-shard read of another shard's blob.
   captured_.clear();
-  for (task_id t : sys_->tasks()) captured_[t] = sys_->task_state(t);
+  for (task_id t : sys_->tasks()) {
+    const node_id h = sys_->graph(t).home_node();
+    if (h == home_) {
+      captured_[t] = sim::wire_payload(std::any(sys_->task_state(t)));
+    } else {
+      capture_request rq;
+      rq.epoch = switches_;
+      rq.task = t;
+      rq.reply_to = home_;
+      sys_->net(home_).send(h, ch_mode_capture, std::move(rq), 48);
+    }
+  }
   sys_->trace().record(sys_->now(), home_, sim::trace_kind::service_event,
                        "mode_manager",
                        std::string(to_string(from)) + " -> " + to_string(m));
   for (const auto& h : hooks_) h(from, m, sys_->now());
+}
+
+std::uint64_t mode_manager::capture_digest() const {
+  // FNV-1a over the switch count and captured task ids; map order makes
+  // the fold deterministic.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ull;
+    }
+  };
+  mix(switches_);
+  mix(captured_.size());
+  for (const auto& [t, blob] : captured_) mix(t);
+  return h;
 }
 
 void mode_manager::force_mode(op_mode m) {

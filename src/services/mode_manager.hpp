@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/system.hpp"
+#include "sim/wire_payload.hpp"
 
 namespace hades::svc {
 
@@ -78,12 +79,33 @@ class mode_manager {
   [[nodiscard]] node_id home() const { return home_; }
 
   /// State capture: snapshot of every registered task's state blob at the
-  /// moment of the most recent switch. (Captured on the home shard; tasks
-  /// whose bodies mutate state on other shards should be quiescent at
-  /// switch time in worker-threaded runs.)
-  [[nodiscard]] const std::map<task_id, std::any>& captured_state() const {
+  /// moment of the most recent switch, keyed by task and held as pooled
+  /// wire payloads (each wrapping the task's `std::any` blob). Tasks homed
+  /// on `home` are captured synchronously at the switch; tasks homed
+  /// elsewhere are captured by an epoch-tagged request/reply exchange on
+  /// ch_mode_capture — the reply reads the blob on the *owning* shard, so
+  /// worker-threaded runs never touch another shard's state, and lands
+  /// within two network hops of the switch. A straggler reply from a
+  /// superseded switch is dropped by its stale epoch.
+  [[nodiscard]] const std::map<task_id, sim::wire_payload>& captured_state()
+      const {
     return captured_;
   }
+
+  /// Typed view of one captured blob; null when absent (not yet replied,
+  /// or never captured).
+  template <typename T>
+  [[nodiscard]] const T* captured(task_id t) const {
+    auto it = captured_.find(t);
+    if (it == captured_.end()) return nullptr;
+    const std::any* blob = it->second.template get<std::any>();
+    return blob == nullptr ? nullptr : std::any_cast<T>(blob);
+  }
+
+  /// Order-independent digest of the capture set (switch count plus the
+  /// captured task ids) — what the scenario campaign folds into its
+  /// cross-backend determinism checksum.
+  [[nodiscard]] std::uint64_t capture_digest() const;
 
   /// Manual transition (e.g. operator command or recovery complete).
   void force_mode(op_mode m);
@@ -104,7 +126,7 @@ class mode_manager {
   std::map<std::string, std::size_t> suspected_subjects_;
   std::uint64_t switches_ = 0;
   time_point last_switch_;
-  std::map<task_id, std::any> captured_;
+  std::map<task_id, sim::wire_payload> captured_;
   std::vector<hook_fn> hooks_;
 };
 

@@ -234,6 +234,13 @@ void engine::commit(event_batch& b) {
 // --- execution -------------------------------------------------------------
 
 void engine::fire(const heap_rec& rec) {
+  const bool was_in_event = in_event_;
+  in_event_ = true;
+  struct reset {
+    bool* flag;
+    bool prev;
+    ~reset() { *flag = prev; }
+  } guard{&in_event_, was_in_event};
   slot& sl = slot_at(rec.slot);
   switch (sl.kind) {
     case slot_kind::single: {

@@ -55,6 +55,11 @@ class engine final : public runtime {
   [[nodiscard]] bool empty() const override { return live_ == 0; }
   [[nodiscard]] std::size_t pending() const override { return live_; }
   [[nodiscard]] std::uint64_t executed() const override { return executed_; }
+  /// True while an event callback is on the stack. The single engine must
+  /// report this honestly: core::system routes in-event cross-node effects
+  /// (condition tokens, activation placement) by this flag, and the dates
+  /// those routes produce must be identical on every backend.
+  [[nodiscard]] bool in_event_context() const override { return in_event_; }
 
   /// Timestamp of the next pending event, or infinity when idle. Skims any
   /// stale (cancelled) records off the heap top as a side effect — used by
@@ -150,6 +155,7 @@ class engine final : public runtime {
   std::vector<heap_rec> heap_;
   std::uint32_t free_head_ = npos;
   std::uint32_t firing_slot_ = npos;  // periodic slot mid-callback, if any
+  bool in_event_ = false;             // an event callback is on the stack
   std::size_t live_ = 0;
   std::size_t stale_ = 0;
   std::size_t compactions_ = 0;

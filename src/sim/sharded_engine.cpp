@@ -27,10 +27,16 @@ sharded_engine::sharded_engine(sharded_params p)
            "sharded_engine: lookahead must be finite and >= 1ns");
   for (std::uint32_t s : node_shard_)
     validate(s < p.shards, "sharded_engine: node mapped to unknown shard");
+  // Ring capacity trades memory (shards^2 rings) against spill frequency;
+  // overflow degrades to the barrier-ordered spill vector, never breaks.
+  const std::size_t ring_cap =
+      p.shards <= 8 ? 512 : p.shards <= 16 ? 128 : 64;
   shards_.reserve(p.shards);
   for (std::size_t s = 0; s < p.shards; ++s) {
     shards_.push_back(std::make_unique<shard>());
-    shards_.back()->outbox.resize(p.shards);
+    shards_.back()->outbox = std::make_unique<spsc_ring[]>(p.shards);
+    for (std::size_t t = 0; t < p.shards; ++t)
+      shards_.back()->outbox[t].slots.resize(ring_cap);
   }
   const std::size_t workers = std::min(p.workers, p.shards);
   workers_.reserve(workers);
@@ -86,14 +92,14 @@ event_id sharded_engine::at_node(node_id dst, time_point t, event_fn fn) {
   const std::uint32_t target = shard_of(dst);
   if (!in_callback() || target == current_shard())
     return tag(target, shards_[target]->core.at(t, std::move(fn)));
-  // Cross-shard: append to the origin's per-target outbox (owner-only, no
-  // lock — see drain_outboxes for the boundary hand-off). The lookahead
-  // requirement is what makes the conservative horizon sound — an event
-  // below the horizon can only create work at or beyond it.
+  // Cross-shard: push onto the origin's per-target SPSC ring (lock-free;
+  // see drain_outboxes for the consumer side). The lookahead requirement
+  // is what makes the conservative horizon sound — an event below the
+  // horizon can only create work at or beyond it.
   shard& from = *shards_[current_shard()];
   require(t >= from.core.now() + lookahead_,
           "sharded_engine::at_node: cross-shard event below the lookahead");
-  from.outbox[target].push_back(
+  from.outbox[target].push(
       cross_event{t, current_shard(), from.xmit_seq++, std::move(fn)});
   return invalid_event;  // cross-shard events are fire-and-forget
 }
@@ -130,31 +136,52 @@ void sharded_engine::commit(event_batch& b) {
 
 // --- conservative rounds -----------------------------------------------------
 
-// Round-boundary injection, run by the coordinator while every worker is
-// quiescent (the round barrier's mutex hand-off makes the workers' outbox
-// appends visible here — no per-event lock anywhere). Each target merges
-// the per-origin batches destined for it, sorted by the deterministic key.
+// Round-boundary injection. Ring contents are published by the producers'
+// release-stores of `tail` and consumed here through acquire-loads — the
+// hand-off no longer leans on the round barrier's mutex (spill vectors
+// still do, by construction). Each target merges the per-origin batches
+// destined for it, sorted by the deterministic key; a drain fed by a
+// single origin skips the sort — ring+spill order is already origin-seq
+// order, which is the stable order the sort would produce for same-instant
+// events, and the target core's heap orders distinct instants anyway.
 void sharded_engine::drain_outboxes() {
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     shard& sh = *shards_[s];
     drain_scratch_.clear();
+    std::size_t sources = 0;
     for (auto& from : shards_) {
-      auto& box = from->outbox[s];
-      if (box.empty()) continue;
-      std::move(box.begin(), box.end(), std::back_inserter(drain_scratch_));
-      box.clear();
+      spsc_ring& ring = from->outbox[s];
+      const std::uint64_t tail = ring.tail.load(std::memory_order_acquire);
+      std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+      if (head == tail && ring.spill.empty()) continue;
+      ++sources;
+      for (; head != tail; ++head)
+        drain_scratch_.push_back(
+            std::move(ring.slots[head % ring.slots.size()]));
+      ring.head.store(head, std::memory_order_release);
+      if (!ring.spill.empty()) {
+        // The spill continues the ring: once a push spills, every later
+        // push of the round spills too, so seq order is preserved.
+        std::move(ring.spill.begin(), ring.spill.end(),
+                  std::back_inserter(drain_scratch_));
+        ring.spill.clear();
+      }
     }
     if (drain_scratch_.empty()) continue;
-    // The deterministic merge: injection order (and so the core's FIFO
-    // tie-break among same-instant arrivals) never depends on which thread
-    // pushed first.
-    std::sort(drain_scratch_.begin(), drain_scratch_.end(),
-              [](const cross_event& a, const cross_event& b) {
-                if (a.t != b.t) return a.t < b.t;
-                if (a.origin_shard != b.origin_shard)
-                  return a.origin_shard < b.origin_shard;
-                return a.origin_seq < b.origin_seq;
-              });
+    if (sources > 1) {
+      // The deterministic merge: injection order (and so the core's FIFO
+      // tie-break among same-instant arrivals) never depends on which
+      // thread pushed first.
+      std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+                [](const cross_event& a, const cross_event& b) {
+                  if (a.t != b.t) return a.t < b.t;
+                  if (a.origin_shard != b.origin_shard)
+                    return a.origin_shard < b.origin_shard;
+                  return a.origin_seq < b.origin_seq;
+                });
+    } else {
+      ++single_source_drains_;
+    }
     cross_events_ += drain_scratch_.size();
     for (auto& ce : drain_scratch_) sh.core.at(ce.t, std::move(ce.fn));
   }
@@ -268,13 +295,17 @@ std::size_t sharded_engine::run(std::size_t max_events) {
 }
 
 bool sharded_engine::empty() const {
-  // Outboxes are owner-confined during a round; like the cores themselves,
-  // these queries are meaningful from outside event execution (between
-  // rounds), where the round barrier has already ordered every append.
+  // Like the cores themselves, these queries are meaningful from outside
+  // event execution (between rounds), where producers are quiescent.
   for (const auto& sp : shards_) {
     if (!sp->core.empty()) return false;
-    for (const auto& box : sp->outbox)
-      if (!box.empty()) return false;
+    for (std::size_t t = 0; t < shards_.size(); ++t) {
+      const spsc_ring& ring = sp->outbox[t];
+      if (ring.tail.load(std::memory_order_acquire) !=
+              ring.head.load(std::memory_order_acquire) ||
+          !ring.spill.empty())
+        return false;
+    }
   }
   return true;
 }
@@ -283,7 +314,13 @@ std::size_t sharded_engine::pending() const {
   std::size_t n = 0;
   for (const auto& sp : shards_) {
     n += sp->core.pending();
-    for (const auto& box : sp->outbox) n += box.size();
+    for (std::size_t t = 0; t < shards_.size(); ++t) {
+      const spsc_ring& ring = sp->outbox[t];
+      n += static_cast<std::size_t>(
+          ring.tail.load(std::memory_order_acquire) -
+          ring.head.load(std::memory_order_acquire));
+      n += ring.spill.size();
+    }
   }
   return n;
 }
@@ -298,8 +335,13 @@ sharded_engine::shard_stats sharded_engine::stats() const {
   shard_stats st;
   st.rounds = rounds_;
   st.cross_events = cross_events_;
+  st.single_source_drains = single_source_drains_;
   st.executed_per_shard.reserve(shards_.size());
-  for (const auto& sp : shards_) st.executed_per_shard.push_back(sp->ran);
+  for (const auto& sp : shards_) {
+    st.executed_per_shard.push_back(sp->ran);
+    for (std::size_t t = 0; t < shards_.size(); ++t)
+      st.spilled += sp->outbox[t].spilled;
+  }
   return st;
 }
 

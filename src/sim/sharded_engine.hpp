@@ -12,16 +12,23 @@
 // (`workers == 0`, always safe) or concurrently on a worker pool
 // (`workers > 0`, requires shard-confined event handlers).
 //
-// Cross-shard events (`at_node` targeting a foreign shard) are appended to
-// the *origin* shard's per-target outbox — owner-only state, so the send
-// side costs a plain vector push with no lock — and injected into the
-// target cores at the next round boundary by the coordinator (workers are
-// quiescent between rounds; the round barrier's mutex hand-off orders the
-// writes), sorted by the deterministic key {time, origin shard, origin
-// sequence} — so the merged execution trace is independent of thread
-// interleaving and, for workloads whose same-instant events are
+// Cross-shard events (`at_node` targeting a foreign shard) are pushed onto
+// a bounded lock-free SPSC ring, one per (origin, target) pair: the origin
+// shard's thread is the sole producer, the draining thread the sole
+// consumer, and the hand-off is a release-store of the producer cursor
+// matched by an acquire-load in the drain — the transfer no longer relies
+// on the round barrier's mutex for visibility. Ring overflow spills to an
+// owner-only vector that the barrier still orders, so correctness never
+// depends on capacity. Drained events are injected into the target cores
+// at the round boundary sorted by the deterministic key {time, origin
+// shard, origin sequence} — so the merged execution trace is independent
+// of thread interleaving and, for workloads whose same-instant events are
 // shard-local, identical to the single-engine run (see DESIGN.md for the
-// exact determinism argument).
+// exact determinism argument). When a single origin contributed to a
+// target, the sort is skipped: within one ring, same-instant events are
+// already in sequence order, which is exactly the stable order the sort
+// would produce, and distinct-instant events are ordered by the target
+// core's heap regardless of injection order.
 //
 // Contract deviations from the single engine, all confined to cross-shard
 // use: `at_node` across shards requires `t >= now() + lookahead`, returns
@@ -30,8 +37,10 @@
 // workers are enabled.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -86,6 +95,12 @@ class sharded_engine final : public runtime {
   struct shard_stats {
     std::uint64_t rounds = 0;        // conservative synchronization windows
     std::uint64_t cross_events = 0;  // events routed through an outbox
+    /// Cross-events that overflowed their SPSC ring into the spill vector
+    /// (still correct, but the hand-off fell back to barrier ordering).
+    std::uint64_t spilled = 0;
+    /// Target drains where exactly one origin contributed, letting the
+    /// deterministic merge skip its sort (see drain_outboxes).
+    std::uint64_t single_source_drains = 0;
     /// Events executed per shard — the max/mean ratio is the load balance,
     /// and sum/max bounds the achievable parallel speedup (critical path).
     std::vector<std::uint64_t> executed_per_shard;
@@ -104,15 +119,41 @@ class sharded_engine final : public runtime {
     event_fn fn;
   };
 
+  // Bounded lock-free SPSC ring. Producer: the single thread executing the
+  // origin shard (push). Consumer: the draining thread (drain_outboxes).
+  // `tail` is release-published after the slot write and acquire-read by
+  // the consumer; `head` release-published after consumption and
+  // acquire-read by the producer's full check — classic two-cursor SPSC.
+  // A full ring spills to `spill`, which only the producer touches during
+  // a round and the round barrier hands off, so overflow degrades the
+  // fast path, never correctness. Within one ring (and the spill continuing
+  // it) events are in strictly increasing origin-seq order.
+  struct spsc_ring {
+    std::vector<cross_event> slots;
+    std::atomic<std::uint64_t> head{0};  // consumer cursor
+    std::atomic<std::uint64_t> tail{0};  // producer cursor
+    std::vector<cross_event> spill;      // producer-only overflow
+    std::uint64_t spilled = 0;           // producer-only counter
+
+    void push(cross_event&& ce) {
+      const std::uint64_t t = tail.load(std::memory_order_relaxed);
+      if (t - head.load(std::memory_order_acquire) < slots.size()) {
+        slots[t % slots.size()] = std::move(ce);
+        tail.store(t + 1, std::memory_order_release);
+      } else {
+        spill.push_back(std::move(ce));
+        ++spilled;
+      }
+    }
+  };
+
   struct shard {
     engine core;
     std::uint64_t xmit_seq = 0;  // outgoing cross-event counter (owner-only)
     std::uint64_t ran = 0;       // events executed (owner-only during rounds)
-    // Outgoing cross-shard events, one batch per target shard. Owner-only
-    // during a round (only the thread executing this shard appends), read
-    // and cleared by the coordinator at the round boundary — no lock on
-    // the per-event path; the round barrier orders the hand-off.
-    std::vector<std::vector<cross_event>> outbox;
+    // Outgoing cross-shard events: one SPSC ring per target shard (see
+    // spsc_ring). Non-movable because of the atomics, hence the flat array.
+    std::unique_ptr<spsc_ring[]> outbox;
   };
 
   // Shard ids are the inner engine's {slot+1, gen} id tagged with the shard
@@ -135,6 +176,7 @@ class sharded_engine final : public runtime {
   std::vector<std::unique_ptr<shard>> shards_;
   std::uint64_t rounds_ = 0;
   std::uint64_t cross_events_ = 0;
+  std::uint64_t single_source_drains_ = 0;
   std::vector<cross_event> drain_scratch_;  // coordinator-only, reused
 
   // Worker pool (empty in serial mode). Rounds are dispatched by ticket:

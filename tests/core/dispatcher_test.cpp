@@ -390,8 +390,11 @@ TEST(DispatcherTest, NetworkOmissionSuspectedOnDroppedToken) {
   const auto c = b.add_code_eu(std::move(ce));
   b.precede(a, c, 64);
   const auto t = sys.register_task(b.build());
-  sys.network().drop_next(0, 1, 1);  // lose the precedence token
   sys.activate(t);
+  // Let the create_shard token (the first frame on the 0->1 link) through,
+  // then lose the precedence token sent when the producer finishes at 1ms.
+  sys.run_for(100_us);
+  sys.network().drop_next(0, 1, 1);
   sys.run_for(50_ms);
   EXPECT_EQ(sys.mon().count(monitor_event_kind::latest_start_violation), 1u);
   EXPECT_EQ(sys.mon().count(monitor_event_kind::network_omission_suspected), 1u);

@@ -184,8 +184,9 @@ TEST(ModeManagerTest, StateCapturedAtSwitch) {
   sys.activate(t);
   sys.run_for(10_ms);
   ASSERT_TRUE(mm.captured_state().contains(t));
-  EXPECT_EQ(std::any_cast<std::string>(mm.captured_state().at(t)),
-            "snapshot-me");
+  const std::string* snap = mm.captured<std::string>(t);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(*snap, "snapshot-me");
 }
 
 TEST(ModeManagerTest, ForceModeResetsCounters) {
