@@ -5,9 +5,12 @@
 // order; values are numbers or strings only — deliberately minimal.
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -51,8 +54,10 @@ class json_doc {
 
 /// Provenance stamp every BENCH_*.json should lead with, so artifacts from
 /// different runs/machines are comparable: the workload's node count, the
-/// shard/worker configuration, and the git revision (CI's GITHUB_SHA when
-/// set, else the configure-time HADES_GIT_SHA, else "unknown").
+/// shard/worker configuration, the git revision (CI's GITHUB_SHA when set,
+/// else the configure-time HADES_GIT_SHA, else "unknown"), and the machine
+/// (hostname + hardware thread count — perf numbers from a 2-thread runner
+/// and a 64-thread workstation must never be compared blind).
 inline void stamp(json_doc& d, std::size_t nodes, std::size_t shards,
                   std::size_t workers) {
   d.num("nodes", static_cast<std::uint64_t>(nodes));
@@ -63,6 +68,11 @@ inline void stamp(json_doc& d, std::size_t nodes, std::size_t shards,
   if (sha == nullptr || *sha == '\0') sha = HADES_GIT_SHA;
 #endif
   d.str("git_sha", sha != nullptr && *sha != '\0' ? sha : "unknown");
+  char host[256] = {};
+  if (::gethostname(host, sizeof host - 1) != 0) host[0] = '\0';
+  d.str("hostname", host[0] != '\0' ? host : "unknown");
+  d.num("hw_concurrency",
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
 }
 
 }  // namespace hades::bench

@@ -1,5 +1,6 @@
 #include "core/monitor.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 
@@ -23,9 +24,36 @@ void monitor::record(monitor_event e) {
   // within the event core's inline buffer instead of forcing a heap-backed
   // closure per listener.
   auto shared = std::make_shared<const monitor_event>(ev);
-  for (const auto& r : routed_)
+  // One wire frame per foreign home: the receiving process fans the event
+  // out to every listener at that home, so duplicates would double-deliver.
+  std::vector<node_id> forwarded_homes;
+  for (const auto& r : routed_) {
+    if (forwarder_ != nullptr) {
+      const bool already =
+          std::find(forwarded_homes.begin(), forwarded_homes.end(), r.home) !=
+          forwarded_homes.end();
+      if (already) continue;
+      if (forwarder_(ev, r.home, r.delay)) {
+        forwarded_homes.push_back(r.home);
+        continue;
+      }
+    }
     rt_->at_node(r.home, rt_->now() + r.delay,
                  [fn = r.fn, shared] { fn(*shared); });
+  }
+}
+
+void monitor::deliver_forwarded(const monitor_event& e, node_id home) {
+  if (rt_ == nullptr) {
+    for (const auto& r : routed_)
+      if (r.home == home) r.fn(e);
+    return;
+  }
+  auto shared = std::make_shared<const monitor_event>(e);
+  for (const auto& r : routed_)
+    if (r.home == home)
+      rt_->at_node(home, rt_->now() + r.delay,
+                   [fn = r.fn, shared] { fn(*shared); });
 }
 
 std::string monitor::render() const {

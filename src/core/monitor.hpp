@@ -116,6 +116,25 @@ class monitor {
     routed_.push_back({home, delay, std::move(l)});
   }
 
+  /// Multi-process runtimes: a routed listener whose home node lives in
+  /// another OS process cannot be re-invoked through `at_node` (closures do
+  /// not cross address spaces — the realtime backend silently drops foreign
+  /// `at_node`s). A forwarder intercepts those redeliveries: `record` offers
+  /// it each (event, home, delay) triple once per distinct home; returning
+  /// true means "home is foreign, I shipped the event" (the owning process
+  /// re-injects it via `deliver_forwarded`), false falls through to the
+  /// local `at_node` path. Null (every sim run) changes nothing.
+  using forward_fn =
+      std::function<bool(const monitor_event&, node_id home, duration delay)>;
+  void set_forwarder(forward_fn f) { forwarder_ = std::move(f); }
+
+  /// Re-deliver an event forwarded from another process to the routed
+  /// listeners subscribed at `home` (which this process owns). The event is
+  /// NOT re-recorded — its originating process already logged it — so merged
+  /// streams concatenated across processes stay duplicate-free. Callable
+  /// from a transport receiver thread.
+  void deliver_forwarded(const monitor_event& e, node_id home);
+
   /// Merged event stream, ordered by {time, shard, per-shard sequence}.
   /// Rebuilt lazily; do not call while worker threads are recording.
   [[nodiscard]] const std::vector<monitor_event>& events() const {
@@ -161,6 +180,7 @@ class monitor {
   sim::shard_log<monitor_event, time_of> log_;
   std::vector<listener> listeners_;
   std::vector<routed_listener> routed_;
+  forward_fn forwarder_;  // null outside multi-process realtime runs
 };
 
 }  // namespace hades::core

@@ -11,23 +11,27 @@ system::system(std::size_t node_count) : system(node_count, config{}) {}
 
 std::unique_ptr<hades::runtime> system::make_backend(const config& cfg,
                                                      std::size_t node_count) {
-  if (cfg.shards == 0) return sim::make_engine();
-  validate(cfg.net.delta_min > duration::zero(),
-           "system: the sharded backend needs net.delta_min > 0 (lookahead)");
-  sim::sharded_params sp;
-  sp.shards = std::min(cfg.shards, node_count);
-  // System state is shard-confined (per-shard monitor/trace partitions,
-  // home-shard task bookkeeping, per-source network state) and every
-  // cross-node structural effect rides a wire control token, so worker
-  // threads are safe for any task placement, shard-spanning included.
-  sp.workers = cfg.workers;
-  sp.lookahead = cfg.net.delta_min;  // every cross-node event rides the LAN
-  // Contiguous balanced node groups: applications place tightly coupled
-  // tasks on neighbouring node ids, so blocks minimize cross-shard traffic.
-  sp.node_shard.resize(node_count);
-  for (std::size_t n = 0; n < node_count; ++n)
-    sp.node_shard[n] = static_cast<std::uint32_t>(n * sp.shards / node_count);
-  return sim::make_sharded_engine(std::move(sp));
+  hades::runtime::options o = cfg.runtime;
+  if (o.backend.empty()) {
+    // Deprecated-field shim (one PR): pre-factory configs selected the
+    // backend through config.shards / config.workers.
+    o.backend = cfg.shards == 0 ? "sim" : "sharded";
+    o.shards = cfg.shards;
+    o.workers = cfg.workers;
+  }
+  o.node_count = node_count;
+  if (o.backend == "sharded") {
+    validate(cfg.net.delta_min > duration::zero(),
+             "system: the sharded backend needs net.delta_min > 0 (lookahead)");
+    o.lookahead = cfg.net.delta_min;  // every cross-node event rides the LAN
+    o.shards = std::min(o.shards, node_count);
+  }
+  // Backend policy beyond this translation — worker safety (system state is
+  // shard-confined; every cross-node structural effect rides a wire control
+  // token), the contiguous-blocks default node map — lives with the factory
+  // registrations (src/rt/runtime_factory.cpp), not here: the system names
+  // backends, never concrete types.
+  return hades::runtime::make(o);
 }
 
 system::system(std::size_t node_count, config cfg) : cfg_(std::move(cfg)) {

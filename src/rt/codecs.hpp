@@ -1,0 +1,30 @@
+// Wire-codec registrations for the HADES service payload types, plus the
+// monitor-event byte codec the socket transport's forwarding path uses.
+// Every process of a multi-process deployment calls
+// `register_hades_codecs()` once at startup so the (tag, type) protocol
+// agrees across the fleet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/monitor.hpp"
+
+namespace hades::rt {
+
+/// Register codecs for everything HADES services put on the wire:
+/// dispatcher control tokens, heartbeats, fault-detector digests,
+/// reliable-broadcast envelopes (with their nested payload, recursively
+/// encoded), and the plain `int` campaign application payload. Idempotent.
+void register_hades_codecs();
+
+/// Serialize / rebuild a monitor event (cross-process `subscribe_at_node`
+/// forwarding). Length-prefixed strings; same-binary byte format, like the
+/// trivial payload codecs.
+void encode_monitor_event(const core::monitor_event& e,
+                          std::vector<std::byte>& out);
+core::monitor_event decode_monitor_event(const std::byte* data,
+                                         std::size_t len);
+
+}  // namespace hades::rt

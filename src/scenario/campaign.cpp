@@ -7,8 +7,7 @@
 #include <sstream>
 
 #include "core/system.hpp"
-#include "sched/edf.hpp"
-#include "services/clock_sync.hpp"
+#include "scenario/deployment.hpp"
 
 namespace hades::scenario {
 
@@ -37,38 +36,6 @@ class digest {
   std::uint64_t h_ = 0xCBF29CE484222325ull;
 };
 
-// ------------------------------------------------------------- workload --
-
-/// Per-node application traffic: a node-anchored periodic broadcast (all
-/// of a node's sends must execute on the shard owning the node — the
-/// determinism rule of DESIGN.md, "Scenario layer"). Periods are
-/// coprime-ish per node so the traffic pattern exercises interleavings.
-struct bcast_driver {
-  core::system* sys = nullptr;
-  svc::reliable_broadcast* bcast = nullptr;
-  std::vector<std::vector<time_point>>* sent_at = nullptr;
-  time_point stop;
-
-  void arm(node_id n, time_point first, duration period) {
-    sys->engine().periodic_at_node(
-        n, first, period,
-        [this, n] {
-          if (!sys->crashed(n)) {
-            (*sent_at)[n].push_back(sys->now());
-            bcast->broadcast(n, static_cast<int>((*sent_at)[n].size()));
-          }
-        },
-        stop);
-  }
-};
-
-void sort_suspicions(std::vector<observation::suspicion>& v) {
-  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
-    return std::tuple(a.at, a.observer, a.subject) <
-           std::tuple(b.at, b.observer, b.subject);
-  });
-}
-
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -90,237 +57,87 @@ std::string json_escape(const std::string& s) {
 
 cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
                      std::size_t shards, std::size_t workers) {
-  core::system::config cfg;
-  cfg.costs = core::cost_model::zero();
-  cfg.kernel_background = false;
-  cfg.net.delta_min = 20_us;
-  cfg.net.delta_max = 60_us;
-  cfg.net.per_byte = 0_ns;
-  cfg.seed = seed;
-  cfg.tracing = false;
-  cfg.shards = shards > 1 ? shards : 0;
-  // Worker threads are a sharded-backend dimension; every service and sink
-  // below is shard-confined (DESIGN.md, "Shard confinement"), so any worker
-  // count must reproduce the serial checksum bit-for-bit — the gate
-  // run_campaign enforces.
-  cfg.workers = cfg.shards > 0 ? workers : 0;
-  core::system sys(spec.nodes, cfg);
-
-  svc::fault_detector fd(sys, spec.fd);
-  svc::reliable_broadcast bcast(sys, spec.bcast);
-  // Tree diffusion re-parents around suspected relays; harmless no-op for
-  // flood cells. fd outlives bcast (declared first), so the capture is safe.
-  bcast.set_suspicion_oracle(
-      [&fd](node_id o, node_id s) { return fd.suspects(o, s); });
-  svc::mode_manager modes(sys, spec.thresholds);
-  std::unique_ptr<svc::clock_sync_service> sync;
-  if (spec.with_clock_sync) {
-    svc::clock_sync_service::params sp;
-    sp.resync_period = 100_ms;
-    sp.collect_window = 2_ms;
-    sp.max_faulty = spec.clock_sync_max_faulty;
-    sp.cluster_size = spec.clock_sync_cluster;
-    sync = std::make_unique<svc::clock_sync_service>(sys, sp);
-  }
+  // The standing stack (system + services + workload + sinks) lives in
+  // scenario::deployment, shared with the realtime multi-process harness;
+  // the cell adds the sweep bookkeeping and the determinism checksum.
+  deployment_options dopt;
+  dopt.seed = seed;
+  dopt.shards = shards;
+  dopt.workers = workers;
+  deployment d(spec, dopt);
+  d.start();
+  d.run();
 
   cell_result cell;
   cell.scenario = spec.name;
   cell.seed = seed;
   cell.shards = shards;
-  cell.workers = cfg.workers;
-  observation& obs = cell.obs;
-  obs.nodes = spec.nodes;
-  obs.horizon = time_point::at(spec.horizon);
-  // The detector knows its own worst case for whichever topology the spec
-  // configured (flat or hierarchical); 1ms of checker margin on top.
-  obs.detect_bound = fd.detection_bound() + 1_ms;
-  obs.recover_bound = fd.recovery_bound() + 1_ms;
-  obs.delivery_bound = bcast.delivery_bound(64) + 1_ms;
-  obs.skew_bound = spec.skew_bound;
-
-  // Suspicion callbacks fire on the observer's shard: collect into
-  // per-observer sinks (no shared vector under worker threads) and merge
-  // after the run — the (at, observer, subject) sort makes the merged
-  // order worker-count independent. Mode switches all occur on the
-  // manager's home shard, so one vector is safe.
-  std::vector<std::vector<observation::suspicion>> susp_by_observer(
-      spec.nodes);
-  std::vector<std::vector<observation::suspicion>> recov_by_observer(
-      spec.nodes);
-  fd.on_suspect([&susp_by_observer](node_id o, node_id s, time_point at) {
-    susp_by_observer[o].push_back({o, s, at});
-  });
-  fd.on_recover([&recov_by_observer](node_id o, node_id s, time_point at) {
-    recov_by_observer[o].push_back({o, s, at});
-  });
-  modes.on_switch([&obs](svc::op_mode from, svc::op_mode to, time_point at) {
-    obs.mode_switches.push_back({from, to, at});
-  });
-
-  if (spec.with_task_load) {
-    core::task_builder overload("overload");
-    overload.deadline(5_ms).law(
-        core::arrival_law::periodic(20_ms, 600_ms + 171_us));
-    overload.add_code_eu("burn", 0, 9_ms);
-    sys.register_task(overload.build());
-    sys.attach_policy(0, std::make_shared<sched::edf_policy>());
-  }
-  if (spec.spanning_task_load) {
-    // Shard-spanning load (worker-mode completeness gate): a graph whose
-    // EUs alternate between node 0 and the far node — registration sends
-    // creation tokens to the remote home, the precedences cross shards in
-    // both directions, and the far EU sets a condition that a watcher on a
-    // middle node waits on (cond_set -> authority -> cond_update wakeup).
-    // Infinite deadlines keep these out of the overload's miss accounting.
-    const auto far = static_cast<node_id>(spec.nodes - 1);
-    const auto mid = static_cast<node_id>(spec.nodes / 2);
-    core::task_builder span("span");
-    span.law(core::arrival_law::periodic(15_ms, 300_ms + 137_us));
-    const auto a = span.add_code_eu("a", 0, 150_us);
-    core::code_eu far_eu;
-    far_eu.name = "b";
-    far_eu.processor = far;
-    far_eu.wcet = 150_us;
-    far_eu.sets = {1};
-    const auto b = span.add_code_eu(std::move(far_eu));
-    const auto c = span.add_code_eu("c", 0, 150_us);
-    span.precede(a, b, 64).precede(b, c, 64);
-    sys.register_task(span.build());
-
-    core::task_builder watch("watch");
-    watch.law(core::arrival_law::periodic(15_ms, 300_ms + 251_us));
-    core::code_eu w_eu;
-    w_eu.name = "w";
-    w_eu.processor = mid;
-    w_eu.wcet = 100_us;
-    w_eu.waits_all = {1};
-    w_eu.clears = {1};
-    watch.add_code_eu(std::move(w_eu));
-    sys.register_task(watch.build());
-  }
-
-  obs.sent_at.assign(spec.nodes, {});
-  bcast_driver driver{&sys, &bcast, &obs.sent_at,
-                      obs.horizon - obs.delivery_bound - 5_ms};
-  // bcast_nodes == 0: the standing 8-node family, every node an origin (the
-  // exact historical dates — checksums depend on them). Otherwise only
-  // `bcast_nodes` origins, spread evenly so different clusters and tree
-  // positions send.
-  const std::size_t senders =
-      spec.bcast_nodes == 0 ? spec.nodes
-                            : std::min(spec.bcast_nodes, spec.nodes);
-  for (std::size_t i = 0; i < senders; ++i) {
-    const node_id n = spec.bcast_nodes == 0
-                          ? static_cast<node_id>(i)
-                          : static_cast<node_id>(i * spec.nodes / senders);
-    driver.arm(n,
-               time_point::at(20_ms + 413_us * static_cast<std::int64_t>(i) +
-                              7_us),
-               4700_us + 613_us * static_cast<std::int64_t>(i));
-  }
-
-  fd.start();
-  if (sync) sync->start();
-  apply(sys, spec.p);
-  sys.run_until(obs.horizon);
-
-  // ------------------------------------------------- collect observation --
-  for (auto& per_obs : susp_by_observer)
-    obs.suspicions.insert(obs.suspicions.end(), per_obs.begin(),
-                          per_obs.end());
-  for (auto& per_obs : recov_by_observer)
-    obs.recoveries.insert(obs.recoveries.end(), per_obs.begin(),
-                          per_obs.end());
-  sort_suspicions(obs.suspicions);
-  sort_suspicions(obs.recoveries);
-  for (node_id n = 0; n < spec.nodes; ++n)
-    obs.delivery_logs.push_back(bcast.delivery_log(n));
-  obs.order_faults = bcast.order_faults();
-  obs.final_mode = modes.mode();
-  obs.deadline_misses =
-      sys.mon().count(core::monitor_event_kind::deadline_miss);
-  for (const auto& e : sys.mon().events())
-    if (e.kind == core::monitor_event_kind::deadline_miss ||
-        e.kind == core::monitor_event_kind::node_crash ||
-        e.kind == core::monitor_event_kind::node_recover ||
-        e.kind == core::monitor_event_kind::node_suspected ||
-        e.kind == core::monitor_event_kind::node_unsuspected)
-      obs.trigger_events.push_back(e.at);
-  std::sort(obs.trigger_events.begin(), obs.trigger_events.end());
-  if (sync) {
-    obs.skew_checked = true;
-    std::vector<node_id> correct;
-    for (node_id n = 0; n < spec.nodes; ++n)
-      if (spec.p.correct_throughout(n) && !spec.p.clock_faulty(n))
-        correct.push_back(n);
-    obs.max_skew = sync->max_skew(correct);
-  }
-
-  // ----------------------------------------------------------- checkers --
-  for (auto& c : check_detector(spec.p, obs)) cell.checks.push_back(c);
-  for (auto& c : check_broadcast(spec.p, obs, spec.expect_order_faults))
-    cell.checks.push_back(c);
-  for (auto& c :
-       check_modes(spec.p, obs, spec.modes.final_mode, spec.modes.switch_latency))
-    cell.checks.push_back(c);
-  for (auto& c : check_clocks(obs)) cell.checks.push_back(c);
+  cell.workers = shards > 1 ? workers : 0;
+  cell.obs = d.collect();
+  const observation& obs = cell.obs;
+  cell.checks = d.grade(obs);
   cell.passed = std::all_of(cell.checks.begin(), cell.checks.end(),
                             [](const check_result& c) { return c.passed; });
 
+  core::system& sys = d.sys();
+  svc::fault_detector& fd = d.fd();
+  svc::reliable_broadcast& bcast = d.bcast();
+  svc::mode_manager& modes = d.modes();
+
   // ----------------------------------------------------------- checksum --
-  digest d;
+  digest dg;
   for (node_id n = 0; n < spec.nodes; ++n) {
-    d.mix(obs.delivery_logs[n].size());
+    dg.mix(obs.delivery_logs[n].size());
     for (const auto& [origin, s] : obs.delivery_logs[n]) {
-      d.mix(origin);
-      d.mix(s);
+      dg.mix(origin);
+      dg.mix(s);
     }
-    d.mix(obs.sent_at[n].size());
-    for (time_point t : obs.sent_at[n]) d.mix(t);
+    dg.mix(obs.sent_at[n].size());
+    for (time_point t : obs.sent_at[n]) dg.mix(t);
     for (node_id m = 0; m < spec.nodes; ++m)
-      d.mix(static_cast<std::uint64_t>(fd.suspects(n, m)));
-    d.mix(sys.clock(n).read());
+      dg.mix(static_cast<std::uint64_t>(fd.suspects(n, m)));
+    dg.mix(sys.clock(n).read());
   }
   for (const auto& s : obs.suspicions) {
-    d.mix(s.observer);
-    d.mix(s.subject);
-    d.mix(s.at);
+    dg.mix(s.observer);
+    dg.mix(s.subject);
+    dg.mix(s.at);
   }
   for (const auto& r : obs.recoveries) {
-    d.mix(r.observer);
-    d.mix(r.subject);
-    d.mix(r.at);
+    dg.mix(r.observer);
+    dg.mix(r.subject);
+    dg.mix(r.at);
   }
   for (const auto& sw : obs.mode_switches) {
-    d.mix(static_cast<std::uint64_t>(sw.to));
-    d.mix(sw.at);
+    dg.mix(static_cast<std::uint64_t>(sw.to));
+    dg.mix(sw.at);
   }
-  d.mix(static_cast<std::uint64_t>(obs.final_mode));
-  d.mix(obs.deadline_misses);
-  d.mix(obs.order_faults);
-  d.mix(bcast.delivered());
-  d.mix(bcast.relays());
-  d.mix(fd.heartbeats_sent());
-  d.mix(fd.recoveries_observed());
+  dg.mix(static_cast<std::uint64_t>(obs.final_mode));
+  dg.mix(obs.deadline_misses);
+  dg.mix(obs.order_faults);
+  dg.mix(bcast.delivered());
+  dg.mix(bcast.relays());
+  dg.mix(fd.heartbeats_sent());
+  dg.mix(fd.recoveries_observed());
   // Per-task stats and the mode manager's capture digest fold the whole
   // task pipeline (creation/activation tokens, condition wakeups, capture
   // request/reply) into the determinism gate.
   for (const task_id t : sys.tasks()) {
     const auto& st = sys.stats_for(t);
-    d.mix(t);
-    d.mix(st.activations);
-    d.mix(st.completions);
-    d.mix(st.rejections);
-    d.mix(st.response_times.count());
+    dg.mix(t);
+    dg.mix(st.activations);
+    dg.mix(st.completions);
+    dg.mix(st.rejections);
+    dg.mix(st.response_times.count());
   }
-  d.mix(modes.capture_digest());
+  dg.mix(modes.capture_digest());
   const auto& ns = sys.network().stats();
-  d.mix(ns.sent);
-  d.mix(ns.delivered);
-  d.mix(ns.dropped);
-  d.mix(ns.late);
-  if (obs.skew_checked) d.mix(obs.max_skew);
-  cell.checksum = d.value();
+  dg.mix(ns.sent);
+  dg.mix(ns.delivered);
+  dg.mix(ns.dropped);
+  dg.mix(ns.late);
+  if (obs.skew_checked) dg.mix(obs.max_skew);
+  cell.checksum = dg.value();
   cell.events = sys.engine().executed();
   return cell;
 }

@@ -1,0 +1,227 @@
+#include "scenario/deployment.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "sched/edf.hpp"
+
+namespace hades::scenario {
+
+using namespace hades::literals;
+
+namespace {
+
+void sort_suspicions(std::vector<observation::suspicion>& v) {
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return std::tuple(a.at, a.observer, a.subject) <
+           std::tuple(b.at, b.observer, b.subject);
+  });
+}
+
+}  // namespace
+
+deployment::deployment(const scenario_spec& spec, deployment_options opt)
+    : spec_(spec), opt_(std::move(opt)) {
+  core::system::config cfg;
+  cfg.costs = core::cost_model::zero();
+  cfg.kernel_background = false;
+  cfg.net = opt_.net;
+  cfg.seed = opt_.seed;
+  cfg.tracing = false;
+  if (!opt_.backend.backend.empty()) {
+    cfg.runtime = opt_.backend;
+  } else {
+    cfg.shards = opt_.shards > 1 ? opt_.shards : 0;
+    // Worker threads are a sharded-backend dimension; every service and
+    // sink below is shard-confined (DESIGN.md, "Shard confinement"), so any
+    // worker count must reproduce the serial checksum bit-for-bit — the
+    // gate run_campaign enforces.
+    cfg.workers = cfg.shards > 0 ? opt_.workers : 0;
+  }
+  sys_ = std::make_unique<core::system>(spec_.nodes, cfg);
+
+  fd_ = std::make_unique<svc::fault_detector>(*sys_, spec_.fd);
+  bcast_ = std::make_unique<svc::reliable_broadcast>(*sys_, spec_.bcast);
+  // Tree diffusion re-parents around suspected relays; harmless no-op for
+  // flood cells. fd outlives bcast (declared first), so the capture is safe.
+  bcast_->set_suspicion_oracle(
+      [fd = fd_.get()](node_id o, node_id s) { return fd->suspects(o, s); });
+  modes_ = std::make_unique<svc::mode_manager>(*sys_, spec_.thresholds);
+  if (spec_.with_clock_sync) {
+    svc::clock_sync_service::params sp;
+    sp.resync_period = 100_ms;
+    sp.collect_window = 2_ms;
+    sp.max_faulty = spec_.clock_sync_max_faulty;
+    sp.cluster_size = spec_.clock_sync_cluster;
+    sync_ = std::make_unique<svc::clock_sync_service>(*sys_, sp);
+  }
+
+  obs_.nodes = spec_.nodes;
+  obs_.horizon = time_point::at(spec_.horizon);
+  // The detector knows its own worst case for whichever topology the spec
+  // configured (flat or hierarchical); checker margin on top.
+  obs_.detect_bound = fd_->detection_bound() + opt_.bound_margin;
+  obs_.recover_bound = fd_->recovery_bound() + opt_.bound_margin;
+  obs_.delivery_bound = bcast_->delivery_bound(64) + opt_.bound_margin;
+  obs_.skew_bound = spec_.skew_bound;
+
+  // Suspicion callbacks fire on the observer's shard: collect into
+  // per-observer sinks (no shared vector under worker threads) and merge
+  // after the run — the (at, observer, subject) sort makes the merged
+  // order worker-count independent. Mode switches all occur on the
+  // manager's home shard, so one vector is safe.
+  susp_by_observer_.resize(spec_.nodes);
+  recov_by_observer_.resize(spec_.nodes);
+  fd_->on_suspect([this](node_id o, node_id s, time_point at) {
+    susp_by_observer_[o].push_back({o, s, at});
+  });
+  fd_->on_recover([this](node_id o, node_id s, time_point at) {
+    recov_by_observer_[o].push_back({o, s, at});
+  });
+  modes_->on_switch([this](svc::op_mode from, svc::op_mode to, time_point at) {
+    obs_.mode_switches.push_back({from, to, at});
+  });
+
+  if (spec_.with_task_load) {
+    core::task_builder overload("overload");
+    overload.deadline(5_ms).law(
+        core::arrival_law::periodic(20_ms, 600_ms + 171_us));
+    overload.add_code_eu("burn", 0, 9_ms);
+    sys_->register_task(overload.build());
+    sys_->attach_policy(0, std::make_shared<sched::edf_policy>());
+  }
+  if (spec_.spanning_task_load) {
+    // Shard-spanning load (worker-mode completeness gate): a graph whose
+    // EUs alternate between node 0 and the far node — registration sends
+    // creation tokens to the remote home, the precedences cross shards in
+    // both directions, and the far EU sets a condition that a watcher on a
+    // middle node waits on (cond_set -> authority -> cond_update wakeup).
+    // Infinite deadlines keep these out of the overload's miss accounting.
+    const auto far = static_cast<node_id>(spec_.nodes - 1);
+    const auto mid = static_cast<node_id>(spec_.nodes / 2);
+    core::task_builder span("span");
+    span.law(core::arrival_law::periodic(15_ms, 300_ms + 137_us));
+    const auto a = span.add_code_eu("a", 0, 150_us);
+    core::code_eu far_eu;
+    far_eu.name = "b";
+    far_eu.processor = far;
+    far_eu.wcet = 150_us;
+    far_eu.sets = {1};
+    const auto b = span.add_code_eu(std::move(far_eu));
+    const auto c = span.add_code_eu("c", 0, 150_us);
+    span.precede(a, b, 64).precede(b, c, 64);
+    sys_->register_task(span.build());
+
+    core::task_builder watch("watch");
+    watch.law(core::arrival_law::periodic(15_ms, 300_ms + 251_us));
+    core::code_eu w_eu;
+    w_eu.name = "w";
+    w_eu.processor = mid;
+    w_eu.wcet = 100_us;
+    w_eu.waits_all = {1};
+    w_eu.clears = {1};
+    watch.add_code_eu(std::move(w_eu));
+    sys_->register_task(watch.build());
+  }
+
+  // Per-node application traffic: node-anchored periodic broadcasts (all of
+  // a node's sends must execute on the shard owning the node — the
+  // determinism rule of DESIGN.md, "Scenario layer"). Periods are
+  // coprime-ish per node so the traffic pattern exercises interleavings.
+  // Armed at construction — the same scheduling-call position run_cell had.
+  obs_.sent_at.assign(spec_.nodes, {});
+  const time_point stop = obs_.horizon - obs_.delivery_bound - 5_ms;
+  // bcast_nodes == 0: the standing 8-node family, every node an origin (the
+  // exact historical dates — checksums depend on them). Otherwise only
+  // `bcast_nodes` origins, spread evenly so different clusters and tree
+  // positions send.
+  const std::size_t senders =
+      spec_.bcast_nodes == 0 ? spec_.nodes
+                             : std::min(spec_.bcast_nodes, spec_.nodes);
+  for (std::size_t i = 0; i < senders; ++i) {
+    const node_id n = spec_.bcast_nodes == 0
+                          ? static_cast<node_id>(i)
+                          : static_cast<node_id>(i * spec_.nodes / senders);
+    const time_point first =
+        time_point::at(20_ms + 413_us * static_cast<std::int64_t>(i) + 7_us);
+    const duration period = 4700_us + 613_us * static_cast<std::int64_t>(i);
+    sys_->engine().periodic_at_node(
+        n, first, period,
+        [this, n] {
+          if (!sys_->crashed(n)) {
+            obs_.sent_at[n].push_back(sys_->now());
+            bcast_->broadcast(n, static_cast<int>(obs_.sent_at[n].size()));
+          }
+        },
+        stop);
+  }
+}
+
+deployment::~deployment() = default;
+
+void deployment::start() {
+  require(!started_, "deployment::start: already started");
+  started_ = true;
+  fd_->start();
+  if (sync_) sync_->start();
+  apply(*sys_, spec_.p);
+}
+
+void deployment::run() {
+  require(started_, "deployment::run: start() first");
+  sys_->run_until(obs_.horizon);
+}
+
+observation deployment::collect() {
+  require(!collected_, "deployment::collect: already collected");
+  collected_ = true;
+  for (auto& per_obs : susp_by_observer_)
+    obs_.suspicions.insert(obs_.suspicions.end(), per_obs.begin(),
+                           per_obs.end());
+  for (auto& per_obs : recov_by_observer_)
+    obs_.recoveries.insert(obs_.recoveries.end(), per_obs.begin(),
+                           per_obs.end());
+  sort_suspicions(obs_.suspicions);
+  sort_suspicions(obs_.recoveries);
+  for (node_id n = 0; n < spec_.nodes; ++n)
+    obs_.delivery_logs.push_back(bcast_->delivery_log(n));
+  obs_.order_faults = bcast_->order_faults();
+  obs_.final_mode = modes_->mode();
+  obs_.deadline_misses =
+      sys_->mon().count(core::monitor_event_kind::deadline_miss);
+  for (const auto& e : sys_->mon().events())
+    if (e.kind == core::monitor_event_kind::deadline_miss ||
+        e.kind == core::monitor_event_kind::node_crash ||
+        e.kind == core::monitor_event_kind::node_recover ||
+        e.kind == core::monitor_event_kind::node_suspected ||
+        e.kind == core::monitor_event_kind::node_unsuspected)
+      obs_.trigger_events.push_back(e.at);
+  std::sort(obs_.trigger_events.begin(), obs_.trigger_events.end());
+  if (sync_) {
+    obs_.skew_checked = true;
+    std::vector<node_id> correct;
+    for (node_id n = 0; n < spec_.nodes; ++n)
+      if (spec_.p.correct_throughout(n) && !spec_.p.clock_faulty(n))
+        correct.push_back(n);
+    obs_.max_skew = sync_->max_skew(correct);
+  }
+  return obs_;
+}
+
+std::vector<check_result> deployment::grade(const observation& obs) const {
+  const duration switch_latency = opt_.switch_latency > duration::zero()
+                                      ? opt_.switch_latency
+                                      : spec_.modes.switch_latency;
+  std::vector<check_result> checks;
+  for (auto& c : check_detector(spec_.p, obs)) checks.push_back(c);
+  for (auto& c : check_broadcast(spec_.p, obs, spec_.expect_order_faults))
+    checks.push_back(c);
+  for (auto& c :
+       check_modes(spec_.p, obs, spec_.modes.final_mode, switch_latency))
+    checks.push_back(c);
+  for (auto& c : check_clocks(obs)) checks.push_back(c);
+  return checks;
+}
+
+}  // namespace hades::scenario

@@ -1,0 +1,45 @@
+// The fault-injection surface a scenario plan pre-registers into.
+//
+// `scenario::apply` used to program global wire truth (node silence,
+// partitions, omission/performance rates) straight onto `sim::network`'s
+// `*_at()` setters. That surface is now an interface, so one declarative
+// plan drives either wire implementation unchanged:
+//   * `sim::network` — the simulated LAN's published-snapshot timelines,
+//   * `rt::socket_transport` — the realtime backend's netem-style shim,
+//     which applies the same date-keyed drop/delay decisions to UDP frames
+//     between OS processes.
+// All registrations are date-keyed and last-write-wins on equal dates, so
+// pre-registering a whole plan before the run is semantically identical to
+// flipping each toggle at its action date (DESIGN.md, "Scenario layer").
+//
+// This header is a dependency leaf (util/ only): `sim::network` implements
+// the interface without the sim layer acquiring any scenario dependency.
+#pragma once
+
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace hades::scenario {
+
+class fault_injector {
+ public:
+  virtual ~fault_injector() = default;
+
+  /// Program node `n`'s wire silence (both directions) to toggle at date t.
+  virtual void set_node_down_at(time_point t, node_id n, bool down) = 0;
+  /// Program a partition into isolated `groups` at date t; nodes not listed
+  /// in any group stay connected to everyone.
+  virtual void partition_at(time_point t,
+                            const std::vector<std::vector<node_id>>& groups) = 0;
+  /// Reconnect all groups at date t.
+  virtual void heal_partition_at(time_point t) = 0;
+  /// Program the global omission probability from date t onward.
+  virtual void set_omission_rate_at(time_point t, double p) = 0;
+  /// Program performance failures (probability p, extra delay) from date t.
+  virtual void set_performance_fault_at(time_point t, double p,
+                                        duration extra) = 0;
+};
+
+}  // namespace hades::scenario

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/system.hpp"
+#include "scenario/fault_injector.hpp"
 
 namespace hades::scenario {
 
@@ -360,42 +361,45 @@ bool globally_preregistered(action_kind k) {
 
 }  // namespace
 
-void apply(core::system& sys, const plan& p) {
+void preregister(fault_injector& inj, const plan& p) {
   // Globally-read wire state (node silence, partitions, omission and
-  // performance rates) is *pre-registered* into the network's time-indexed
-  // timelines right now, dated at each action's own date. Each setter
-  // copy-edits and publishes a fresh immutable snapshot (DESIGN.md, "Wire
-  // fast path"), and reads are date-keyed, so this is semantically
-  // identical to flipping the toggle at the action date — but by the time
-  // the run starts the whole plan's wire truth sits in one published
-  // snapshot, and a worker thread racing a runtime re-registration reads
-  // the old or the new snapshot with identical date-keyed answers. (The
-  // scheduled crash/recover actions below re-register the same same-date
-  // entries; the timeline's last-write-wins rule makes that idempotent.)
+  // performance rates) is *pre-registered* into the injector's time-indexed
+  // state right now, dated at each action's own date. Reads are date-keyed,
+  // so this is semantically identical to flipping each toggle at the action
+  // date — but by the time the run starts the whole plan's wire truth is in
+  // force, and (for the simulated LAN's published snapshots) a worker
+  // thread racing a runtime re-registration reads the old or the new
+  // snapshot with identical date-keyed answers. (The scheduled
+  // crash/recover actions in `apply` re-register the same same-date
+  // entries; the last-write-wins rule makes that idempotent.)
   for (const action& a : p.actions) {
     switch (a.kind) {
       case action_kind::crash_node:
-        sys.network().set_node_down_at(a.at, a.a, true);
+        inj.set_node_down_at(a.at, a.a, true);
         break;
       case action_kind::recover_node:
-        sys.network().set_node_down_at(a.at, a.a, false);
+        inj.set_node_down_at(a.at, a.a, false);
         break;
       case action_kind::partition:
-        sys.network().partition_at(a.at, a.groups);
+        inj.partition_at(a.at, a.groups);
         break;
       case action_kind::heal_partition:
-        sys.network().heal_partition_at(a.at);
+        inj.heal_partition_at(a.at);
         break;
       case action_kind::omission_rate:
-        sys.network().set_omission_rate_at(a.at, a.rate);
+        inj.set_omission_rate_at(a.at, a.rate);
         break;
       case action_kind::perf_fault:
-        sys.network().set_performance_fault_at(a.at, a.rate, a.extra);
+        inj.set_performance_fault_at(a.at, a.rate, a.extra);
         break;
       default:
         break;
     }
   }
+}
+
+void apply(core::system& sys, const plan& p) {
+  preregister(sys.network(), p);
 
   for (const action& a : p.actions) {
     // Node- and link-scoped actions are anchored on the node whose state

@@ -165,6 +165,12 @@ std::uint64_t network::submit(source_state& s, const global_state& g,
   m.sent_at = now;
   ++s.sent;
 
+  // Frames for destinations owned by another OS process leave through the
+  // remote transport; the socket-layer shim owns their fault decisions (it
+  // consumes the same scenario plan), so none of the local drop/latency
+  // machinery below runs for them.
+  if (remote_hook_ && remote_hook_(m)) return m.id;
+
   // One probe serves the drop checks and the FIFO floor. First contact with
   // a destination creates its slot — on this source's shard, so legal under
   // worker threads; afterwards the path allocates nothing.
@@ -185,17 +191,27 @@ std::uint64_t network::submit(source_state& s, const global_state& g,
   ds.last_delivery = deliver_at;
 
   const std::uint64_t id = m.id;
-  rt_->at_node(dst, deliver_at, [this, m = std::move(m)]() {
-    const bool dst_down = snapshot().node_down_at(m.dst, rt_->now());
-    if (m.dst >= handlers_.size() || !handlers_[m.dst] || dst_down) {
-      dropped_inflight_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    ++delivered_by_dst_[m.dst].delivered;  // destination-shard-confined
-    if (observer_) observer_(m);
-    handlers_[m.dst](m);
-  });
+  rt_->at_node(dst, deliver_at, [this, m = std::move(m)]() { deliver_now(m); });
   return id;
+}
+
+void network::deliver_now(const message& m) {
+  const bool dst_down = snapshot().node_down_at(m.dst, rt_->now());
+  if (m.dst >= handlers_.size() || !handlers_[m.dst] || dst_down) {
+    dropped_inflight_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++delivered_by_dst_[m.dst].delivered;  // destination-shard-confined
+  if (observer_) observer_(m);
+  handlers_[m.dst](m);
+}
+
+void network::deliver_remote(message m) {
+  // The transport's receiver thread hands frames over as they surface from
+  // per-link sequence recovery; schedule on the destination's shard at the
+  // current date so the handler runs in event context with the same
+  // delivery-date node-down check local frames get.
+  rt_->at_node(m.dst, rt_->now(), [this, m = std::move(m)]() { deliver_now(m); });
 }
 
 std::uint64_t network::unicast(node_id src, node_id dst, int channel,

@@ -69,6 +69,7 @@
 #include <utility>
 #include <vector>
 
+#include "scenario/fault_injector.hpp"
 #include "sim/runtime.hpp"
 #include "sim/wire_payload.hpp"
 #include "util/error.hpp"
@@ -91,7 +92,10 @@ struct message {
   time_point sent_at;
 };
 
-class network {
+/// The simulated LAN implements the scenario layer's `fault_injector`
+/// surface (the date-taking setters below), so a declarative plan drives it
+/// and the realtime socket shim through one interface.
+class network : public scenario::fault_injector {
  public:
   struct params {
     duration delta_min = duration::microseconds(10);
@@ -178,7 +182,7 @@ class network {
   /// effect from the current date onward (time-indexed toggle).
   void set_omission_rate(double p) { set_omission_rate_at(rt_->now(), p); }
   /// Program the omission rate to change at future date `t`.
-  void set_omission_rate_at(time_point t, double p);
+  void set_omission_rate_at(time_point t, double p) override;
   /// Per-link omission probability, overrides the global rate. Send-side
   /// state: call from the source's shard (the injector anchors on it).
   void set_link_omission(node_id src, node_id dst, double p) {
@@ -202,7 +206,7 @@ class network {
     set_performance_fault_at(rt_->now(), p, extra);
   }
   /// Program a performance-fault window edge at future date `t`.
-  void set_performance_fault_at(time_point t, double p, duration extra);
+  void set_performance_fault_at(time_point t, double p, duration extra) override;
 
   /// Take a whole node off the wire (both directions): outbound frames are
   /// dropped at submit time and inbound frames at delivery time, so a
@@ -215,7 +219,7 @@ class network {
   /// Program a node's wire silence to toggle at future date `t`. Same-date
   /// re-registration (the scheduled crash action repeating the injector's
   /// pre-registered entry) is idempotent.
-  void set_node_down_at(time_point t, node_id n, bool down);
+  void set_node_down_at(time_point t, node_id n, bool down) override;
   [[nodiscard]] bool node_down(node_id n) const {
     return snapshot().node_down_at(n, rt_->now());
   }
@@ -228,8 +232,25 @@ class network {
   }
   void heal_partition() { heal_partition_at(rt_->now()); }
   /// Program a partition / heal at future date `t`.
-  void partition_at(time_point t, const std::vector<std::vector<node_id>>& groups);
-  void heal_partition_at(time_point t);
+  void partition_at(time_point t,
+                    const std::vector<std::vector<node_id>>& groups) override;
+  void heal_partition_at(time_point t) override;
+
+  // --- remote transport (realtime backend) ------------------------------
+  /// Hook consulted first in the send path. Returning true means the frame's
+  /// destination is owned by another OS process and the transport took it
+  /// (fault decisions for such frames belong to the socket-layer shim, which
+  /// consumes the same plan); false falls through to the local wire.
+  /// Null (the default, every sim run) costs one branch.
+  void set_remote_hook(std::function<bool(const message&)> hook) {
+    remote_hook_ = std::move(hook);
+  }
+  /// Inject a frame that arrived from a remote transport: schedules the
+  /// destination's handler on its owning shard at the current date, with the
+  /// same delivery-date node-down check local frames get. Callable from the
+  /// transport's receiver thread (the realtime backend's scheduling calls
+  /// are thread-safe).
+  void deliver_remote(message m);
 
   // --- observability ---------------------------------------------------
   struct counters {
@@ -410,6 +431,10 @@ class network {
 
   duration sample_latency(source_state& s, std::size_t size_bytes,
                           const global_state& g, time_point now, bool& late);
+  /// The delivery-time half of the wire: node-down check, counters,
+  /// observer, handler. Shared by locally scheduled deliveries and frames
+  /// injected by `deliver_remote`.
+  void deliver_now(const message& m);
   bool should_drop(source_state& s, dst_state& ds, node_id src, node_id dst,
                    int channel, const global_state& g, time_point now);
   /// The send fast path. `fan_out`/`broadcast` hoist the snapshot load, the
@@ -439,6 +464,7 @@ class network {
   // atomic: the edge is rare and not worth a padded per-node counter.
   std::atomic<std::uint64_t> dropped_inflight_{0};
   std::function<void(const message&)> observer_;
+  std::function<bool(const message&)> remote_hook_;  // null on sim backends
 };
 
 }  // namespace hades::sim

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,52 @@ namespace hades {
 
 class runtime {
  public:
+  /// Backend-neutral construction parameters (the runtime factory API).
+  /// `runtime::make` resolves `backend` against the registry — "sim"
+  /// (single pooled event engine), "sharded" (multi-engine conservative
+  /// rounds), "realtime" (steady_clock timers, optionally one OS process
+  /// per node group) — so composition layers select a backend by name and
+  /// never spell a concrete engine type.
+  struct options {
+    std::string backend = "sim";
+    std::size_t node_count = 0;  // nodes the topology queries cover
+
+    // --- sharded backend ---------------------------------------------------
+    std::size_t shards = 0;   // node groups (0 = backend default)
+    std::size_t workers = 0;  // threads advancing shards (0 = serial rounds)
+    /// Conservative lookahead: lower bound on every cross-shard scheduling
+    /// delay (the network's delta_min for system runs).
+    duration lookahead = duration::microseconds(10);
+    /// node -> shard (sharded) or node -> owning process (realtime).
+    /// Empty = contiguous balanced blocks over `node_count`.
+    std::vector<std::uint32_t> node_shard;
+
+    // --- realtime backend --------------------------------------------------
+    /// Shared steady_clock epoch (nanoseconds since the clock's arbitrary
+    /// zero) that virtual time 0 maps to; 0 = construction instant. A
+    /// multi-process run passes one epoch to every process so their virtual
+    /// clocks agree.
+    std::int64_t epoch_ns = 0;
+    /// Real seconds per virtual second (>1 = slow motion for tight plans).
+    double time_scale = 1.0;
+    /// This process's index among `process_count` cooperating processes.
+    /// Nodes mapped elsewhere by `node_shard` are foreign: `at_node` on
+    /// them is dropped (their owner runs the equivalent chain).
+    std::uint32_t process_index = 0;
+    std::size_t process_count = 1;
+  };
+
+  using factory_fn =
+      std::function<std::unique_ptr<runtime>(const options&)>;
+
+  /// Register a backend under `name` (last registration wins). The three
+  /// built-ins are registered on first use of `make`/`registered_backends`.
+  static void register_backend(const std::string& name, factory_fn f);
+  /// Construct the backend `o.backend` names. Throws on unknown names.
+  static std::unique_ptr<runtime> make(const options& o);
+  /// Names currently registered, sorted (the conformance suite sweeps it).
+  static std::vector<std::string> registered_backends();
+
   virtual ~runtime() = default;
   runtime(const runtime&) = delete;
   runtime& operator=(const runtime&) = delete;
@@ -132,6 +179,20 @@ class runtime {
   virtual void commit(sim::event_batch& b) = 0;
 
   // --- execution control ----------------------------------------------------
+  // The draining guarantee, identical on every backend (and asserted by the
+  // conformance suite, tests/rt/runtime_conformance_test.cpp):
+  //   * `run_until(t)` returns only once every event dated <= t — including
+  //     events those events scheduled — has executed, and `now() == t`
+  //     afterwards. `t` must be >= now(). A real-clock backend additionally
+  //     waits for the wall clock to pass t before returning.
+  //   * `run(max_events)` returns only when the queue is empty or at least
+  //     `max_events` events have executed. It may overshoot `max_events` by
+  //     the backend's atom of progress (a committed batch, a sharded round)
+  //     but never stops early with work pending.
+  //   * `step()` executes the next pending event and returns true, or
+  //     returns false when idle; a real-clock backend blocks until the
+  //     event's date.
+
   /// Run the next pending event, if any. Returns false when idle.
   virtual bool step() = 0;
 
@@ -139,7 +200,8 @@ class runtime {
   /// Returns the number of events executed.
   virtual std::size_t run_until(time_point t) = 0;
 
-  /// Run until the event queue drains (or `max_events` executed).
+  /// Run until the event queue drains (or >= `max_events` executed; the
+  /// stop is at the backend's atom-of-progress granularity, see above).
   virtual std::size_t run(std::size_t max_events = 100'000'000) = 0;
 
   [[nodiscard]] virtual bool empty() const = 0;

@@ -1,0 +1,75 @@
+#include "sim/wire_codec.hpp"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace hades::sim {
+
+namespace {
+
+struct codec_entry {
+  wire_codec::encode_fn encode;
+  wire_codec::decode_fn decode;
+};
+
+struct codec_registry {
+  std::mutex mu;
+  // Probe order = tag order: deterministic, and registrars pick low tags
+  // for the hottest types.
+  std::map<std::uint32_t, codec_entry> codecs;
+};
+
+codec_registry& the_registry() {
+  static codec_registry r;
+  return r;
+}
+
+}  // namespace
+
+void wire_codec::register_codec(std::uint32_t tag, encode_fn enc,
+                                decode_fn dec) {
+  validate(enc != nullptr && dec != nullptr,
+           "wire_codec::register_codec: null function");
+  codec_registry& r = the_registry();
+  std::lock_guard lk(r.mu);
+  r.codecs[tag] = {std::move(enc), std::move(dec)};
+}
+
+std::uint32_t wire_codec::encode(const wire_payload& p,
+                                 std::vector<std::byte>& out) {
+  validate(p.has_value(), "wire_codec::encode: empty payload");
+  // Probe outside the lock: composite codecs (nested payloads) re-enter
+  // encode recursively, and the registry mutex is not recursive.
+  std::vector<std::pair<std::uint32_t, encode_fn>> probes;
+  {
+    codec_registry& r = the_registry();
+    std::lock_guard lk(r.mu);
+    probes.reserve(r.codecs.size());
+    for (const auto& [tag, entry] : r.codecs)
+      probes.emplace_back(tag, entry.encode);
+  }
+  for (const auto& [tag, enc] : probes)
+    if (enc(p, out)) return tag;
+  throw error(
+      "wire_codec::encode: payload type has no registered codec — register "
+      "it (wire_codec::register_trivial / register_codec) before sending it "
+      "across a process boundary");
+}
+
+wire_payload wire_codec::decode(std::uint32_t tag, const std::byte* data,
+                                std::size_t len) {
+  decode_fn dec;
+  {
+    codec_registry& r = the_registry();
+    std::lock_guard lk(r.mu);
+    auto it = r.codecs.find(tag);
+    validate(it != r.codecs.end(),
+             "wire_codec::decode: unknown payload tag " + std::to_string(tag));
+    dec = it->second.decode;
+  }
+  return dec(data, len);
+}
+
+}  // namespace hades::sim

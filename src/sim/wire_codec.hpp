@@ -1,0 +1,86 @@
+// Wire codec registry: serializes `wire_payload` values for transports
+// that leave the address space (the realtime backend's UDP sockets).
+//
+// The simulated network passes payloads by handle — a type-erased pointer
+// copied between nodes that share one process. A real deployment needs
+// bytes. The codec registry maps each payload type to a stable 32-bit tag
+// plus encode/decode functions, chosen at registration time; `encode`
+// probes the registered types against a payload (via `wire_payload::get`)
+// and `decode` rebuilds the typed payload on the receiving process.
+//
+// Registration is explicit and loud: encoding a payload whose type was
+// never registered throws `hades::error` rather than silently dropping or
+// bit-blasting the frame — a process boundary must not change what a
+// scenario observes without someone noticing. The HADES service types are
+// registered by `rt::register_hades_codecs()` (src/rt/codecs.cpp); tests
+// and applications can add their own with `register_codec` /
+// `register_trivial`.
+//
+// Tags are part of the cross-process protocol: every cooperating process
+// must register the same (tag, type) pairs. Registry mutation is mutexed
+// and intended for startup; encode/decode take the same mutex, which is
+// uncontended once registration settles (the socket path is not a
+// same-process hot path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "sim/wire_payload.hpp"
+#include "util/error.hpp"
+
+namespace hades::sim {
+
+class wire_codec {
+ public:
+  /// Probe `p`; if it holds this codec's type, append its serialized bytes
+  /// to `out` and return true. Must not touch `out` when returning false.
+  using encode_fn = std::function<bool(const wire_payload& p,
+                                       std::vector<std::byte>& out)>;
+  /// Rebuild the typed payload from `len` serialized bytes.
+  using decode_fn =
+      std::function<wire_payload(const std::byte* data, std::size_t len)>;
+
+  /// Register (tag, encode, decode). Re-registering a tag replaces the
+  /// previous entry (idempotent startup helpers re-register freely).
+  static void register_codec(std::uint32_t tag, encode_fn enc, decode_fn dec);
+
+  /// Register a trivially-copyable type with memcpy encoding. The bytes are
+  /// the in-memory representation: fine between processes built from the
+  /// same binary on one host (the loopback harness), not an archival or
+  /// cross-architecture format.
+  template <typename T>
+  static void register_trivial(std::uint32_t tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    register_codec(
+        tag,
+        [](const wire_payload& p, std::vector<std::byte>& out) {
+          const T* v = p.get<T>();
+          if (v == nullptr) return false;
+          const auto* b = reinterpret_cast<const std::byte*>(v);
+          out.insert(out.end(), b, b + sizeof(T));
+          return true;
+        },
+        [](const std::byte* data, std::size_t len) {
+          validate(len == sizeof(T), "wire_codec: trivial payload size mismatch");
+          T v;
+          std::memcpy(&v, data, sizeof(T));
+          return wire_payload(std::move(v));
+        });
+  }
+
+  /// Serialize `p` into `out` (appending); returns the matching tag.
+  /// Throws `hades::error` when no registered codec recognizes the type.
+  static std::uint32_t encode(const wire_payload& p,
+                              std::vector<std::byte>& out);
+
+  /// Rebuild the payload `tag` names. Throws on unknown tags.
+  static wire_payload decode(std::uint32_t tag, const std::byte* data,
+                             std::size_t len);
+};
+
+}  // namespace hades::sim

@@ -1,0 +1,217 @@
+// Runtime conformance battery (DESIGN.md, "Runtime factory & injector
+// API"): every backend in `runtime::registered_backends()` — sim, sharded,
+// realtime — must honour the same observable contract, because services
+// and scenarios are written against `hades::runtime` and get re-run
+// unchanged on all of them. Each test runs once per backend via the
+// parameterised fixture; dates are milliseconds past a safety base so the
+// real-clock backend (whose `now()` advances on its own) sees them in the
+// future, while the simulated backends are unaffected.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/runtime.hpp"
+#include "util/error.hpp"
+
+namespace hades {
+namespace {
+
+using namespace hades::literals;
+
+constexpr std::size_t conf_nodes = 8;
+
+runtime::options options_for(const std::string& backend) {
+  runtime::options o;
+  o.backend = backend;
+  o.node_count = conf_nodes;
+  if (backend == "sharded") {
+    o.shards = 2;
+    o.workers = 0;  // serial rounds: callbacks stay on the calling thread
+    o.lookahead = duration::microseconds(10);
+  }
+  return o;
+}
+
+class RuntimeConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { rt_ = runtime::make(options_for(GetParam())); }
+
+  /// Dates must land ahead of the realtime backend's moving clock; 50ms
+  /// absorbs test-process startup jitter without slowing the sim backends
+  /// (which execute virtual time instantly).
+  [[nodiscard]] time_point base() const { return rt_->now() + 50_ms; }
+
+  std::unique_ptr<runtime> rt_;
+};
+
+TEST_P(RuntimeConformance, RegistryListsBackend) {
+  const auto names = runtime::registered_backends();
+  EXPECT_NE(std::find(names.begin(), names.end(), GetParam()), names.end());
+  ASSERT_NE(rt_, nullptr);
+  EXPECT_TRUE(rt_->empty());
+  EXPECT_EQ(rt_->pending(), 0u);
+}
+
+TEST_P(RuntimeConformance, TimerDateOrderingAndSameDateFifo) {
+  const time_point t0 = base();
+  std::vector<int> order;
+  rt_->at(t0 + 2_ms, [&] { order.push_back(3); });
+  rt_->at(t0 + 1_ms, [&] { order.push_back(1); });  // same date, added first
+  rt_->at(t0 + 1_ms, [&] { order.push_back(2); });  // ... fires second
+  rt_->run_until(t0 + 3_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_P(RuntimeConformance, CancelPreventsAndIsIdempotent) {
+  const time_point t0 = base();
+  int fired = 0;
+  const auto keep = rt_->at(t0 + 1_ms, [&] { ++fired; });
+  const auto drop = rt_->at(t0 + 1_ms, [&] { ADD_FAILURE(); });
+  rt_->cancel(drop);
+  rt_->cancel(drop);                // double cancel: no-op
+  rt_->cancel(sim::invalid_event);  // invalid id: no-op
+  rt_->run_until(t0 + 2_ms);
+  EXPECT_EQ(fired, 1);
+  // Cancel after fire: the id is stale, later events are untouched.
+  rt_->cancel(keep);
+  int late = 0;
+  rt_->at(rt_->now() + 1_ms, [&] { ++late; });
+  rt_->run_until(rt_->now() + 2_ms);
+  EXPECT_EQ(late, 1);
+}
+
+TEST_P(RuntimeConformance, PeriodicFiresPerPeriodUntilCancelled) {
+  const time_point t0 = base();
+  int count = 0;
+  const auto id = rt_->schedule_periodic(t0 + 1_ms, 1_ms, [&] { ++count; });
+  ASSERT_NE(id, sim::invalid_event);
+  rt_->run_until(t0 + 5_ms + 500_us);  // fires at +1..+5
+  EXPECT_EQ(count, 5);
+  rt_->cancel(id);
+  rt_->run_until(rt_->now() + 3_ms);
+  EXPECT_EQ(count, 5);
+}
+
+TEST_P(RuntimeConformance, InfiniteTimersNeverArm) {
+  EXPECT_EQ(rt_->after(duration::infinity(), [] { ADD_FAILURE(); }),
+            sim::invalid_event);
+  EXPECT_EQ(rt_->every(duration::infinity(), [] { ADD_FAILURE(); }),
+            sim::invalid_event);
+  EXPECT_TRUE(rt_->empty());
+}
+
+TEST_P(RuntimeConformance, BatchStagesUntilCommitThenFiresFifo) {
+  const time_point t0 = base();
+  std::vector<int> order;
+  sim::event_batch b = rt_->open_batch(t0 + 2_ms);
+  rt_->batch_add(b, [&] { order.push_back(1); });
+  const auto middle = rt_->batch_add(b, [&] { order.push_back(2); });
+  rt_->batch_add(b, [&] { order.push_back(3); });
+  // Members are staged: not pending until the batch commits.
+  EXPECT_EQ(rt_->pending(), 0u);
+  EXPECT_TRUE(rt_->empty());
+  rt_->commit(b);
+  EXPECT_EQ(rt_->pending(), 3u);
+  // A member id is individually cancellable after commit.
+  rt_->cancel(middle);
+  rt_->run_until(t0 + 3_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST_P(RuntimeConformance, InEventContextOnlyInsideCallbacks) {
+  EXPECT_FALSE(rt_->in_event_context());
+  bool inside = false;
+  rt_->at(base() + 1_ms, [&] { inside = rt_->in_event_context(); });
+  rt_->run_until(base() + 2_ms);
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(rt_->in_event_context());
+}
+
+TEST_P(RuntimeConformance, AtNodeExecutesOnOwningShard) {
+  // Cross-shard dates must respect the backend's lookahead; ms-scale dates
+  // clear every configured lookahead here. With one process / zero workers
+  // each at_node callback must observe the owning shard as executing.
+  const time_point t0 = base();
+  std::vector<std::pair<node_id, std::uint32_t>> seen;
+  const node_id probes[] = {0, static_cast<node_id>(conf_nodes - 1)};
+  for (node_id n : probes)
+    rt_->at_node(n, t0 + 1_ms,
+                 [&seen, this, n] { seen.emplace_back(n, rt_->executing_shard()); });
+  rt_->run_until(t0 + 2_ms);
+  ASSERT_EQ(seen.size(), 2u);
+  for (const auto& [n, shard] : seen) EXPECT_EQ(shard, rt_->shard_of(n));
+  EXPECT_GE(rt_->shard_count(), 1u);
+}
+
+TEST_P(RuntimeConformance, RunUntilDrainsTransitiveWork) {
+  // The draining guarantee: events scheduled by events dated <= t also run
+  // before run_until(t) returns, and the clock settles at (or, for a
+  // real-clock backend, past) t.
+  const time_point t0 = base();
+  std::vector<int> order;
+  rt_->at(t0 + 1_ms, [&] {
+    order.push_back(1);
+    rt_->at(t0 + 2_ms, [&] { order.push_back(2); });
+  });
+  rt_->run_until(t0 + 3_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_GE(rt_->now(), t0 + 3_ms);
+  EXPECT_TRUE(rt_->empty());
+}
+
+TEST_P(RuntimeConformance, RunMaxEventsOvershootsAtMostOneAtom) {
+  const time_point t0 = base();
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i)
+    rt_->at(t0 + 1_ms * i, [&] { ++fired; });
+  const std::size_t first = rt_->run(3);
+  // May overshoot by the backend's atom of progress but never stops early.
+  EXPECT_GE(first, 3u);
+  EXPECT_LE(first, 5u);
+  EXPECT_EQ(first, static_cast<std::size_t>(fired));
+  const std::size_t rest = rt_->run();
+  EXPECT_EQ(first + rest, 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_TRUE(rt_->empty());
+}
+
+TEST_P(RuntimeConformance, ExecutedCountsAcrossRuns) {
+  const time_point t0 = base();
+  for (int i = 0; i < 3; ++i)
+    rt_->at(t0 + 1_ms + 10_us * i, [] {});
+  rt_->run_until(t0 + 2_ms);
+  EXPECT_EQ(rt_->executed(), 3u);
+  rt_->at(rt_->now() + 1_ms, [] {});
+  rt_->run_until(rt_->now() + 2_ms);
+  EXPECT_EQ(rt_->executed(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, RuntimeConformance,
+    ::testing::Values("sim", "sharded", "realtime"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(RuntimeFactory, UnknownBackendThrows) {
+  runtime::options o;
+  o.backend = "no-such-backend";
+  EXPECT_THROW((void)runtime::make(o), hades::error);
+}
+
+TEST(RuntimeFactory, CustomRegistrationWins) {
+  runtime::register_backend("conf-test-alias", [](const runtime::options&) {
+    return sim::make_engine();
+  });
+  runtime::options o;
+  o.backend = "conf-test-alias";
+  auto rt = runtime::make(o);
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->now(), time_point::zero());
+}
+
+}  // namespace
+}  // namespace hades
