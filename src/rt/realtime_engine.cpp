@@ -173,7 +173,7 @@ class realtime_engine final : public hades::runtime {
       if (!prune_top_locked()) return false;  // idle
       const entry e = heap_.top();
       if (!wait_for_locked(lk, e.t)) continue;  // an earlier event arrived
-      heap_.pop();
+      if (!pop_top_if_locked(e)) continue;      // the head changed mid-wait
       if (fire_locked(e, lk)) return true;
     }
   }
@@ -187,7 +187,7 @@ class realtime_engine final : public hades::runtime {
       if (prune_top_locked() && heap_.top().t <= t) {
         const entry e = heap_.top();
         if (!wait_for_locked(lk, e.t)) continue;
-        heap_.pop();
+        if (!pop_top_if_locked(e)) continue;
         if (fire_locked(e, lk)) ++n;
         continue;
       }
@@ -212,7 +212,7 @@ class realtime_engine final : public hades::runtime {
       if (!prune_top_locked()) break;  // drained
       const entry e = heap_.top();
       if (!wait_for_locked(lk, e.t)) continue;
-      heap_.pop();
+      if (!pop_top_if_locked(e)) continue;
       if (fire_locked(e, lk)) ++n;
     }
     return n;
@@ -339,6 +339,22 @@ class realtime_engine final : public hades::runtime {
       heap_.pop();
     }
     return false;
+  }
+
+  /// Pop the heap head only if it is still exactly `e`. wait_for_locked
+  /// releases mu_ inside the condvar wait, so a transport thread can arm a
+  /// new entry that sorts before `e` and still observe the deadline passed
+  /// on wake-up; a blind pop would then discard the NEW head while firing
+  /// `e`, silently losing the new event (pending_ never drains). Any such
+  /// new head sorts <= e, so its deadline has passed too — the caller just
+  /// re-evaluates and fires it first.
+  bool pop_top_if_locked(const entry& e) {
+    if (heap_.empty()) return false;
+    const entry& top = heap_.top();
+    if (top.slot != e.slot || top.gen != e.gen || top.seq != e.seq)
+      return false;
+    heap_.pop();
+    return true;
   }
 
   /// Block until the wall clock reaches virtual date `t`. Returns true when

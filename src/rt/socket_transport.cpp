@@ -14,6 +14,7 @@
 #include <map>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -86,10 +87,16 @@ struct held_frame {
   steady::time_point arrived;
 };
 
+constexpr std::size_t max_lost_tracked = 4096;  // declared-gap seqs per link
+
 struct link_state {
   std::uint64_t next_send_seq = 0;  // sender side
   std::uint64_t expected = 1;       // receiver side
   std::map<std::uint64_t, held_frame> held;
+  // Sequences declared lost by the hold-back window: a below-floor frame
+  // matching one of these is a delayed frame finally arriving, not a
+  // duplicate — deliver it late instead of dropping it.
+  std::set<std::uint64_t> lost;
 };
 
 struct delayed_send {
@@ -120,6 +127,7 @@ struct socket_transport::impl {
   timeline<std::vector<std::uint32_t>> partition;  // node -> group (empty = healed)
   timeline<double> omission;
   timeline<perf_state> perf;
+  std::int64_t max_perf_extra_ns = 0;  // largest registered intentional delay
   std::map<std::pair<node_id, node_id>, link_state> links;
   rng draws;
   stats_t st;
@@ -296,21 +304,30 @@ struct socket_transport::impl {
       std::lock_guard lk(mu);
       link_state& l = links[{h.src, h.dst}];
       if (h.link_seq < l.expected) {
-        ++st.dup_dropped;
-        return;
-      }
-      if (h.link_seq > l.expected) {
+        const auto it = l.lost.find(h.link_seq);
+        if (it == l.lost.end()) {
+          ++st.dup_dropped;
+          return;
+        }
+        // A declared-lost frame finally arrived (a perf-fault delay that
+        // outlasted the hold-back window): deliver it late, outside FIFO
+        // order — the sim delivers a perf-faulted message late, never as
+        // an extra omission.
+        l.lost.erase(it);
+        ++st.late_delivered;
+      } else if (h.link_seq > l.expected) {
         held_frame held;
         held.bytes.assign(data, data + len);
         held.arrived = steady::now();
         l.held.emplace(h.link_seq, std::move(held));
         return;
-      }
-      ++l.expected;
-      while (!l.held.empty() && l.held.begin()->first == l.expected) {
-        ready.push_back(std::move(l.held.begin()->second.bytes));
-        l.held.erase(l.held.begin());
+      } else {
         ++l.expected;
+        while (!l.held.empty() && l.held.begin()->first == l.expected) {
+          ready.push_back(std::move(l.held.begin()->second.bytes));
+          l.held.erase(l.held.begin());
+          ++l.expected;
+        }
       }
     }
     deliver(h, payload);
@@ -328,7 +345,14 @@ struct socket_transport::impl {
     {
       std::lock_guard lk(mu);
       const auto now = steady::now();
-      const auto max_age = std::chrono::nanoseconds(p.holdback.count());
+      // The base window covers real loopback jitter; a registered
+      // performance fault additionally holds its victims for extra_ns
+      // stretched by time_scale on the sender, so the window must stretch
+      // with it or every injected delay degenerates into an omission.
+      const auto max_age = std::chrono::nanoseconds(
+          p.holdback.count() +
+          static_cast<std::int64_t>(static_cast<double>(max_perf_extra_ns) *
+                                    p.time_scale));
       for (auto& [link, l] : links) {
         if (l.held.empty()) continue;
         const bool expired =
@@ -336,6 +360,13 @@ struct socket_transport::impl {
             now - l.held.begin()->second.arrived > max_age;
         if (!expired) continue;
         ++st.gaps_declared;
+        // Remember the skipped sequences: should one arrive after all (a
+        // delay beyond even the stretched window), it is delivered late
+        // rather than mistaken for a duplicate.
+        for (std::uint64_t s = l.expected; s < l.held.begin()->first; ++s) {
+          if (l.lost.size() >= max_lost_tracked) l.lost.erase(l.lost.begin());
+          l.lost.insert(s);
+        }
         l.expected = l.held.begin()->first;
         while (!l.held.empty() && l.held.begin()->first == l.expected) {
           ready.push_back(std::move(l.held.begin()->second.bytes));
@@ -486,6 +517,8 @@ void socket_transport::set_performance_fault_at(time_point t, double rate,
   impl& i = *impl_;
   std::lock_guard lk(i.mu);
   i.perf.set(t.nanoseconds(), {rate, extra.count()});
+  if (rate > 0.0)
+    i.max_perf_extra_ns = std::max(i.max_perf_extra_ns, extra.count());
 }
 
 socket_transport::stats_t socket_transport::stats() const {

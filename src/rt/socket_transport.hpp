@@ -22,7 +22,10 @@
 // Receivers recover per-link FIFO with a sequence hold-back window: a gap
 // (a genuinely lost datagram) is declared lost after a bounded hold and
 // skipped — the same observable outcome as an omission fault, which every
-// HADES service already tolerates.
+// HADES service already tolerates. The hold stretches to cover the largest
+// registered performance-fault delay, and a declared-lost frame that does
+// arrive later is still delivered (late, out of FIFO order — the sim's
+// perf-fault semantics) instead of degenerating into an omission.
 //
 // Monitor events forwarded across processes (`monitor::set_forwarder`)
 // ride the same socket but bypass both the fault shim and sequence
@@ -66,7 +69,11 @@ struct socket_transport_params {
   /// are virtual durations and stretch accordingly in real time.
   double time_scale = 1.0;
   /// How long the receiver holds frames behind a sequence gap before
-  /// declaring the missing frame lost (real time).
+  /// declaring the missing frame lost (real time). The effective window
+  /// additionally covers the largest registered performance-fault delay
+  /// (stretched by time_scale) so an intentionally delayed frame is held
+  /// for, not declared lost; one that still outlasts the window is
+  /// delivered late on arrival rather than dropped as a duplicate.
   duration holdback = duration::milliseconds(5);
 };
 
@@ -102,6 +109,7 @@ class socket_transport final : public scenario::fault_injector {
     std::uint64_t delayed = 0;        // performance-fault holds
     std::uint64_t dup_dropped = 0;    // below-floor / duplicate sequence
     std::uint64_t gaps_declared = 0;  // lost datagrams skipped by hold-back
+    std::uint64_t late_delivered = 0; // declared-lost frames arriving late
     std::uint64_t delta_violations = 0;
     std::int64_t max_latency_ns = 0;  // real latency, intentional delay excluded
   };

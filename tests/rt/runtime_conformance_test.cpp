@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/runtime.hpp"
@@ -195,6 +198,34 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<std::string>& info) {
       return info.param;
     });
+
+TEST(RealtimeEngine, CrossThreadArmDuringWaitLosesNoEvents) {
+  // Regression: the run loop reads the heap head, waits with the mutex
+  // released, and used to pop blindly on wake-up. A transport thread arming
+  // an earlier-dated event during that wait could have ITS entry popped and
+  // discarded while the original fired — the event was silently lost and
+  // empty() never drained. The realtime backend documents thread-safe
+  // scheduling (the socket receiver thread), so hammer exactly that window.
+  auto rt = runtime::make(options_for("realtime"));
+  std::atomic<int> fired{0};
+  constexpr int anchors = 50;
+  constexpr int external = 400;
+  const time_point t0 = rt->now() + 5_ms;
+  // Anchors every 1ms keep the run loop parked inside condvar waits.
+  for (int i = 1; i <= anchors; ++i) rt->at(t0 + 1_ms * i, [&] { ++fired; });
+  std::thread producer([&] {
+    for (int i = 0; i < external; ++i) {
+      // Due immediately: sorts ahead of whatever anchor the loop waits on.
+      rt->at(rt->now(), [&] { ++fired; });
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  rt->run_until(t0 + 1_ms * (anchors + 10));
+  producer.join();
+  rt->run_until(rt->now() + 2_ms);  // drain any late-armed stragglers
+  EXPECT_EQ(fired.load(), anchors + external);
+  EXPECT_TRUE(rt->empty());
+}
 
 TEST(RuntimeFactory, UnknownBackendThrows) {
   runtime::options o;
