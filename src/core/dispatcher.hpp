@@ -35,6 +35,7 @@
 
 #include <any>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -148,6 +149,26 @@ class dispatcher final : public scheduler_context {
   // --- scheduler attachment (paper 3.2.2) --------------------------------
   void attach_policy(std::shared_ptr<policy> p);
   [[nodiscard]] policy* attached_policy() { return policy_.get(); }
+
+  // --- admission hooks (traffic edge) -------------------------------------
+  /// Consulted by the owning system inside activation, before any instance
+  /// state is created: return false to reject the activation (recorded as
+  /// an instance_rejected event against the task). The hook runs on this
+  /// node's shard and must not allocate — it sits on the admission hot
+  /// path. Tasks the hook does not recognize must return true.
+  using admission_fn = std::function<bool(task_id, time_point)>;
+  /// Fired when an instance of a task homed here leaves the system —
+  /// `completed` is true for a timely finish, false for an abort (deadline
+  /// miss or shed). Runs on this node's shard.
+  using retire_fn =
+      std::function<void(task_id, instance_number, time_point activation,
+                         time_point now, bool completed)>;
+  void set_admission_hook(admission_fn f) { admission_ = std::move(f); }
+  void set_retire_hook(retire_fn f) { retire_ = std::move(f); }
+  [[nodiscard]] const admission_fn& admission_hook() const {
+    return admission_;
+  }
+  [[nodiscard]] const retire_fn& retire_hook() const { return retire_; }
 
   // --- shard lifecycle (driven by the owning system) ----------------------
   /// Create the local portion of instance (task, k) activated at `at`:
@@ -335,6 +356,8 @@ class dispatcher final : public scheduler_context {
 
   bool halted_ = false;
   counters stats_;
+  admission_fn admission_;
+  retire_fn retire_;
 };
 
 }  // namespace hades::core

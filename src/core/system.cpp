@@ -223,6 +223,23 @@ std::optional<instance_number> system::activate_internal(
   ever_activated_[t] = true;
   last_activation_[t] = now;
 
+  // Admission hook (traffic edge): the home dispatcher may veto the
+  // activation before any instance state exists — the rejected request
+  // costs one hook call and one monitor event, nothing else.
+  if (const auto& admit = disp(home).admission_hook();
+      admit && !admit(t, now)) {
+    monitor_event rej;
+    rej.kind = monitor_event_kind::instance_rejected;
+    rej.at = now;
+    rej.node = home;
+    rej.task = t;
+    rej.subject = g.name();
+    rej.detail = "admission control";
+    monitor_.record(rej);
+    ++st.rejections;
+    return std::nullopt;
+  }
+
   const instance_number k = next_instance_[t]++;
   instance_record rec;
   rec.activation = now;
@@ -324,6 +341,8 @@ void system::finish_instance(task_id t, instance_number k) {
   st.response_times.add(rt_->now() - rec.activation);
   trace_.record(rt_->now(), g.home_node(), sim::trace_kind::instance_completed,
                 g.name() + "#" + std::to_string(k));
+  if (const auto& retire = disp(g.home_node()).retire_hook())
+    retire(t, k, rec.activation, rt_->now(), /*completed=*/true);
 
   // c_inv_end in kernel context on the home node; a synchronous invoker (if
   // any) resumes after the handler.
@@ -363,6 +382,7 @@ void system::abort_instance(task_id t, instance_number k,
   if (it == tit->second.end()) return;
   if (it->second.deadline_timer != sim::invalid_event)
     rt_->cancel(it->second.deadline_timer);
+  const time_point activation = it->second.activation;
   tit->second.erase(it);
 
   const task_graph& g = *graphs_.at(t);
@@ -396,6 +416,10 @@ void system::abort_instance(task_id t, instance_number k,
     ev.detail = reason;
     monitor_.record(ev);
   }
+
+  if (!disp(home).halted())
+    if (const auto& retire = disp(home).retire_hook())
+      retire(t, k, activation, rt_->now(), /*completed=*/false);
 }
 
 void system::on_activate_request(node_id home, const control_token& tok) {

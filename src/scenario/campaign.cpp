@@ -1,10 +1,12 @@
 #include "scenario/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "core/system.hpp"
 #include "scenario/deployment.hpp"
@@ -137,6 +139,24 @@ cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
   dg.mix(ns.dropped);
   dg.mix(ns.late);
   if (obs.skew_checked) dg.mix(obs.max_skew);
+  if (obs.traffic_checked) {
+    // The traffic fold covers the whole edge: per-gateway decision-stream
+    // digests (every admit/reject/shed verdict with its victim count),
+    // merged latency quantiles, and the counter totals.
+    dg.mix(obs.traffic_offered);
+    dg.mix(obs.traffic_admitted);
+    dg.mix(obs.traffic_rejected);
+    dg.mix(obs.traffic_shed);
+    dg.mix(obs.traffic_completed);
+    dg.mix(obs.traffic_missed);
+    dg.mix(obs.traffic_outstanding);
+    dg.mix(obs.traffic_renegotiations);
+    dg.mix(obs.traffic_revalidation_failures);
+    for (std::uint64_t g : obs.gateway_digests) dg.mix(g);
+    dg.mix(static_cast<std::uint64_t>(obs.latency_p50));
+    dg.mix(static_cast<std::uint64_t>(obs.latency_p99));
+    dg.mix(static_cast<std::uint64_t>(obs.latency_p999));
+  }
   cell.checksum = dg.value();
   cell.events = sys.engine().executed();
   return cell;
@@ -165,6 +185,19 @@ std::string render_verdict_json(const cell_result& c) {
      << "    \"final_mode\": \"" << to_string(c.obs.final_mode) << "\"";
   if (c.obs.skew_checked)
     os << ",\n    \"max_skew_ns\": " << c.obs.max_skew.count();
+  if (c.obs.traffic_checked)
+    os << ",\n    \"traffic\": {"
+       << "\"offered\": " << c.obs.traffic_offered
+       << ", \"admitted\": " << c.obs.traffic_admitted
+       << ", \"rejected\": " << c.obs.traffic_rejected
+       << ", \"shed\": " << c.obs.traffic_shed
+       << ", \"completed\": " << c.obs.traffic_completed
+       << ", \"missed\": " << c.obs.traffic_missed
+       << ", \"outstanding\": " << c.obs.traffic_outstanding
+       << ", \"renegotiations\": " << c.obs.traffic_renegotiations
+       << ", \"latency_p50_ns\": " << c.obs.latency_p50
+       << ", \"latency_p99_ns\": " << c.obs.latency_p99
+       << ", \"latency_p999_ns\": " << c.obs.latency_p999 << "}";
   os << "\n  },\n  \"checks\": [\n";
   for (std::size_t i = 0; i < c.checks.size(); ++i) {
     const check_result& ck = c.checks[i];
@@ -208,10 +241,22 @@ campaign_result run_campaign(const campaign_options& opt) {
   if (!opt.out_dir.empty())
     std::filesystem::create_directories(opt.out_dir);
 
+  // Enumerate the sweep up front: cells are independent deployments, so
+  // they run on a bounded thread pool while every ordered effect (checksum
+  // reference selection, failure list, progress lines, JSON files) happens
+  // in a serial post-pass over the enumeration order — byte-identical
+  // output to the historical serial sweep.
+  struct cell_spec {
+    const scenario_spec* spec;
+    std::uint64_t seed;
+    std::size_t shards;
+    std::size_t workers;
+    bool group_head;  // first cell of its (scenario, seed) checksum group
+  };
+  std::vector<cell_spec> plan;
   for (const scenario_spec& spec : specs) {
     for (std::uint64_t seed : opt.seeds) {
-      std::uint64_t reference_checksum = 0;
-      bool have_reference = false;
+      bool head = true;
       for (std::size_t shards : opt.shard_counts) {
         // The single-engine backend has no worker dimension: shards 1
         // contributes exactly one workers=0 cell per seed — even when the
@@ -220,51 +265,87 @@ campaign_result run_campaign(const campaign_options& opt) {
         const std::vector<std::size_t> workers_list =
             shards <= 1 ? std::vector<std::size_t>{0} : opt.worker_counts;
         for (std::size_t workers : workers_list) {
-          cell_result cell = run_cell(spec, seed, shards, workers);
-          // The determinism gate is a checker like any other, so a
-          // mismatching cell's own verdict JSON reports the failure instead
-          // of only the summary.
-          check_result sum{"campaign.checksum_match", true, ""};
-          if (!have_reference) {
-            reference_checksum = cell.checksum;
-            have_reference = true;
-            sum.detail = "reference cell";
-          } else if (cell.checksum != reference_checksum) {
-            sum.passed = false;
-            std::ostringstream os;
-            os << "checksum 0x" << std::hex << cell.checksum << " at "
-               << std::dec << shards << " shards / " << workers
-               << " workers != reference 0x" << std::hex
-               << reference_checksum;
-            sum.detail = os.str();
-          }
-          cell.checks.push_back(std::move(sum));
-          cell.passed = cell.passed && cell.checks.back().passed;
-          for (const check_result& c : cell.checks)
-            if (!c.passed)
-              result.failures.push_back(
-                  spec.name + "/seed" + std::to_string(seed) + "/shards" +
-                  std::to_string(shards) + "/workers" +
-                  std::to_string(workers) + ": " + c.name + " — " + c.detail);
-          if (opt.verbose)
-            std::printf(
-                "%-22s seed=%llu shards=%zu workers=%zu  %s  "
-                "checksum=0x%016llx  events=%llu\n",
-                spec.name.c_str(), static_cast<unsigned long long>(seed),
-                shards, workers, cell.passed ? "PASS" : "FAIL",
-                static_cast<unsigned long long>(cell.checksum),
-                static_cast<unsigned long long>(cell.events));
-          if (!opt.out_dir.empty()) {
-            std::ostringstream name;
-            name << spec.name << "_seed" << seed << "_shards" << shards
-                 << "_workers" << workers << ".json";
-            std::ofstream f(std::filesystem::path(opt.out_dir) / name.str());
-            f << render_verdict_json(cell);
-          }
-          result.cells.push_back(std::move(cell));
+          plan.push_back({&spec, seed, shards, workers, head});
+          head = false;
         }
       }
     }
+  }
+
+  std::size_t jobs = opt.jobs;
+  if (jobs == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    jobs = std::clamp<std::size_t>(hw / 2, 1, 4);
+  }
+  jobs = std::min(jobs, std::max<std::size_t>(plan.size(), 1));
+
+  std::vector<cell_result> cells(plan.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < plan.size(); ++i)
+      cells[i] = run_cell(*plan[i].spec, plan[i].seed, plan[i].shards,
+                          plan[i].workers);
+  } else {
+    // The factory registry's lazy init is the one shared mutable touch
+    // point; force it before the pool spawns.
+    (void)hades::runtime::registered_backends();
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j)
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= plan.size()) return;
+          cells[i] = run_cell(*plan[i].spec, plan[i].seed, plan[i].shards,
+                              plan[i].workers);
+        }
+      });
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::uint64_t reference_checksum = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const cell_spec& cs = plan[i];
+    cell_result cell = std::move(cells[i]);
+    // The determinism gate is a checker like any other, so a mismatching
+    // cell's own verdict JSON reports the failure instead of only the
+    // summary.
+    check_result sum{"campaign.checksum_match", true, ""};
+    if (cs.group_head) {
+      reference_checksum = cell.checksum;
+      sum.detail = "reference cell";
+    } else if (cell.checksum != reference_checksum) {
+      sum.passed = false;
+      std::ostringstream os;
+      os << "checksum 0x" << std::hex << cell.checksum << " at " << std::dec
+         << cs.shards << " shards / " << cs.workers
+         << " workers != reference 0x" << std::hex << reference_checksum;
+      sum.detail = os.str();
+    }
+    cell.checks.push_back(std::move(sum));
+    cell.passed = cell.passed && cell.checks.back().passed;
+    for (const check_result& c : cell.checks)
+      if (!c.passed)
+        result.failures.push_back(
+            cs.spec->name + "/seed" + std::to_string(cs.seed) + "/shards" +
+            std::to_string(cs.shards) + "/workers" +
+            std::to_string(cs.workers) + ": " + c.name + " — " + c.detail);
+    if (opt.verbose)
+      std::printf(
+          "%-22s seed=%llu shards=%zu workers=%zu  %s  "
+          "checksum=0x%016llx  events=%llu\n",
+          cs.spec->name.c_str(), static_cast<unsigned long long>(cs.seed),
+          cs.shards, cs.workers, cell.passed ? "PASS" : "FAIL",
+          static_cast<unsigned long long>(cell.checksum),
+          static_cast<unsigned long long>(cell.events));
+    if (!opt.out_dir.empty()) {
+      std::ostringstream name;
+      name << cs.spec->name << "_seed" << cs.seed << "_shards" << cs.shards
+           << "_workers" << cs.workers << ".json";
+      std::ofstream f(std::filesystem::path(opt.out_dir) / name.str());
+      f << render_verdict_json(cell);
+    }
+    result.cells.push_back(std::move(cell));
   }
   // An empty sweep must not read as a green gate.
   if (result.cells.empty())

@@ -54,6 +54,12 @@ struct campaign_options {
   std::vector<std::size_t> worker_counts{0, 2, 4};
   std::string out_dir;   // when set, write per-cell verdicts + summary.json
   bool verbose = false;  // one progress line per cell on stdout
+  /// Cells are independent deployments, so the sweep runs them on a bounded
+  /// thread pool: 0 = auto (half the hardware threads, capped at 4), 1 =
+  /// the historical serial sweep, n = exactly n pool threads. Verdicts,
+  /// progress lines, JSON files and the checksum gate are all emitted in
+  /// cell-enumeration order regardless of completion order.
+  std::size_t jobs = 0;
 };
 
 struct campaign_result {

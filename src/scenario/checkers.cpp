@@ -316,4 +316,51 @@ std::vector<check_result> check_clocks(const observation& o) {
   return out;
 }
 
+// --------------------------------------------------------------- traffic --
+
+std::vector<check_result> check_miss_budget(const observation& o) {
+  std::vector<check_result> out;
+  if (!o.traffic_checked) return out;
+
+  check_result acct{"traffic.accounting", true, ""};
+  const std::uint64_t in = o.traffic_admitted + o.traffic_rejected;
+  const std::uint64_t done = o.traffic_completed + o.traffic_missed +
+                             o.traffic_shed + o.traffic_outstanding;
+  if (in != o.traffic_offered || done != o.traffic_admitted) {
+    acct.passed = false;
+    acct.detail = "offered " + std::to_string(o.traffic_offered) +
+                  " != admitted+rejected " + std::to_string(in) +
+                  " or admitted " + std::to_string(o.traffic_admitted) +
+                  " != completed+missed+shed+outstanding " +
+                  std::to_string(done);
+  } else if (o.traffic_admitted == 0) {
+    acct.passed = false;
+    acct.detail = "no traffic admitted (offered " +
+                  std::to_string(o.traffic_offered) + ")";
+  }
+  out.push_back(std::move(acct));
+
+  check_result reval{"traffic.revalidation",
+                     o.traffic_revalidations > 0 &&
+                         o.traffic_revalidation_failures == 0,
+                     std::to_string(o.traffic_revalidations) +
+                         " revalidations, " +
+                         std::to_string(o.traffic_revalidation_failures) +
+                         " disagreed with the accumulator"};
+  out.push_back(std::move(reval));
+
+  // The budget is on *admitted* work: the edge may reject or shed as much
+  // as overload demands, but what it accepted it must overwhelmingly serve
+  // by the deadline — that is the admission controller's whole promise.
+  check_result budget{"traffic.miss_budget", true, ""};
+  const auto allowed = static_cast<std::uint64_t>(
+      o.miss_budget * static_cast<double>(o.traffic_admitted));
+  budget.passed = o.traffic_missed <= allowed;
+  budget.detail = std::to_string(o.traffic_missed) + " deadline-aborted of " +
+                  std::to_string(o.traffic_admitted) + " admitted (budget " +
+                  std::to_string(allowed) + ")";
+  out.push_back(std::move(budget));
+  return out;
+}
+
 }  // namespace hades::scenario

@@ -77,6 +77,26 @@ struct observation {
   bool skew_checked = false;
   duration max_skew = duration::zero();
   duration skew_bound = duration::zero();
+
+  // Traffic edge (only when the scenario runs gateways). Counters are the
+  // node-order sum over gateways; digests stay per-gateway in node order.
+  bool traffic_checked = false;
+  std::uint64_t traffic_offered = 0;
+  std::uint64_t traffic_admitted = 0;
+  std::uint64_t traffic_rejected = 0;
+  std::uint64_t traffic_shed = 0;
+  std::uint64_t traffic_completed = 0;
+  std::uint64_t traffic_missed = 0;       // admitted but deadline-aborted
+  std::uint64_t traffic_outstanding = 0;  // still in flight at the horizon
+  std::uint64_t traffic_revalidations = 0;
+  std::uint64_t traffic_revalidation_failures = 0;
+  std::uint64_t traffic_renegotiations = 0;
+  double miss_budget = 0.0;
+  std::vector<std::uint64_t> gateway_digests;
+  // Merged end-to-end latency quantiles (ns).
+  std::int64_t latency_p50 = 0;
+  std::int64_t latency_p99 = 0;
+  std::int64_t latency_p999 = 0;
 };
 
 std::vector<check_result> check_detector(const plan& p, const observation& o);
@@ -86,5 +106,11 @@ std::vector<check_result> check_modes(const plan& p, const observation& o,
                                       svc::op_mode expected_final,
                                       duration switch_latency);
 std::vector<check_result> check_clocks(const observation& o);
+/// Deadline-miss budget for the traffic edge: the admission accounting
+/// identities hold (offered = admitted + rejected; admitted = completed +
+/// missed + shed + outstanding), traffic actually flowed, every off-path
+/// exact re-validation agreed with the incremental accumulator, and the
+/// deadline-aborted fraction of admitted work stays within the budget.
+std::vector<check_result> check_miss_budget(const observation& o);
 
 }  // namespace hades::scenario

@@ -156,6 +156,52 @@ deployment::deployment(const scenario_spec& spec, deployment_options opt)
         },
         stop);
   }
+
+  // Traffic edge: one gateway per node in [1, 1 + k), each an independent
+  // open-loop arrival stream into its own admission controller, under EDF.
+  // Armed after the broadcast workload so every backend sees the identical
+  // scheduling-call order.
+  if (spec_.traffic.gateway_nodes > 0) {
+    const auto& tp = spec_.traffic;
+    require(1 + tp.gateway_nodes <= spec_.nodes,
+            "deployment: too many gateway nodes");
+    for (std::size_t i = 0; i < tp.gateway_nodes; ++i) {
+      const auto n = static_cast<node_id>(1 + i);
+      sys_->attach_policy(n, std::make_shared<sched::edf_policy>());
+      traffic::gateway_config gc;
+      gc.arrivals.mix = tp.mix;
+      gc.arrivals.rate_per_s = tp.rate_per_s;
+      gc.arrivals.population = 1'000'000;
+      gc.classes = {
+          {200_us, 3_ms, 4, 5},    // interactive: costly to drop
+          {500_us, 10_ms, 3, 3},   // standard
+          {1500_us, 40_ms, 1, 2},  // batch: first to shed
+      };
+      gc.admission.feas.slot_width = 1_ms;  // 64 ms wheel > largest deadline
+      gc.admission.feas.available = tp.available;
+      gc.admission.max_outstanding = 4096;
+      gc.start = time_point::at(25_ms + 311_us * static_cast<std::int64_t>(i));
+      gc.stop = obs_.horizon - 60_ms;  // drain window before collection
+      gc.revalidate_period = 25_ms;
+      gateways_.push_back(std::make_unique<traffic::gateway>(
+          *sys_, n, std::move(gc), opt_.seed));
+      gateways_.back()->start();
+    }
+    // Mode switches renegotiate every gateway's CPU fraction. The hook runs
+    // on the manager's home shard; each gateway's shed pass is routed to
+    // its own shard one network lookahead ahead (the sharded backend's
+    // cross-shard scheduling floor).
+    modes_->on_switch([this](svc::op_mode, svc::op_mode to, time_point at) {
+      const auto& t = spec_.traffic;
+      const double frac = to == svc::op_mode::normal ? t.available
+                          : to == svc::op_mode::degraded
+                              ? t.degraded_available
+                              : t.safe_available;
+      for (auto& gw : gateways_)
+        sys_->engine().at_node(gw->node(), at + opt_.net.delta_min,
+                               [g = gw.get(), frac] { g->renegotiate(frac); });
+    });
+  }
 }
 
 deployment::~deployment() = default;
@@ -198,6 +244,29 @@ observation deployment::collect() {
         e.kind == core::monitor_event_kind::node_unsuspected)
       obs_.trigger_events.push_back(e.at);
   std::sort(obs_.trigger_events.begin(), obs_.trigger_events.end());
+  if (!gateways_.empty()) {
+    obs_.traffic_checked = true;
+    obs_.miss_budget = spec_.traffic.miss_budget;
+    hdr_histogram merged;
+    for (auto& gw : gateways_) {  // node order — the merge convention
+      const auto t = gw->snapshot();
+      obs_.traffic_offered += t.offered;
+      obs_.traffic_admitted += t.admitted;
+      obs_.traffic_rejected += t.rejected;
+      obs_.traffic_shed += t.shed;
+      obs_.traffic_completed += t.completed;
+      obs_.traffic_missed += t.missed;
+      obs_.traffic_outstanding += gw->controller().outstanding();
+      obs_.traffic_revalidations += t.revalidations;
+      obs_.traffic_revalidation_failures += t.revalidation_failures;
+      obs_.traffic_renegotiations += t.renegotiations;
+      obs_.gateway_digests.push_back(gw->digest());
+      merged.merge(gw->latency());
+    }
+    obs_.latency_p50 = merged.value_at_quantile(0.50);
+    obs_.latency_p99 = merged.value_at_quantile(0.99);
+    obs_.latency_p999 = merged.value_at_quantile(0.999);
+  }
   if (sync_) {
     obs_.skew_checked = true;
     std::vector<node_id> correct;
@@ -221,6 +290,7 @@ std::vector<check_result> deployment::grade(const observation& obs) const {
        check_modes(spec_.p, obs, spec_.modes.final_mode, switch_latency))
     checks.push_back(c);
   for (auto& c : check_clocks(obs)) checks.push_back(c);
+  for (auto& c : check_miss_budget(obs)) checks.push_back(c);
   return checks;
 }
 

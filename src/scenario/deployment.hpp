@@ -30,6 +30,7 @@
 #include "services/fault_detector.hpp"
 #include "services/mode_manager.hpp"
 #include "services/reliable_comm.hpp"
+#include "traffic/gateway.hpp"
 
 namespace hades::scenario {
 
@@ -77,6 +78,10 @@ class deployment {
   [[nodiscard]] svc::mode_manager& modes() { return *modes_; }
   [[nodiscard]] svc::clock_sync_service* sync() { return sync_.get(); }
   [[nodiscard]] const scenario_spec& spec() const { return spec_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<traffic::gateway>>&
+  gateways() const {
+    return gateways_;
+  }
 
  private:
   scenario_spec spec_;
@@ -86,6 +91,7 @@ class deployment {
   std::unique_ptr<svc::reliable_broadcast> bcast_;
   std::unique_ptr<svc::mode_manager> modes_;
   std::unique_ptr<svc::clock_sync_service> sync_;
+  std::vector<std::unique_ptr<traffic::gateway>> gateways_;
 
   observation obs_;  // bounds + sent_at filled at construction
   std::vector<std::vector<observation::suspicion>> susp_by_observer_;

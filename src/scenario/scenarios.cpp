@@ -226,6 +226,48 @@ std::vector<scenario_spec> all_scenarios() {
     out.push_back(std::move(s));
   }
 
+  {
+    scenario_spec s = base("edge_overload",
+                           "open-loop Poisson traffic at ~2.1x the bookable "
+                           "CPU fraction on two gateway nodes: the admission "
+                           "controller must reject/shed the excess while "
+                           "everything it admits meets its deadline within "
+                           "the miss budget");
+    s.traffic.gateway_nodes = 2;
+    s.traffic.mix = traffic::arrival_mix::poisson;
+    s.traffic.rate_per_s = 2500.0;  // ~1.17s of work/s vs 0.6 bookable
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("edge_burst_storm",
+                           "bursty on/off arrivals (8x rate bursts) while a "
+                           "non-gateway node crashes mid-run: the mode "
+                           "switch renegotiates every gateway down to the "
+                           "degraded CPU fraction, shedding by value "
+                           "density, and admitted work still meets the miss "
+                           "budget");
+    s.traffic.gateway_nodes = 2;
+    s.traffic.mix = traffic::arrival_mix::bursty;
+    s.traffic.rate_per_s = 900.0;  // x8 bursts peak well past feasibility
+    s.p.crash(time_point::at(700_ms + 151_us), 6);
+    s.modes.final_mode = svc::op_mode::degraded;
+    out.push_back(std::move(s));
+  }
+
+  {
+    scenario_spec s = base("edge_diurnal_rollover",
+                           "a compressed diurnal day (8-segment rate "
+                           "profile) cycling twice over the run: admission "
+                           "must ride the rate rollovers — including the "
+                           "evening peak at 1.5x — with the decision stream "
+                           "bit-identical across backends");
+    s.traffic.gateway_nodes = 2;
+    s.traffic.mix = traffic::arrival_mix::diurnal;
+    s.traffic.rate_per_s = 2000.0;  // peak segments overdrive the edge
+    out.push_back(std::move(s));
+  }
+
   return out;
 }
 

@@ -19,6 +19,7 @@
 #include "services/fault_detector.hpp"
 #include "services/mode_manager.hpp"
 #include "services/reliable_comm.hpp"
+#include "traffic/arrival.hpp"
 
 namespace hades::scenario {
 
@@ -60,6 +61,25 @@ struct scenario_spec {
   bool spanning_task_load = false;
   bool expect_order_faults = false;  // performance faults may breach Delta
   duration skew_bound = duration::microseconds(300);
+
+  /// Traffic edge (the open-loop gateway family). gateway_nodes == 0 means
+  /// no gateways; k > 0 places gateways on nodes [1, 1 + k) — node 0 keeps
+  /// the mode manager and the overload task, and edge plans must never
+  /// crash a gateway node (a crashed gateway's admitted instances can no
+  /// longer retire their charges).
+  struct traffic_params {
+    std::size_t gateway_nodes = 0;
+    traffic::arrival_mix mix = traffic::arrival_mix::poisson;
+    double rate_per_s = 2500.0;
+    /// CPU fraction the admission accumulator may book per mode; the
+    /// deployment's mode hook renegotiates every gateway on a switch.
+    double available = 0.6;
+    double degraded_available = 0.35;
+    double safe_available = 0.15;
+    /// check_miss_budget: deadline-aborted admissions / admitted.
+    double miss_budget = 0.02;
+  };
+  traffic_params traffic;
 
   plan p;
 };

@@ -1,0 +1,104 @@
+#include "sched/incremental.hpp"
+
+#include "util/error.hpp"
+
+namespace hades::sched {
+
+incremental_feasibility::incremental_feasibility(config c)
+    : width_(c.slot_width.count()), base_(0) {
+  require(width_ > 0, "incremental_feasibility: slot_width must be positive");
+  set_available(c.available);
+}
+
+void incremental_feasibility::set_available(double fraction) {
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  avail_ = fraction;
+  avail_q32_ = static_cast<std::uint64_t>(fraction * 4294967296.0);
+}
+
+void incremental_feasibility::advance(time_point now) {
+  const std::int64_t t = now.nanoseconds();
+  if (t <= now_) return;
+  now_ = t;
+  const std::int64_t new_base = (t / width_) * width_;
+  if (new_base <= base_) return;
+  std::int64_t steps = (new_base - base_) / width_;
+  // Past a full revolution every bucket folds exactly once (the remainder
+  // would re-fold already-emptied buckets).
+  if (steps > static_cast<std::int64_t>(slots)) steps = slots;
+  const std::int64_t base_slot = base_ / width_;
+  for (std::int64_t i = 0; i < steps; ++i) {
+    const auto phys = static_cast<std::size_t>((base_slot + i) %
+                                               static_cast<std::int64_t>(slots));
+    carry_ += demand_[phys];
+    demand_[phys] = 0;
+    ++epoch_[phys];
+  }
+  base_ = new_base;
+}
+
+bool incremental_feasibility::scan(std::int64_t extra,
+                                   std::size_t candidate) const {
+  std::int64_t cum = carry_;
+  const std::int64_t base_slot = base_ / width_;
+  for (std::size_t k = 0; k < slots; ++k) {
+    const auto phys = static_cast<std::size_t>(
+        (base_slot + static_cast<std::int64_t>(k)) %
+        static_cast<std::int64_t>(slots));
+    cum += demand_[phys];
+    if (k == candidate) cum += extra;
+    if (cum == 0) continue;
+    // All demand bucketed here is conservatively due at the bucket start.
+    std::int64_t slack = base_ + static_cast<std::int64_t>(k) * width_ - now_;
+    if (slack < 0) slack = 0;
+    const auto budget = static_cast<std::int64_t>(
+        (static_cast<unsigned __int128>(slack) * avail_q32_) >> 32);
+    if (cum > budget) return false;
+  }
+  return true;
+}
+
+bool incremental_feasibility::admissible(duration cost,
+                                         time_point deadline) const {
+  const std::int64_t d = deadline.nanoseconds();
+  if (d <= now_) return false;
+  std::int64_t k = (d - base_) / width_;
+  if (k >= static_cast<std::int64_t>(slots))
+    k = static_cast<std::int64_t>(slots) - 1;  // beyond the window: clamp
+  return scan(cost.count(), static_cast<std::size_t>(k));
+}
+
+std::uint32_t incremental_feasibility::slot_index(
+    std::int64_t deadline_ns) const {
+  std::int64_t j = deadline_ns / width_;
+  const std::int64_t base_slot = base_ / width_;
+  if (j < base_slot) j = base_slot;
+  if (j >= base_slot + static_cast<std::int64_t>(slots))
+    j = base_slot + static_cast<std::int64_t>(slots) - 1;
+  return static_cast<std::uint32_t>(j % static_cast<std::int64_t>(slots));
+}
+
+incremental_feasibility::ticket incremental_feasibility::admit(
+    duration cost, time_point deadline) {
+  const std::uint32_t phys = slot_index(deadline.nanoseconds());
+  ticket t;
+  t.cost = cost.count();
+  t.slot = phys;
+  t.epoch = epoch_[phys];
+  demand_[phys] += t.cost;
+  outstanding_ += t.cost;
+  return t;
+}
+
+void incremental_feasibility::complete(const ticket& t) {
+  outstanding_ -= t.cost;
+  // The bucket's epoch still matching means the charge is still in it;
+  // otherwise advance() folded it into the carried term.
+  if (epoch_[t.slot] == t.epoch)
+    demand_[t.slot] -= t.cost;
+  else
+    carry_ -= t.cost;
+}
+
+}  // namespace hades::sched

@@ -1,0 +1,108 @@
+// Incremental admission feasibility (DESIGN.md, "Traffic edge & admission
+// control").
+//
+// The batch analysis in feasibility.hpp re-derives the whole processor-
+// demand test from the task set on every call — exact, but O(tasks x
+// deadlines) and far too slow to sit on a per-request admission path. This
+// accumulator keeps the demand bound *incrementally*: a fixed-size demand
+// wheel over absolute deadlines, updated with O(1) integer deltas on
+// admit/complete and checked with an O(slots) scan (constant in the number
+// of admitted requests).
+//
+// Model: admitted requests are one-shot aperiodic jobs, each released on
+// admission with computation time c and absolute deadline d. EDF feasibility
+// for such a set is exactly "for every deadline d: sum of c over jobs with
+// deadline <= d fits in (d - now) x available". The wheel makes that test
+// O(1) by quantizing deadlines into `slots` buckets of `slot_width` and
+// charging each job's full cost to its deadline's bucket; the check then
+// treats all demand in a bucket as due at the bucket's *start*, which only
+// ever under-states slack — the wheel's verdict is a conservative
+// (sufficient) version of the exact test, and the exact test is re-run
+// periodically off the hot path (admission_controller::revalidate) as a
+// consistency gate.
+//
+// Exactness of the bookkeeping itself is non-negotiable: complete() must
+// cancel admit() to the nanosecond or the accumulator drifts over millions
+// of requests. Each admit returns a ticket recording the physical slot
+// charged and that slot's fold epoch; a completion subtracts from the same
+// slot while its epoch matches, and from the carried (already-expired)
+// demand after the wheel folded it — integer bookkeeping, no residue.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace hades::sched {
+
+class incremental_feasibility {
+ public:
+  /// Wheel resolution: 64 buckets of slot_width over absolute deadlines.
+  /// Deadlines beyond the covered window are clamped into the last bucket
+  /// (conservative: their demand is tested against an earlier date).
+  static constexpr std::size_t slots = 64;
+
+  struct config {
+    duration slot_width = duration::microseconds(250);
+    /// CPU fraction available to admitted requests (mode-change
+    /// renegotiation moves it; the rest is reserved for periodic load).
+    double available = 1.0;
+  };
+
+  /// Proof of one admitted charge; hand it back to complete() exactly once.
+  struct ticket {
+    std::int64_t cost = 0;       // charged nanoseconds
+    std::uint32_t slot = 0;      // physical wheel bucket
+    std::uint32_t epoch = 0;     // that bucket's fold epoch at admit time
+  };
+
+  explicit incremental_feasibility(config c);
+
+  /// Rotate the wheel to `now`: buckets whose deadline range fully expired
+  /// fold into the carried term (work admitted, deadline passed, not yet
+  /// completed — it still occupies the processor, due immediately).
+  void advance(time_point now);
+
+  /// Conservative demand-bound check: would admitting (cost, deadline) keep
+  /// every bucket boundary feasible? O(slots), no state change.
+  [[nodiscard]] bool admissible(duration cost, time_point deadline) const;
+  /// The same scan with no candidate — is the *current* admitted load
+  /// feasible? (Used after renegotiation lowers `available`.)
+  [[nodiscard]] bool currently_feasible() const {
+    return scan(0, slots);  // candidate slot past the wheel: never added
+  }
+
+  /// Charge an admitted request. Caller decides admissibility first; the
+  /// charge itself never fails.
+  ticket admit(duration cost, time_point deadline);
+  /// Exact inverse of admit().
+  void complete(const ticket& t);
+
+  /// Mode-change renegotiation: change the CPU fraction (clamped [0, 1]).
+  void set_available(double fraction);
+  [[nodiscard]] double available() const { return avail_; }
+
+  [[nodiscard]] std::int64_t outstanding() const { return outstanding_; }
+  [[nodiscard]] std::int64_t carried() const { return carry_; }
+  [[nodiscard]] time_point now() const {
+    return time_point::zero() + duration::nanoseconds(now_);
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t slot_index(std::int64_t deadline_ns) const;
+  /// Prefix-demand scan with `extra` charged to `candidate` (candidate >=
+  /// slots means "no candidate").
+  [[nodiscard]] bool scan(std::int64_t extra, std::size_t candidate) const;
+
+  std::int64_t width_;            // slot width in ns
+  std::int64_t base_;             // slot-aligned wheel base (ns)
+  std::int64_t now_ = 0;          // last advance() date (ns)
+  double avail_ = 1.0;
+  std::uint64_t avail_q32_;       // available as a 32.32 fixed-point factor
+  std::int64_t demand_[slots] = {};   // charged ns per bucket
+  std::uint32_t epoch_[slots] = {};   // fold epoch per bucket
+  std::int64_t carry_ = 0;        // demand folded out of expired buckets
+  std::int64_t outstanding_ = 0;  // total admitted-not-completed ns
+};
+
+}  // namespace hades::sched

@@ -1,0 +1,212 @@
+#include "traffic/admission.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hades::traffic {
+
+admission_controller::admission_controller(config c)
+    : cfg_(c), feas_(c.feas) {
+  require(cfg_.max_outstanding > 0,
+          "admission_controller: max_outstanding must be positive");
+  pool_.resize(cfg_.max_outstanding);
+  free_.reserve(cfg_.max_outstanding);
+  for (std::uint32_t i = cfg_.max_outstanding; i-- > 0;) free_.push_back(i);
+  // Worst case before compaction: every pool slot has one stale heap entry
+  // plus one live one, split between heap and staging.
+  heap_.reserve(2 * static_cast<std::size_t>(cfg_.max_outstanding) + 1);
+  staging_.reserve(2 * static_cast<std::size_t>(cfg_.max_outstanding) + 1);
+  scratch_.reserve(cfg_.max_outstanding);
+}
+
+std::uint64_t admission_controller::density_of(const request& r) {
+  const std::int64_t c = r.cost.count();
+  if (c <= 0) return ~0ull;  // free work never sheds
+  return (static_cast<std::uint64_t>(r.value) << 32) /
+         static_cast<std::uint64_t>(c);
+}
+
+void admission_controller::mix(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    digest_ ^= (v >> (8 * i)) & 0xFF;
+    digest_ *= 0x100000001B3ull;
+  }
+}
+
+void admission_controller::drain_staging() {
+  for (const auto& e : staging_) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+  staging_.clear();
+}
+
+void admission_controller::compact_heap() {
+  heap_.clear();
+  for (std::uint32_t i = 0; i < cfg_.max_outstanding; ++i) {
+    const slot& s = pool_[i];
+    if (s.live) heap_.push_back({s.density, s.seq, i, s.gen});
+  }
+  std::make_heap(heap_.begin(), heap_.end());
+}
+
+bool admission_controller::top_live() {
+  while (!heap_.empty()) {
+    const heap_entry& e = heap_.front();
+    const slot& s = pool_[e.idx];
+    if (s.live && s.gen == e.gen) return true;
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+  return false;
+}
+
+void admission_controller::release(std::uint32_t idx) {
+  slot& s = pool_[idx];
+  feas_.complete(s.ticket);
+  s.live = false;
+  ++s.gen;  // invalidates any heap entry still pointing here
+  --live_;
+  free_.push_back(idx);
+}
+
+void admission_controller::shed_top() {
+  const heap_entry e = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.pop_back();
+  const std::uint64_t client = pool_[e.idx].client;
+  release(e.idx);
+  ++stats_.shed;
+  if (shed_cb_) shed_cb_(e.idx, client);
+}
+
+admission_controller::decision admission_controller::offer(const request& r,
+                                                           time_point now) {
+  ++stats_.offered;
+  feas_.advance(now);
+  const time_point deadline = now + r.deadline;
+  decision d;
+  const std::uint64_t density = density_of(r);
+
+  bool fits = !free_.empty() && feas_.admissible(r.cost, deadline);
+  if (!fits && cfg_.shed_by_value_density) {
+    // Overload: displace strictly lower value-density work while that still
+    // can make the newcomer fit. Lazy heap — fold the staged admits in
+    // first, and rebuild from the pool once stale entries dominate.
+    if (heap_.size() + staging_.size() >
+        2 * static_cast<std::size_t>(cfg_.max_outstanding))
+      compact_heap();
+    else
+      drain_staging();
+    while (top_live() && heap_.front().density < density) {
+      shed_top();
+      ++d.shed_victims;
+      if (!free_.empty() && feas_.admissible(r.cost, deadline)) {
+        fits = true;
+        break;
+      }
+    }
+  }
+
+  if (!fits) {
+    ++stats_.rejected;
+    mix(r.client);
+    mix(2);  // rejected
+    mix(d.shed_victims);
+    return d;
+  }
+
+  const std::uint32_t idx = free_.back();
+  free_.pop_back();
+  slot& s = pool_[idx];
+  s.client = r.client;
+  s.density = density;
+  s.seq = next_seq_++;
+  s.ticket = feas_.admit(r.cost, deadline);
+  s.deadline_ns = deadline.nanoseconds();
+  s.live = true;
+  ++live_;
+  staging_.push_back({s.density, s.seq, idx, s.gen});
+  ++stats_.admitted;
+  d.admitted = true;
+  d.h = idx;
+  mix(r.client);
+  mix(1);  // admitted
+  mix(d.shed_victims);
+  return d;
+}
+
+void admission_controller::complete(handle h) {
+  require(h < pool_.size() && pool_[h].live,
+          "admission_controller: complete of a dead handle");
+  release(h);
+  ++stats_.completed;
+}
+
+std::uint32_t admission_controller::renegotiate(double available,
+                                                time_point now) {
+  feas_.advance(now);
+  feas_.set_available(available);
+  std::uint32_t victims = 0;
+  if (cfg_.shed_by_value_density) {
+    drain_staging();
+    while (!feas_.currently_feasible() && top_live()) {
+      shed_top();
+      ++victims;
+    }
+  }
+  mix(3);  // renegotiate marker
+  mix(static_cast<std::uint64_t>(available * 4294967296.0));
+  mix(victims);
+  return victims;
+}
+
+bool admission_controller::revalidate(time_point now) {
+  ++stats_.revalidations;
+  feas_.advance(now);
+  const bool wheel_ok = feas_.currently_feasible();
+  // Exact EDF processor-demand test over the live set: for each future
+  // deadline d, the cost of all work due at or before d must fit in
+  // (d - now) x available. Already-late work (deadline passed, miss not yet
+  // retired) contributes its cost to the cumulative demand but is not itself
+  // a check point — the same treatment the wheel gives its carried term.
+  scratch_.clear();
+  std::int64_t total = 0;
+  const std::int64_t t0 = now.nanoseconds();
+  std::int64_t late = 0;
+  for (std::uint32_t i = 0; i < cfg_.max_outstanding; ++i) {
+    const slot& s = pool_[i];
+    if (!s.live) continue;
+    total += s.ticket.cost;
+    if (s.deadline_ns <= t0)
+      late += s.ticket.cost;
+    else
+      scratch_.emplace_back(s.deadline_ns, s.ticket.cost);
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  // Same 32.32 budget arithmetic as the wheel so the comparison below is
+  // rounding-identical.
+  const auto q32 =
+      static_cast<std::uint64_t>(feas_.available() * 4294967296.0);
+  bool exact_ok = true;
+  std::int64_t cum = late;
+  for (const auto& [d, c] : scratch_) {
+    cum += c;
+    const auto budget = static_cast<std::int64_t>(
+        (static_cast<unsigned __int128>(d - t0) * q32) >> 32);
+    if (cum > budget) exact_ok = false;
+  }
+  // Two invariants, both timing-noise free: the integer bookkeeping matches
+  // the pool exactly, and the wheel's verdict implies the exact verdict
+  // (the wheel quantizes every deadline *down* to its bucket start, so it
+  // can only be stricter — a wheel-pass/exact-fail disagreement means the
+  // accumulator dropped demand it should still hold). The exact test alone
+  // failing is expected mid-flight: a nearly-finished instance still
+  // charges its full cost against an almost-expired deadline.
+  const bool ok = total == feas_.outstanding() && (!wheel_ok || exact_ok);
+  if (!ok) ++stats_.revalidation_failures;
+  return ok;
+}
+
+}  // namespace hades::traffic

@@ -1,0 +1,162 @@
+// Admission controller: the zero-allocation decision path of the traffic
+// edge (DESIGN.md, "Traffic edge & admission control").
+//
+// One controller guards one node's service capacity. Every offered request
+// is judged against the incremental feasibility accumulator
+// (sched/incremental.hpp); infeasible requests either bounce, or — under
+// overload — displace already-admitted work of lower *value density*
+// (value / cost, the SPRING planning tradition: when not everything fits,
+// keep the work that buys the most value per CPU nanosecond).
+//
+// Hot-path engineering:
+//  * request slots live in a preallocated pool with generation counters —
+//    admit/complete never allocate;
+//  * the shed heap is a lazy-deletion binary min-heap over (value density,
+//    admission sequence): admits *stage* their entry in O(1), and the
+//    O(log k) heap pushes are paid only when the shed path runs (staged
+//    entries are folded in before the first pop); completes are O(1) — the
+//    generation bump invalidates the heap entry, which is discarded when it
+//    surfaces. Stale entries are bounded: when the heap plus staging exceed
+//    twice the pool, the shed path rebuilds the heap from the live slots;
+//  * every container is reserved at construction — the steady-state
+//    offer/complete/shed cycle performs zero heap allocations (asserted by
+//    bench_gateway's operator-new counter).
+//
+// Determinism: decisions depend only on the offer/complete order, and the
+// heap order is a total order (density, then admission sequence), so the
+// admission/shed stream is bit-identical across backends and worker counts;
+// the running FNV digest over (client, verdict) is folded into the campaign
+// checksum.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sched/incremental.hpp"
+#include "util/time.hpp"
+
+namespace hades::traffic {
+
+/// One offered unit of client work.
+struct request {
+  std::uint64_t client = 0;       // lazily-materialized client id
+  std::uint32_t klass = 0;        // request-class index (caller taxonomy)
+  duration cost = duration::zero();      // worst-case service time
+  duration deadline = duration::zero();  // relative deadline
+  std::uint32_t value = 1;        // importance (shed ordering numerator)
+};
+
+class admission_controller {
+ public:
+  using handle = std::uint32_t;
+  static constexpr handle no_handle = 0xFFFFFFFFu;
+
+  struct config {
+    sched::incremental_feasibility::config feas;
+    /// Pooled request slots == max concurrently admitted requests.
+    std::uint32_t max_outstanding = 4096;
+    /// Overload policy: displace lower-value-density work (true) or only
+    /// reject newcomers (false).
+    bool shed_by_value_density = true;
+  };
+
+  /// Called once per displaced victim, after its charge is released and its
+  /// slot freed (the handle is no longer valid inside the callback — it
+  /// identifies which admitted request died).
+  using shed_fn = std::function<void(handle, std::uint64_t client)>;
+
+  explicit admission_controller(config c);
+  void on_shed(shed_fn f) { shed_cb_ = std::move(f); }
+
+  struct decision {
+    bool admitted = false;
+    handle h = no_handle;
+    std::uint32_t shed_victims = 0;  // displaced to make room (may be > 0
+                                     // even when the newcomer still bounced)
+  };
+
+  /// The hot path: judge one request at `now`. Zero allocations.
+  decision offer(const request& r, time_point now);
+  /// An admitted request finished. Zero allocations, O(1).
+  void complete(handle h);
+
+  /// Mode-change renegotiation: move the CPU fraction and shed the lowest
+  /// value-density work until the remaining set is feasible again.
+  /// Returns the number of victims.
+  std::uint32_t renegotiate(double available, time_point now);
+
+  /// Exact off-hot-path re-validation: runs the full EDF demand test over
+  /// the live request set (sorted scratch, no allocation after warm-up) and
+  /// cross-checks the accumulator's integer bookkeeping against the pool.
+  /// False means the conservative wheel admitted an infeasible set or the
+  /// bookkeeping drifted — both are defects, and the campaign digest folds
+  /// the flag.
+  bool revalidate(time_point now);
+
+  // --- observability --------------------------------------------------------
+  struct counters {
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t revalidations = 0;
+    std::uint64_t revalidation_failures = 0;
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t outstanding() const { return live_; }
+  [[nodiscard]] std::uint64_t client_of(handle h) const {
+    return pool_[h].client;
+  }
+  /// Running FNV-1a over the decision stream (client, verdict) — the
+  /// cross-backend determinism fold.
+  [[nodiscard]] std::uint64_t stream_digest() const { return digest_; }
+  [[nodiscard]] sched::incremental_feasibility& feasibility() { return feas_; }
+
+ private:
+  struct slot {
+    std::uint64_t client = 0;
+    std::uint64_t density = 0;   // (value << 32) / cost_ns
+    std::uint64_t seq = 0;       // admission sequence (heap tie-break)
+    sched::incremental_feasibility::ticket ticket;
+    std::int64_t deadline_ns = 0;
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
+  struct heap_entry {
+    std::uint64_t density = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t idx = 0;
+    std::uint32_t gen = 0;
+    // Min-heap via std::push_heap's max-heap: "greater" means "sheds later".
+    [[nodiscard]] bool operator<(const heap_entry& o) const {
+      if (density != o.density) return density > o.density;
+      return seq > o.seq;
+    }
+  };
+
+  [[nodiscard]] static std::uint64_t density_of(const request& r);
+  void mix(std::uint64_t v);
+  void drain_staging();
+  void compact_heap();
+  /// Pop until the top is a live entry; false when nothing live remains.
+  bool top_live();
+  void shed_top();
+  void release(std::uint32_t idx);
+
+  config cfg_;
+  sched::incremental_feasibility feas_;
+  std::vector<slot> pool_;
+  std::vector<std::uint32_t> free_;
+  std::vector<heap_entry> heap_;
+  std::vector<heap_entry> staging_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> scratch_;  // revalidate
+  shed_fn shed_cb_;
+  counters stats_;
+  std::uint32_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t digest_ = 0xCBF29CE484222325ull;
+};
+
+}  // namespace hades::traffic

@@ -1,0 +1,123 @@
+#include "traffic/arrival.hpp"
+
+#include "util/error.hpp"
+
+namespace hades::traffic {
+namespace {
+
+// splitmix64 finalizer — the lazy client-id materializer. Stateless: the
+// n-th arrival of (seed, node) always names the same client.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// The 8-segment diurnal day profile, rate multipliers x1000: a quiet
+// night, a morning ramp, a midday plateau, an evening peak, wind-down.
+constexpr std::uint32_t diurnal_profile[8] = {250,  400,  900, 1200,
+                                              1000, 1500, 800, 350};
+
+}  // namespace
+
+arrival_process::arrival_process(const arrival_params& p, std::uint64_t seed,
+                                 std::uint32_t node)
+    : p_(p), seed_(seed), node_(node),
+      rng_(mix64(mix64(seed) ^ (0x74726166666963ull + node))) {
+  require(p_.rate_per_s > 0.0, "arrival_process: rate must be positive");
+  require(p_.class_count > 0 && p_.classes != nullptr,
+          "arrival_process: need at least one request class");
+  require(p_.population > 0, "arrival_process: population must be positive");
+  for (std::uint32_t i = 0; i < p_.class_count; ++i) {
+    require(p_.classes[i].weight > 0, "arrival_process: zero class weight");
+    total_weight_ += p_.classes[i].weight;
+  }
+  if (p_.mix == arrival_mix::bursty)
+    require(p_.burst_period > duration::zero(),
+            "arrival_process: burst_period must be positive");
+  if (p_.mix == arrival_mix::diurnal)
+    require(p_.diurnal_period >= duration::nanoseconds(8),
+            "arrival_process: diurnal_period too short");
+  schedule_next(time_point::zero());
+}
+
+std::uint32_t arrival_process::rate_permille(time_point t) const {
+  switch (p_.mix) {
+    case arrival_mix::poisson:
+      return 1000;
+    case arrival_mix::bursty: {
+      const std::int64_t phase =
+          (t.nanoseconds() / p_.burst_period.count()) % 2;
+      return phase == 0
+                 ? static_cast<std::uint32_t>(p_.burst_factor * 1000.0)
+                 : 1000;
+    }
+    case arrival_mix::diurnal: {
+      const std::int64_t seg_width = p_.diurnal_period.count() / 8;
+      const std::int64_t seg =
+          (t.nanoseconds() / seg_width) % 8;
+      return diurnal_profile[seg];
+    }
+  }
+  return 1000;
+}
+
+void arrival_process::schedule_next(time_point from) {
+  // Piecewise-constant thinning-free sampling: draw an exponential gap at
+  // the rate in effect at `from`; if it crosses a rate-segment boundary,
+  // restart the draw from the boundary at the new rate. Memorylessness
+  // makes the restart distribution-preserving, and segment boundaries are
+  // deterministic dates, so the draw count — hence the whole stream — is
+  // identical everywhere.
+  time_point t = from;
+  for (;;) {
+    const std::uint32_t pm = rate_permille(t);
+    const double rate = p_.rate_per_s * (static_cast<double>(pm) / 1000.0);
+    const double mean_gap_ns = 1e9 / rate;
+    const auto gap = static_cast<std::int64_t>(rng_.exponential(mean_gap_ns));
+    const time_point cand = t + duration::nanoseconds(gap < 1 ? 1 : gap);
+    // Next boundary of the current rate segment, if any.
+    std::int64_t boundary = -1;
+    if (p_.mix == arrival_mix::bursty) {
+      const std::int64_t w = p_.burst_period.count();
+      boundary = (t.nanoseconds() / w + 1) * w;
+    } else if (p_.mix == arrival_mix::diurnal) {
+      const std::int64_t w = p_.diurnal_period.count() / 8;
+      boundary = (t.nanoseconds() / w + 1) * w;
+    }
+    if (boundary < 0 || cand.nanoseconds() <= boundary) {
+      next_ = cand;
+      return;
+    }
+    t = time_point::zero() + duration::nanoseconds(boundary);
+  }
+}
+
+std::uint64_t arrival_process::client_at(std::uint64_t n) const {
+  const std::uint64_t h =
+      mix64(mix64(seed_ ^ (static_cast<std::uint64_t>(node_) << 48)) ^ n);
+  return h % p_.population;
+}
+
+request arrival_process::take() {
+  request r;
+  r.client = client_at(count_);
+  // Weighted class draw.
+  auto pick = static_cast<std::uint32_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(total_weight_) - 1));
+  std::uint32_t k = 0;
+  while (pick >= p_.classes[k].weight) {
+    pick -= p_.classes[k].weight;
+    ++k;
+  }
+  r.klass = k;
+  r.cost = p_.classes[k].cost;
+  r.deadline = p_.classes[k].deadline;
+  r.value = p_.classes[k].value;
+  ++count_;
+  schedule_next(next_);
+  return r;
+}
+
+}  // namespace hades::traffic

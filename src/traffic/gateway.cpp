@@ -1,0 +1,148 @@
+#include "traffic/gateway.hpp"
+
+#include "util/error.hpp"
+
+namespace hades::traffic {
+
+gateway::gateway(core::system& sys, node_id node, gateway_config cfg,
+                 std::uint64_t seed)
+    : sys_(sys), rt_(sys.engine()), node_(node), cfg_(std::move(cfg)),
+      arr_([&] {
+        arrival_params p = cfg_.arrivals;
+        p.classes = cfg_.classes.data();
+        p.class_count = static_cast<std::uint32_t>(cfg_.classes.size());
+        return p;
+      }(), seed, node),
+      ctrl_(cfg_.admission) {
+  require(!cfg_.classes.empty(), "gateway: need at least one request class");
+  require(node < sys.node_count(), "gateway: node out of range");
+  owner_.assign(cfg_.admission.max_outstanding,
+                {invalid_task, instance_number{0}});
+}
+
+std::int32_t gateway::class_of(task_id t) const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (tasks_[i] == t) return static_cast<std::int32_t>(i);
+  return -1;
+}
+
+void gateway::start() {
+  require(!started_, "gateway: started twice");
+  started_ = true;
+
+  for (std::size_t c = 0; c < cfg_.classes.size(); ++c) {
+    const request_class& rc = cfg_.classes[c];
+    core::task_builder b("gw" + std::to_string(node_) + "_c" +
+                         std::to_string(c));
+    b.deadline(rc.deadline)
+        .law(core::arrival_law::aperiodic())
+        .abort_on_deadline_miss(true);
+    b.add_code_eu("serve", node_, rc.cost);
+    tasks_.push_back(sys_.register_task(b.build()));
+  }
+
+  // Shed victims abort their instance; un-mapping first makes the retire
+  // hook below a no-op for them (their charge was already released).
+  ctrl_.on_shed([this](admission_controller::handle h, std::uint64_t) {
+    const auto [t, k] = owner_[h];
+    owner_[h] = {invalid_task, instance_number{0}};
+    live_[t].erase(k);
+    sys_.abort_instance(t, k, "shed: value density", /*as_rejection=*/true);
+  });
+
+  auto& d = sys_.disp(node_);
+  d.set_admission_hook([this](task_id t, time_point now) {
+    if (class_of(t) < 0 || !pending_valid_) return true;
+    pending_valid_ = false;
+    last_ = ctrl_.offer(pending_, now);
+    return last_.admitted;
+  });
+  d.set_retire_hook([this](task_id t, instance_number k, time_point act,
+                           time_point now, bool completed) {
+    auto tit = live_.find(t);
+    if (tit == live_.end()) return;
+    auto it = tit->second.find(k);
+    if (it == tit->second.end()) return;
+    const admission_controller::handle h = it->second;
+    tit->second.erase(it);
+    owner_[h] = {invalid_task, instance_number{0}};
+    ctrl_.complete(h);
+    if (completed)
+      latency_.record((now - act).count());
+    else
+      ++missed_;
+  });
+
+  arm_next();
+  const time_point first = cfg_.start + cfg_.revalidate_period;
+  rt_.periodic_at_node(node_, first, cfg_.revalidate_period,
+                       [this] {
+                         if (!sys_.crashed(node_))
+                           ctrl_.revalidate(rt_.now());
+                       },
+                       cfg_.stop);
+}
+
+void gateway::arm_next() {
+  const time_point at = cfg_.start + (arr_.peek() - time_point::zero());
+  if (at >= cfg_.stop) return;
+  rt_.at_node(node_, at, [this] { fire(); });
+}
+
+void gateway::fire() {
+  if (!sys_.crashed(node_)) {
+    pending_ = arr_.take();
+    pending_valid_ = true;
+    last_ = {};
+    core::system::activation_origin origin;
+    origin.k = core::system::activation_origin::kind::external;
+    const task_id t = tasks_[pending_.klass];
+    const auto k = sys_.activate_internal(t, origin);
+    pending_valid_ = false;
+    if (k.has_value() && last_.admitted) {
+      live_[t][*k] = last_.h;
+      owner_[last_.h] = {t, *k};
+    }
+  } else {
+    (void)arr_.take();  // the stream keeps its draw count while down
+  }
+  arm_next();
+}
+
+void gateway::renegotiate(double available) {
+  ++renegotiations_;
+  ctrl_.renegotiate(available, rt_.now());
+}
+
+gateway::totals gateway::snapshot() const {
+  const auto& s = ctrl_.stats();
+  totals t;
+  t.offered = s.offered;
+  t.admitted = s.admitted;
+  t.rejected = s.rejected;
+  t.shed = s.shed;
+  // controller `completed` counts every complete() call — timely finishes
+  // and deadline-miss retires both release their charge that way.
+  t.completed = s.completed - missed_;
+  t.missed = missed_;
+  t.revalidations = s.revalidations;
+  t.revalidation_failures = s.revalidation_failures;
+  t.renegotiations = renegotiations_;
+  return t;
+}
+
+std::uint64_t gateway::digest() const {
+  std::uint64_t h = ctrl_.stream_digest();
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ull;
+    }
+  };
+  mix(latency_.digest());
+  mix(missed_);
+  mix(renegotiations_);
+  return h;
+}
+
+}  // namespace hades::traffic

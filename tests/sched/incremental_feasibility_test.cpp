@@ -1,0 +1,204 @@
+// incremental_feasibility (DESIGN.md, "Traffic edge & admission control"):
+// the O(1)-delta demand wheel behind per-request admission. Contracts under
+// test: the wheel's verdict is conservative with respect to the exact EDF
+// processor-demand test (wheel-admissible implies exactly-feasible, never
+// the reverse), complete() cancels admit() to the nanosecond across bucket
+// folds (no drift over many cycles), and set_available() renegotiation
+// tightens and relaxes the bound symmetrically.
+#include "sched/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hades::sched {
+namespace {
+
+using namespace hades::literals;
+
+time_point at_ns(std::int64_t ns) {
+  return time_point::zero() + duration::nanoseconds(ns);
+}
+
+// Exact EDF demand test over one-shot jobs: for every deadline d, the cost
+// of all jobs with deadline <= d must fit in (d - now) x available. Late
+// jobs (deadline passed) charge their cost at zero slack, like the wheel's
+// carried term.
+bool exact_feasible(const std::vector<std::pair<std::int64_t, std::int64_t>>&
+                        jobs,  // (deadline_ns, cost_ns)
+                    std::int64_t now_ns, double available) {
+  auto sorted = jobs;
+  std::sort(sorted.begin(), sorted.end());
+  std::int64_t cum = 0;
+  for (const auto& [d, c] : sorted) {
+    cum += c;
+    const double slack =
+        static_cast<double>(d > now_ns ? d - now_ns : 0) * available;
+    if (static_cast<double>(cum) > slack) return false;
+  }
+  return true;
+}
+
+TEST(IncrementalFeasibilityTest, HandComputedAdmissionBoundary) {
+  incremental_feasibility w({1_ms, 1.0});
+  w.advance(time_point::zero());
+  // Each job: 500us of work due at 2ms — the wheel charges it to the
+  // [2ms, 3ms) bucket and tests it against the bucket *start*, so exactly
+  // four such jobs fit (4 x 500us = 2ms of demand in 2ms of slack).
+  std::vector<incremental_feasibility::ticket> ts;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(w.admissible(500_us, at_ns(2'000'000))) << "job " << i;
+    ts.push_back(w.admit(500_us, at_ns(2'000'000)));
+  }
+  EXPECT_FALSE(w.admissible(500_us, at_ns(2'000'000)));
+  // A later deadline still has room...
+  EXPECT_TRUE(w.admissible(500_us, at_ns(10'000'000)));
+  // ...an earlier one does not (its bucket boundary precedes the pile-up).
+  EXPECT_FALSE(w.admissible(2_ms, at_ns(1'999'999)));
+  for (const auto& t : ts) w.complete(t);
+  EXPECT_EQ(w.outstanding(), 0);
+  EXPECT_TRUE(w.admissible(500_us, at_ns(2'000'000)));
+}
+
+TEST(IncrementalFeasibilityTest, PastDeadlinesAreNeverAdmissible) {
+  incremental_feasibility w({250_us, 1.0});
+  w.advance(at_ns(5'000'000));
+  EXPECT_FALSE(w.admissible(1_us, at_ns(5'000'000)));  // d == now
+  EXPECT_FALSE(w.admissible(1_us, at_ns(4'000'000)));  // d < now
+  EXPECT_TRUE(w.admissible(1_us, at_ns(6'000'000)));
+}
+
+TEST(IncrementalFeasibilityTest, WheelAdmissionIsConservativeVsExact) {
+  // Randomized soundness sweep: whenever the wheel admits, the exact test
+  // on the full live set (including the new job) must pass. The converse
+  // may fail — the wheel quantizes deadlines down — and the sweep counts
+  // those to confirm the test has teeth on both sides.
+  rng r(4242);
+  incremental_feasibility w({250_us, 0.8});
+  std::deque<std::pair<std::pair<std::int64_t, std::int64_t>,
+                       incremental_feasibility::ticket>>
+      live;  // ((deadline, cost), ticket)
+  std::int64_t now = 0;
+  int admitted = 0, refused_but_exact_ok = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    now += static_cast<std::int64_t>(r.uniform_int(0, 2'000));
+    w.advance(at_ns(now));
+    // Retire anything past its deadline (the jobs "ran" to completion).
+    while (!live.empty() && live.front().first.first <= now) {
+      w.complete(live.front().second);
+      live.pop_front();
+    }
+    const std::int64_t cost = r.uniform_int(500, 20'000);
+    const std::int64_t deadline = now + r.uniform_int(1'000, 4'000'000);
+    std::vector<std::pair<std::int64_t, std::int64_t>> jobs;
+    jobs.reserve(live.size() + 1);
+    for (const auto& [jc, _] : live) jobs.push_back(jc);
+    jobs.emplace_back(deadline, cost);
+    if (w.admissible(duration::nanoseconds(cost), at_ns(deadline))) {
+      EXPECT_TRUE(exact_feasible(jobs, now, 0.8))
+          << "wheel admitted an exactly-infeasible job at step " << i;
+      // Keep the live set ordered by deadline so retirement above is FIFO.
+      const auto t = w.admit(duration::nanoseconds(cost), at_ns(deadline));
+      const auto pos = std::lower_bound(
+          live.begin(), live.end(), deadline,
+          [](const auto& e, std::int64_t d) { return e.first.first < d; });
+      live.insert(pos, {{deadline, cost}, t});
+      ++admitted;
+    } else if (exact_feasible(jobs, now, 0.8)) {
+      ++refused_but_exact_ok;  // conservatism, the allowed direction
+    }
+  }
+  // The sweep saturates the window on purpose; a few hundred admissions is
+  // enough to exercise the implication, and some refusals of exactly-
+  // feasible jobs prove the conservative direction is live too.
+  EXPECT_GT(admitted, 300);
+  EXPECT_GT(refused_but_exact_ok, 0);
+}
+
+TEST(IncrementalFeasibilityTest, CompleteCancelsAdmitAcrossBucketFolds) {
+  incremental_feasibility w({250_us, 1.0});
+  // Admit, let the wheel rotate far past the deadline (folding the bucket
+  // into the carried term), then complete with the original ticket: the
+  // epoch mismatch must route the subtraction to the carry, leaving zero.
+  w.advance(time_point::zero());
+  const auto t = w.admit(100_us, at_ns(500'000));
+  w.advance(at_ns(50'000'000));  // whole window expired several times over
+  EXPECT_EQ(w.carried(), 100'000);
+  EXPECT_EQ(w.outstanding(), 100'000);
+  w.complete(t);
+  EXPECT_EQ(w.carried(), 0);
+  EXPECT_EQ(w.outstanding(), 0);
+  EXPECT_TRUE(w.currently_feasible());
+}
+
+TEST(IncrementalFeasibilityTest, NoDriftOverManyCycles) {
+  rng r(77);
+  incremental_feasibility w({250_us, 0.9});
+  std::deque<incremental_feasibility::ticket> open;
+  std::int64_t now = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    now += static_cast<std::int64_t>(r.uniform_int(0, 5'000));
+    w.advance(at_ns(now));
+    const std::int64_t cost = r.uniform_int(100, 10'000);
+    const std::int64_t dl = now + r.uniform_int(1'000, 30'000'000);
+    open.push_back(w.admit(duration::nanoseconds(cost), at_ns(dl)));
+    // Complete in admission order with a lag, so completions regularly land
+    // after their bucket folded.
+    if (open.size() > 32) {
+      w.complete(open.front());
+      open.pop_front();
+    }
+  }
+  while (!open.empty()) {
+    w.complete(open.front());
+    open.pop_front();
+  }
+  EXPECT_EQ(w.outstanding(), 0);
+  EXPECT_EQ(w.carried(), 0);
+  EXPECT_TRUE(w.currently_feasible());
+}
+
+TEST(IncrementalFeasibilityTest, RenegotiationTightensAndRelaxes) {
+  incremental_feasibility w({1_ms, 1.0});
+  w.advance(time_point::zero());
+  std::vector<incremental_feasibility::ticket> ts;
+  for (int i = 0; i < 3; ++i)
+    ts.push_back(w.admit(500_us, at_ns(2'000'000)));  // 1.5ms due at 2ms
+  EXPECT_TRUE(w.currently_feasible());
+  w.set_available(0.5);  // budget at 2ms becomes 1ms < 1.5ms of demand
+  EXPECT_FALSE(w.currently_feasible());
+  EXPECT_DOUBLE_EQ(w.available(), 0.5);
+  w.set_available(1.0);
+  EXPECT_TRUE(w.currently_feasible());
+  // Clamped at both ends.
+  w.set_available(7.0);
+  EXPECT_DOUBLE_EQ(w.available(), 1.0);
+  w.set_available(-2.0);
+  EXPECT_DOUBLE_EQ(w.available(), 0.0);
+  EXPECT_FALSE(w.currently_feasible());
+  w.set_available(1.0);
+  for (const auto& t : ts) w.complete(t);
+  EXPECT_EQ(w.outstanding(), 0);
+}
+
+TEST(IncrementalFeasibilityTest, FarDeadlinesClampIntoTheWindow) {
+  incremental_feasibility w({250_us, 1.0});
+  w.advance(time_point::zero());
+  // Window covers 64 x 250us = 16ms; a deadline a minute out clamps into
+  // the last bucket and is tested against that (much earlier) date —
+  // conservative but bookkeeping-exact.
+  const auto t = w.admit(1_ms, at_ns(60'000'000'000));
+  EXPECT_EQ(w.outstanding(), 1'000'000);
+  EXPECT_TRUE(w.currently_feasible());
+  w.complete(t);
+  EXPECT_EQ(w.outstanding(), 0);
+  EXPECT_EQ(w.carried(), 0);
+}
+
+}  // namespace
+}  // namespace hades::sched

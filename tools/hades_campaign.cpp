@@ -9,7 +9,7 @@
 //
 // Usage: hades_campaign [--smoke] [--scale] [--list] [--scenario NAME]...
 //                       [--seeds N] [--nodes N] [--workers CSV] [--out DIR]
-//                       [--quiet]
+//                       [--jobs N] [--quiet]
 //   --smoke         CI matrix: every scenario, seeds {1, 2}, shards {1,2,4},
 //                   workers {0,2,4} (the default is the same sweep with
 //                   seeds {1..4})
@@ -24,6 +24,9 @@
 //   --workers CSV   worker counts for sharded cells, e.g. "0,4" (default
 //                   "0,2,4"; "0" = serial rounds only)
 //   --out DIR       write per-cell verdict JSONs + summary.json to DIR
+//   --jobs N        run cells on N pool threads (0 = auto: half the
+//                   hardware threads capped at 4; 1 = serial). Output
+//                   order is deterministic regardless of N.
 //   --quiet         suppress the per-cell progress lines
 #include <cstdio>
 #include <cstdlib>
@@ -75,6 +78,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--workers needs a comma-separated list\n");
         return 2;
       }
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 0) {
+        std::fprintf(stderr, "--jobs must be >= 0\n");
+        return 2;
+      }
+      opt.jobs = static_cast<std::size_t>(n);
     } else if (arg == "--out" && i + 1 < argc) {
       opt.out_dir = argv[++i];
     } else if (arg == "--quiet") {
