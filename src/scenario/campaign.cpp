@@ -55,6 +55,36 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+// --------------------------------------------------------- parallel_for --
+
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    jobs = std::clamp<std::size_t>(hw / 2, 1, 4);
+  }
+  jobs = std::min(jobs, std::max<std::size_t>(n, 1));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // The factory registry's lazy init is the one shared mutable touch
+  // point; force it before the pool spawns.
+  (void)hades::runtime::registered_backends();
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j)
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  for (std::thread& t : pool) t.join();
+}
+
 // ------------------------------------------------------------ run_cell --
 
 cell_result run_cell(const scenario_spec& spec, std::uint64_t seed,
@@ -272,38 +302,14 @@ campaign_result run_campaign(const campaign_options& opt) {
     }
   }
 
-  std::size_t jobs = opt.jobs;
-  if (jobs == 0) {
-    const std::size_t hw = std::thread::hardware_concurrency();
-    jobs = std::clamp<std::size_t>(hw / 2, 1, 4);
-  }
-  jobs = std::min(jobs, std::max<std::size_t>(plan.size(), 1));
-
   std::vector<cell_result> cells(plan.size());
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < plan.size(); ++i)
-      cells[i] = run_cell(*plan[i].spec, plan[i].seed, plan[i].shards,
-                          plan[i].workers);
-  } else {
-    // The factory registry's lazy init is the one shared mutable touch
-    // point; force it before the pool spawns.
-    (void)hades::runtime::registered_backends();
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (std::size_t j = 0; j < jobs; ++j)
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= plan.size()) return;
-          cells[i] = run_cell(*plan[i].spec, plan[i].seed, plan[i].shards,
-                              plan[i].workers);
-        }
-      });
-    for (std::thread& t : pool) t.join();
-  }
+  parallel_for(plan.size(), opt.jobs, [&](std::size_t i) {
+    cells[i] = run_cell(*plan[i].spec, plan[i].seed, plan[i].shards,
+                        plan[i].workers);
+  });
 
   std::uint64_t reference_checksum = 0;
+  const scenario_spec* diverged_spec = nullptr;
   for (std::size_t i = 0; i < plan.size(); ++i) {
     const cell_spec& cs = plan[i];
     cell_result cell = std::move(cells[i]);
@@ -321,6 +327,12 @@ campaign_result run_campaign(const campaign_options& opt) {
          << cs.shards << " shards / " << cs.workers
          << " workers != reference 0x" << std::hex << reference_checksum;
       sum.detail = os.str();
+      // Surface the offending plan once per diverged scenario so the
+      // caller can print/replay it without the registry.
+      if (diverged_spec != cs.spec) {
+        diverged_spec = cs.spec;
+        result.diverged_plans.push_back(plan_to_json(cs.spec->p));
+      }
     }
     cell.checks.push_back(std::move(sum));
     cell.passed = cell.passed && cell.checks.back().passed;

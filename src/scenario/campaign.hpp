@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,15 @@
 #include "scenario/scenarios.hpp"
 
 namespace hades::scenario {
+
+/// Run fn(i) for every i in [0, n) on a bounded thread pool. jobs = 0 picks
+/// half the hardware threads capped at 4, jobs = 1 runs serially on the
+/// calling thread, jobs = n uses exactly n pool threads. Work items must be
+/// independent; completion order is unspecified, so callers keep ordered
+/// effects in a serial post-pass over their own index space (the pattern
+/// run_campaign and the fuzzer's matrix replays share).
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
 
 struct cell_result {
   std::string scenario;
@@ -66,6 +76,11 @@ struct campaign_result {
   std::vector<cell_result> cells;
   /// Gate violations: failed checkers and cross-shard checksum mismatches.
   std::vector<std::string> failures;
+  /// One entry per (scenario, seed) group whose checksum diverged across
+  /// the shards × workers matrix: the full plan JSON, so the offending
+  /// timeline is reproducible straight from the campaign output without
+  /// digging the scenario registry out of the binary.
+  std::vector<std::string> diverged_plans;
   bool passed = false;
   [[nodiscard]] std::string summary_json() const;
 };

@@ -72,6 +72,10 @@ struct observation {
   std::vector<mode_switch> mode_switches;
   std::vector<time_point> trigger_events;  // misses, crashes, recoveries
   std::size_t deadline_misses = 0;
+  /// Bitmask over core::monitor_event_kind of every event kind the run
+  /// recorded — one axis of the fuzzer's coverage map (scenario/coverage.hpp)
+  /// and free to collect. Order-independent, so worker-count invariant.
+  std::uint32_t event_kinds = 0;
 
   // Clocks (only when the scenario runs clock_sync).
   bool skew_checked = false;

@@ -211,7 +211,7 @@ void deployment::start() {
   started_ = true;
   fd_->start();
   if (sync_) sync_->start();
-  apply(*sys_, spec_.p);
+  apply(*sys_, spec_.p, obs_.horizon);
 }
 
 void deployment::run() {
@@ -236,13 +236,15 @@ observation deployment::collect() {
   obs_.final_mode = modes_->mode();
   obs_.deadline_misses =
       sys_->mon().count(core::monitor_event_kind::deadline_miss);
-  for (const auto& e : sys_->mon().events())
+  for (const auto& e : sys_->mon().events()) {
+    obs_.event_kinds |= 1u << static_cast<unsigned>(e.kind);
     if (e.kind == core::monitor_event_kind::deadline_miss ||
         e.kind == core::monitor_event_kind::node_crash ||
         e.kind == core::monitor_event_kind::node_recover ||
         e.kind == core::monitor_event_kind::node_suspected ||
         e.kind == core::monitor_event_kind::node_unsuspected)
       obs_.trigger_events.push_back(e.at);
+  }
   std::sort(obs_.trigger_events.begin(), obs_.trigger_events.end());
   if (!gateways_.empty()) {
     obs_.traffic_checked = true;

@@ -1,11 +1,14 @@
 #include "scenario/plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
+#include <sstream>
 #include <utility>
 
 #include "core/system.hpp"
 #include "scenario/fault_injector.hpp"
+#include "scenario/json_min.hpp"
 
 namespace hades::scenario {
 
@@ -341,6 +344,248 @@ bool plan::quiet(time_point t, duration pad, time_point horizon) const {
   return true;
 }
 
+// -------------------------------------------------------- validation -----
+
+std::vector<std::string> plan::validate(std::size_t nodes,
+                                        time_point horizon) const {
+  std::vector<std::string> out;
+  auto flag = [&](const action& a, const std::string& why) {
+    out.push_back(std::string(to_string(a.kind)) + " at " + a.at.to_string() +
+                  ": " + why);
+  };
+  auto node_ok = [&](node_id n) {
+    return n != invalid_node && static_cast<std::size_t>(n) < nodes;
+  };
+
+  // Replayed state machine over the date-sorted timeline: each pairing rule
+  // (crash/recover, partition/heal, link_down/link_up) is checked against
+  // the state the earlier actions left behind, so "recover without a prior
+  // crash" and friends are caught wherever they hide in the sequence.
+  std::set<node_id> down;
+  std::set<std::pair<node_id, node_id>> links_down;
+  bool partitioned = false;
+  for (const action& a : sorted_by_date(actions)) {
+    if (a.at.is_infinite() || a.at < time_point::zero())
+      flag(a, "date must be finite and non-negative");
+    else if (a.at >= horizon)
+      flag(a, "at or past the horizon " + horizon.to_string());
+    switch (a.kind) {
+      case action_kind::crash_node:
+        if (!node_ok(a.a))
+          flag(a, "node " + std::to_string(a.a) + " out of range");
+        else if (!down.insert(a.a).second)
+          flag(a, "node " + std::to_string(a.a) + " is already down");
+        break;
+      case action_kind::recover_node:
+        if (!node_ok(a.a))
+          flag(a, "node " + std::to_string(a.a) + " out of range");
+        else if (down.erase(a.a) == 0)
+          flag(a, "node " + std::to_string(a.a) + " was never crashed");
+        break;
+      case action_kind::partition: {
+        std::set<node_id> listed;
+        if (a.groups.empty()) flag(a, "no groups");
+        for (const auto& g : a.groups) {
+          if (g.empty()) flag(a, "empty group");
+          for (node_id m : g) {
+            if (!node_ok(m))
+              flag(a, "group node " + std::to_string(m) + " out of range");
+            else if (!listed.insert(m).second)
+              flag(a, "node " + std::to_string(m) + " listed twice");
+          }
+        }
+        partitioned = true;
+        break;
+      }
+      case action_kind::heal_partition:
+        if (!partitioned) flag(a, "no partition in force");
+        partitioned = false;
+        break;
+      case action_kind::link_down:
+      case action_kind::link_up: {
+        if (!node_ok(a.a) || !node_ok(a.b)) {
+          flag(a, "link endpoints out of range");
+          break;
+        }
+        if (a.a == a.b) {
+          flag(a, "link endpoints must differ");
+          break;
+        }
+        if (a.kind == action_kind::link_down) {
+          if (!links_down.insert({a.a, a.b}).second)
+            flag(a, "direction already down");
+        } else if (links_down.erase({a.a, a.b}) == 0) {
+          flag(a, "direction was never taken down");
+        }
+        break;
+      }
+      case action_kind::omission_burst:
+        if (!node_ok(a.a) || !node_ok(a.b) || a.a == a.b)
+          flag(a, "burst endpoints invalid");
+        if (a.count < 1) flag(a, "burst count must be >= 1");
+        if (a.channel < -1) flag(a, "channel must be >= -1");
+        break;
+      case action_kind::omission_rate:
+        if (!(a.rate >= 0.0 && a.rate <= 1.0))
+          flag(a, "rate outside [0, 1]");
+        break;
+      case action_kind::perf_fault:
+        if (!(a.rate >= 0.0 && a.rate <= 1.0))
+          flag(a, "rate outside [0, 1]");
+        if (a.extra < duration::zero()) flag(a, "negative extra delay");
+        break;
+      case action_kind::clock_drift:
+      case action_kind::clock_step:
+      case action_kind::clock_fault:
+        if (!node_ok(a.a))
+          flag(a, "node " + std::to_string(a.a) + " out of range");
+        if (!std::isfinite(a.rate)) flag(a, "rate must be finite");
+        break;
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- JSON ----
+
+namespace {
+
+/// Rates ride as exact ppm integers: every curated and generated rate is
+/// ppm-representable, one correctly-rounded division reconstructs the
+/// identical double on any compiler, and the repro replays bit-identically.
+std::int64_t to_ppm(double rate) {
+  return static_cast<std::int64_t>(std::llround(rate * 1e6));
+}
+double from_ppm(std::int64_t ppm) { return static_cast<double>(ppm) / 1e6; }
+
+action_kind kind_from_string(const std::string& s) {
+  for (int k = 0; k <= static_cast<int>(action_kind::clock_fault); ++k)
+    if (s == to_string(static_cast<action_kind>(k)))
+      return static_cast<action_kind>(k);
+  throw invariant_violation("plan json: unknown action kind \"" + s + '"');
+}
+
+}  // namespace
+
+std::string plan_to_json(const plan& p, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << pad << "{\n"
+     << pad << "  \"format\": \"hades-plan v1\",\n"
+     << pad << "  \"name\": \"" << jmin::escape(p.name) << "\",\n"
+     << pad << "  \"actions\": [";
+  for (std::size_t i = 0; i < p.actions.size(); ++i) {
+    const action& a = p.actions[i];
+    os << (i == 0 ? "\n" : ",\n") << pad << "    {\"kind\": \""
+       << to_string(a.kind) << "\", \"at_ns\": " << a.at.nanoseconds();
+    switch (a.kind) {
+      case action_kind::crash_node:
+      case action_kind::recover_node:
+        os << ", \"a\": " << a.a;
+        break;
+      case action_kind::partition:
+        os << ", \"groups\": [";
+        for (std::size_t g = 0; g < a.groups.size(); ++g) {
+          os << (g == 0 ? "[" : ", [");
+          for (std::size_t m = 0; m < a.groups[g].size(); ++m)
+            os << (m == 0 ? "" : ", ") << a.groups[g][m];
+          os << "]";
+        }
+        os << "]";
+        break;
+      case action_kind::heal_partition:
+        break;
+      case action_kind::omission_burst:
+        os << ", \"a\": " << a.a << ", \"b\": " << a.b
+           << ", \"count\": " << a.count << ", \"channel\": " << a.channel;
+        break;
+      case action_kind::omission_rate:
+        os << ", \"rate_ppm\": " << to_ppm(a.rate);
+        break;
+      case action_kind::perf_fault:
+        os << ", \"rate_ppm\": " << to_ppm(a.rate)
+           << ", \"extra_ns\": " << a.extra.count();
+        break;
+      case action_kind::clock_drift:
+        os << ", \"a\": " << a.a << ", \"rate_ppm\": " << to_ppm(a.rate);
+        break;
+      case action_kind::clock_step:
+        os << ", \"a\": " << a.a << ", \"extra_ns\": " << a.extra.count();
+        break;
+      case action_kind::link_down:
+      case action_kind::link_up:
+        os << ", \"a\": " << a.a << ", \"b\": " << a.b;
+        break;
+      case action_kind::clock_fault:
+        os << ", \"a\": " << a.a << ", \"rate_ppm\": " << to_ppm(a.rate)
+           << ", \"extra_ns\": " << a.extra.count();
+        break;
+    }
+    os << "}";
+  }
+  os << (p.actions.empty() ? "]" : "\n" + pad + "  ]") << "\n" << pad << "}";
+  return os.str();
+}
+
+namespace {
+
+plan plan_from_value(const jmin::value& v) {
+  require(v.k == jmin::value::kind::object, "plan json: expected object");
+  require(v.at("format").as_string() == "hades-plan v1",
+          "plan json: unsupported format");
+  plan p;
+  p.name = v.at("name").as_string();
+  const jmin::value& actions = v.at("actions");
+  require(actions.k == jmin::value::kind::array,
+          "plan json: \"actions\" must be an array");
+  for (const jmin::value& av : actions.arr) {
+    action a;
+    a.kind = kind_from_string(av.at("kind").as_string());
+    a.at = time_point::at(duration::nanoseconds(av.at("at_ns").as_int()));
+    if (const auto* f = av.find("a"))
+      a.a = static_cast<node_id>(f->as_int());
+    if (const auto* f = av.find("b"))
+      a.b = static_cast<node_id>(f->as_int());
+    if (const auto* f = av.find("count"))
+      a.count = static_cast<int>(f->as_int());
+    if (const auto* f = av.find("channel"))
+      a.channel = static_cast<int>(f->as_int());
+    if (const auto* f = av.find("rate_ppm")) a.rate = from_ppm(f->as_int());
+    if (const auto* f = av.find("extra_ns"))
+      a.extra = duration::nanoseconds(f->as_int());
+    if (const auto* f = av.find("groups")) {
+      require(f->k == jmin::value::kind::array,
+              "plan json: \"groups\" must be an array");
+      for (const jmin::value& gv : f->arr) {
+        require(gv.k == jmin::value::kind::array,
+                "plan json: each group must be an array");
+        std::vector<node_id> g;
+        for (const jmin::value& mv : gv.arr)
+          g.push_back(static_cast<node_id>(mv.as_int()));
+        a.groups.push_back(std::move(g));
+      }
+    }
+    p.actions.push_back(std::move(a));
+  }
+  return p;
+}
+
+}  // namespace
+
+plan plan_from_json(const std::string& text) {
+  const jmin::value root = jmin::parse(text);
+  // Accept enclosing documents (e.g. "hades-fuzz-case v1") that embed the
+  // timeline as a "plan" member: anything that isn't itself a plan document
+  // but carries one delegates to it.
+  if (root.k == jmin::value::kind::object) {
+    const jmin::value* fmt = root.find("format");
+    if (fmt == nullptr || fmt->as_string() != "hades-plan v1")
+      if (const jmin::value* inner = root.find("plan"))
+        return plan_from_value(*inner);
+  }
+  return plan_from_value(root);
+}
+
 // ---------------------------------------------------------- injector -----
 
 namespace {
@@ -398,7 +643,18 @@ void preregister(fault_injector& inj, const plan& p) {
   }
 }
 
-void apply(core::system& sys, const plan& p) {
+void apply(core::system& sys, const plan& p, time_point horizon) {
+  // Fail loudly on ill-formed timelines: a recover that never pairs with a
+  // crash (or an action dated past the horizon) would otherwise silently
+  // no-op and the checkers would grade a run the plan never described.
+  const std::vector<std::string> violations =
+      p.validate(sys.node_count(), horizon);
+  if (!violations.empty()) {
+    std::string msg = "scenario::apply: ill-formed plan \"" + p.name + "\"";
+    for (const std::string& v : violations) msg += "\n  " + v;
+    throw invariant_violation(msg);
+  }
+
   preregister(sys.network(), p);
 
   for (const action& a : p.actions) {

@@ -130,7 +130,28 @@ struct plan {
   /// True when no disturbance overlaps [t, t + pad).
   [[nodiscard]] bool quiet(time_point t, duration pad,
                            time_point horizon) const;
+
+  // --- structural validation --------------------------------------------
+  /// Every way the timeline is ill-formed, in date order (empty = valid):
+  /// out-of-range or self-referential node ids, negative or infinite dates,
+  /// actions at or past `horizon`, recover without a prior crash (or crash
+  /// of an already-down node), heal without a partition in force, link_up
+  /// without a matching link_down (or link_down of an already-dead
+  /// direction), empty/overlapping partition groups, burst counts < 1, and
+  /// probabilities outside [0, 1]. `apply` rejects invalid plans loudly —
+  /// a generated plan must never silently no-op.
+  [[nodiscard]] std::vector<std::string> validate(std::size_t nodes,
+                                                  time_point horizon) const;
 };
+
+// --- JSON (committable repro artifacts) ---------------------------------
+/// Serialize the action timeline ("hades-plan v1"). Rates are emitted as
+/// exact ppm integers and dates/durations as nanosecond integers, so
+/// parse(render(p)) replays bit-identically to p on every compiler.
+[[nodiscard]] std::string plan_to_json(const plan& p, int indent = 0);
+/// Parse a "hades-plan v1" document (or the "plan" member of an enclosing
+/// object); throws hades::invariant_violation on malformed input.
+[[nodiscard]] plan plan_from_json(const std::string& text);
 
 class fault_injector;
 
@@ -143,7 +164,12 @@ void preregister(fault_injector& inj, const plan& p);
 
 /// Schedule every action of the plan onto the system's runtime (and
 /// pre-register its wire truth into the system's network). Call once,
-/// before (or during) the run; dates must not be in the past.
-void apply(core::system& sys, const plan& p);
+/// before (or during) the run; dates must not be in the past. The plan is
+/// validated against the system's node count first (and against `horizon`
+/// when finite — the deployment passes its own); an ill-formed plan throws
+/// hades::invariant_violation listing every violation instead of silently
+/// no-opping.
+void apply(core::system& sys, const plan& p,
+           time_point horizon = time_point::infinity());
 
 }  // namespace hades::scenario

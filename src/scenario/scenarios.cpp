@@ -227,6 +227,28 @@ std::vector<scenario_spec> all_scenarios() {
   }
 
   {
+    scenario_spec s = base(
+        "replication_failover_rolling_crashes",
+        "a primary/backup failover chain: the primary (node 1) crashes, its "
+        "successor (node 2) takes over and crashes, then the next successor "
+        "(node 3) — three rolling crashes drive the system to SAFE while "
+        "nodes 1 and 2 restart late in the run; every survivor must track "
+        "each epoch of the chain through the detector and the Delta-ordered "
+        "broadcast keeps the failover announcements totally ordered. Also "
+        "the scenario fuzzer's mutation anchor: a known-rich timeline "
+        "(overlapping down windows, recoveries, a sticky SAFE verdict) the "
+        "mutator perturbs first");
+    s.p.crash(time_point::at(380_ms + 137_us), 1)
+        .crash(time_point::at(560_ms + 149_us), 2)
+        .crash(time_point::at(740_ms + 211_us), 3)
+        .recover(time_point::at(980_ms + 173_us), 1)
+        .recover(time_point::at(1160_ms + 251_us), 2)
+        .recover(time_point::at(1320_ms + 191_us), 3);
+    s.modes.final_mode = svc::op_mode::safe;
+    out.push_back(std::move(s));
+  }
+
+  {
     scenario_spec s = base("edge_overload",
                            "open-loop Poisson traffic at ~2.1x the bookable "
                            "CPU fraction on two gateway nodes: the admission "
